@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table bench binaries.
+ *
+ * Each binary prints its paper artifact (the analytically-simulated
+ * reproduction) and then runs google-benchmark timings of the real
+ * wall-clock work (JIT compilation + simulation).
+ */
+#ifndef ASTITCH_BENCH_BENCH_COMMON_H
+#define ASTITCH_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "backends/tf/tf_backend.h"
+#include "backends/trt/trt_backend.h"
+#include "backends/tvm/tvm_backend.h"
+#include "backends/xla/xla_backend.h"
+#include "core/astitch_backend.h"
+#include "runtime/session.h"
+#include "workloads/common.h"
+
+namespace astitch {
+namespace bench {
+
+/** Backend selector. */
+enum class Which {
+    TensorFlow,
+    Xla,
+    Tvm,
+    Ansor,
+    TensorRT,
+    AStitch,
+    AStitchAtm,
+    AStitchHdm,
+};
+
+inline std::unique_ptr<Backend>
+makeBackend(Which which)
+{
+    switch (which) {
+      case Which::TensorFlow:
+        return std::make_unique<TfBackend>();
+      case Which::Xla:
+        return std::make_unique<XlaBackend>();
+      case Which::Tvm:
+        return std::make_unique<TvmBackend>();
+      case Which::Ansor:
+        return std::make_unique<TvmBackend>(true);
+      case Which::TensorRT:
+        return std::make_unique<TrtBackend>();
+      case Which::AStitch:
+        return std::make_unique<AStitchBackend>();
+      case Which::AStitchAtm:
+        return std::make_unique<AStitchBackend>(
+            AStitchBackend::atmOnly());
+      case Which::AStitchHdm:
+        return std::make_unique<AStitchBackend>(
+            AStitchBackend::withoutMerging());
+    }
+    return nullptr;
+}
+
+/** Compile + simulate one model under one backend. */
+inline RunReport
+profileModel(const Graph &graph, Which which,
+             const GpuSpec &spec = GpuSpec::v100())
+{
+    SessionOptions options;
+    options.spec = spec;
+    Session session(graph, makeBackend(which), options);
+    return session.profile();
+}
+
+/** Horizontal rule + title for the paper-artifact printouts. */
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+} // namespace bench
+} // namespace astitch
+
+#endif // ASTITCH_BENCH_BENCH_COMMON_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 1: ratio of memory-intensive computation (execution time and
+ * kernel count) across the five production models, measured on the TF
+ * executor like the paper's TensorFlow v1.15 statistics.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printFigure1()
+{
+    printHeader("Figure 1: memory-intensive computation ratio "
+                "(TensorFlow executor, V100)");
+    std::printf("%-12s %14s %14s\n", "model", "time ratio",
+                "kernel ratio");
+    double time_sum = 0.0, kernel_sum = 0.0;
+    int n = 0;
+    for (const auto &spec : workloads::inferenceWorkloads()) {
+        const Graph graph = spec.build();
+        const RunReport report =
+            profileModel(graph, Which::TensorFlow);
+        const double mem_time = report.breakdown.mem_us;
+        const double compute_time = report.breakdown.compute_us;
+        const int mem_kernels = report.memKernelCount();
+        const int compute_kernels = report.counters.kernelCount(
+            KernelCategory::ComputeIntensive);
+        const double time_ratio =
+            mem_time / (mem_time + compute_time);
+        const double kernel_ratio =
+            static_cast<double>(mem_kernels) /
+            (mem_kernels + compute_kernels);
+        std::printf("%-12s %13.1f%% %13.1f%%\n", spec.name.c_str(),
+                    100.0 * time_ratio, 100.0 * kernel_ratio);
+        time_sum += time_ratio;
+        kernel_sum += kernel_ratio;
+        ++n;
+    }
+    std::printf("%-12s %13.1f%% %13.1f%%\n", "average",
+                100.0 * time_sum / n, 100.0 * kernel_sum / n);
+    std::printf("(paper: 63.2%% average time ratio, 89.6%% average "
+                "kernel ratio on V100)\n");
+
+    // The intro's A100 trend: TF32 tensor cores shift the compute:
+    // bandwidth ratio, raising the memory-intensive time share.
+    double a100_sum = 0.0;
+    for (const auto &spec : workloads::inferenceWorkloads()) {
+        const Graph graph = spec.build();
+        const RunReport report =
+            profileModel(graph, Which::TensorFlow, GpuSpec::a100());
+        a100_sum += report.breakdown.mem_us /
+                    (report.breakdown.mem_us +
+                     report.breakdown.compute_us);
+    }
+    std::printf("A100 (TF32) average time ratio: %.1f%% (paper: "
+                "76.7%%)\n",
+                100.0 * a100_sum / n);
+}
+
+void
+BM_TfProfileAllModels(benchmark::State &state)
+{
+    const auto specs = workloads::inferenceWorkloads();
+    for (auto _ : state) {
+        for (const auto &spec : specs) {
+            const Graph graph = spec.build();
+            benchmark::DoNotOptimize(
+                profileModel(graph, Which::TensorFlow).end_to_end_us);
+        }
+    }
+}
+BENCHMARK(BM_TfProfileAllModels)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 5: TVM's redundant computation when fusing
+ * power<2> - broadcast<2,128> - add<2,128>: the power op is recomputed
+ * once per consumer thread (128x), while XLA materializes it in a
+ * separate kernel and AStitch buffers it on-chip.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "graph/graph_builder.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+Graph
+buildFig5Graph(std::int64_t rows, std::int64_t cols)
+{
+    Graph graph("fig5");
+    GraphBuilder b(graph);
+    NodeId vec = b.parameter({rows, 1}, "vec");
+    NodeId wide = b.parameter({rows, cols}, "wide");
+    NodeId pw = b.power(vec, 2.0);
+    NodeId out = b.add(b.broadcastTo(pw, {rows, cols}), wide);
+    graph.markOutput(out);
+    return graph;
+}
+
+void
+printFigure5()
+{
+    printHeader("Figure 5: power<2>-broadcast<2,128>-add<2,128> "
+                "redundancy");
+    const Graph graph = buildFig5Graph(2, 128);
+    std::printf("%-10s %10s %14s %12s\n", "backend", "kernels",
+                "fp32 insts", "power evals");
+    for (Which which : {Which::Xla, Which::Tvm, Which::AStitch}) {
+        const RunReport report = profileModel(graph, which);
+        // Count power evaluations from the scheduled plans.
+        Session session(graph, makeBackend(which));
+        double power_evals = 0.0;
+        for (const auto &compiled : session.compiled()) {
+            for (const auto &kernel : compiled.kernels) {
+                for (const auto &op : kernel.ops) {
+                    if (graph.node(op.node).kind() == OpKind::Power) {
+                        power_evals +=
+                            op.recompute_factor *
+                            graph.node(op.node).shape().numElements();
+                    }
+                }
+            }
+        }
+        std::printf("%-10s %10d %14.0f %12.0f\n",
+                    report.backend_name.c_str(),
+                    report.memKernelCount(),
+                    report.counters.instFp32(), power_evals);
+    }
+    std::printf("(paper: TVM recomputes power 128x per row in 128 "
+                "threads; AStitch computes each element once)\n");
+}
+
+void
+BM_Fig5CompileTvm(benchmark::State &state)
+{
+    const Graph graph = buildFig5Graph(2, 128);
+    for (auto _ : state) {
+        Session session(graph, makeBackend(Which::Tvm));
+        benchmark::DoNotOptimize(session.compile());
+    }
+}
+BENCHMARK(BM_Fig5CompileTvm)->Unit(benchmark::kMicrosecond);
+
+void
+BM_Fig5LargeShapeSimulation(benchmark::State &state)
+{
+    const Graph graph = buildFig5Graph(state.range(0), 128);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            profileModel(graph, Which::Tvm).end_to_end_us);
+    }
+}
+BENCHMARK(BM_Fig5LargeShapeSimulation)
+    ->Arg(2)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure5();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

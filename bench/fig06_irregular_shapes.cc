@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figures 6 & 8: the two irregular-shape parallelism pathologies and
+ * the task-packing / task-splitting fixes, on the production reduces
+ * <750000,32> (DIEN) and <64,30000> (Transformer).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/adaptive_mapping.h"
+#include "graph/graph_builder.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+Graph
+buildReduceGraph(std::int64_t rows, std::int64_t cols)
+{
+    Graph graph("reduce_case");
+    GraphBuilder b(graph);
+    NodeId x = b.parameter({rows, cols});
+    graph.markOutput(b.reduceSum(b.mul(x, x), {1}));
+    return graph;
+}
+
+void
+printCase(const char *label, std::int64_t rows, std::int64_t cols)
+{
+    const GpuSpec spec = GpuSpec::v100();
+    const Graph graph = buildReduceGraph(rows, cols);
+    std::printf("\n%s: row-reduce <%lld,%lld>\n", label,
+                static_cast<long long>(rows),
+                static_cast<long long>(cols));
+    std::printf("  %-10s %22s %10s %8s %10s\n", "backend", "launch",
+                "occupancy", "sm_eff", "time(us)");
+    for (Which which : {Which::Xla, Which::AStitch}) {
+        const RunReport report = profileModel(graph, which, spec);
+        const auto mem = report.counters.memoryKernelsByTime();
+        const auto &k = mem.front();
+        std::printf("  %-10s %22s %10.2f %8.2f %10.1f\n",
+                    report.backend_name.c_str(),
+                    k.launch.toString().c_str(), k.achieved_occupancy,
+                    k.sm_efficiency, k.time_us);
+    }
+    const AdaptiveMapping m = adaptiveRowReduce(spec, rows, cols);
+    if (m.rows_per_block > 1) {
+        std::printf("  fix: horizontal packing, %lld rows/block "
+                    "(Fig. 8-(a))\n",
+                    static_cast<long long>(m.rows_per_block));
+    }
+    if (m.split_factor > 1) {
+        std::printf("  fix: task splitting over %d blocks/row with "
+                    "cross-block atomics (Fig. 8-(b))\n",
+                    m.split_factor);
+    }
+    if (m.tasks_per_block > 1) {
+        std::printf("  fix: vertical packing x%lld keeps the grid in "
+                    "one wave\n",
+                    static_cast<long long>(m.tasks_per_block));
+    }
+}
+
+void
+BM_IrregularReduce(benchmark::State &state)
+{
+    const Graph graph =
+        buildReduceGraph(state.range(0), state.range(1));
+    const Which which =
+        state.range(2) ? Which::AStitch : Which::Xla;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(profileModel(graph, which).end_to_end_us);
+}
+BENCHMARK(BM_IrregularReduce)
+    ->Args({750000, 32, 0})
+    ->Args({750000, 32, 1})
+    ->Args({64, 30000, 0})
+    ->Args({64, 30000, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printHeader("Figures 6 & 8: irregular-shape parallelism");
+    printCase("case (a): small block size", 750000, 32);
+    printCase("case (b): small block count", 64, 30000);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

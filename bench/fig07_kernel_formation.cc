@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 7: kernel formation for the sample memory-intensive subgraph —
+ * AStitch forms one stitched kernel with hierarchical data reuse where
+ * XLA forms 4 kernels and TVM 3 (with power.1 recomputed).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "graph/graph_builder.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+Graph
+buildFig7Graph()
+{
+    Graph graph("fig7");
+    GraphBuilder b(graph);
+    const Shape wide{64, 128};
+    NodeId p1 = b.parameter(wide, "param1");
+    NodeId p2 = b.parameter({64, 1}, "param2");
+    NodeId add1 = b.add(p1, p1);
+    NodeId r1 = b.reduceSum(add1, {1});
+    NodeId d1 =
+        b.div(add1, b.broadcastTo(b.reshape(r1, {64, 1}), wide));
+    NodeId pw = b.power(p2, 2.0);
+    NodeId add2 = b.add(d1, b.broadcastTo(pw, wide));
+    NodeId r2 = b.reduceSum(add2, {1});
+    NodeId m1 = b.mul(r2, b.reshape(pw, {64}));
+    graph.markOutput(m1);
+    return graph;
+}
+
+void
+printFigure7()
+{
+    printHeader("Figure 7: kernel formation on the sample subgraph");
+    const Graph graph = buildFig7Graph();
+    std::printf("%-10s %8s %12s %14s %16s\n", "backend", "kernels",
+                "launches", "fp32 insts", "dram writes(txn)");
+    for (Which which :
+         {Which::Xla, Which::Tvm, Which::AStitch}) {
+        const RunReport report = profileModel(graph, which);
+        std::printf("%-10s %8d %12zu %14.0f %16lld\n",
+                    report.backend_name.c_str(),
+                    report.memKernelCount(),
+                    report.counters.kernels.size(),
+                    report.counters.instFp32(),
+                    static_cast<long long>(
+                        report.counters.dramWriteTransactions()));
+    }
+    std::printf("(paper: XLA forms 4 kernels, TVM 3 with power.1 "
+                "recomputed, AStitch 1)\n");
+}
+
+void
+BM_Fig7StitchCompile(benchmark::State &state)
+{
+    const Graph graph = buildFig7Graph();
+    for (auto _ : state) {
+        Session session(graph, makeBackend(Which::AStitch));
+        benchmark::DoNotOptimize(session.compile());
+    }
+}
+BENCHMARK(BM_Fig7StitchCompile)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure7();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

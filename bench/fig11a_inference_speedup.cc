@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 11-(a): end-to-end inference speedup over TensorFlow for XLA,
+ * TensorRT and AStitch on the five production models (V100, Table 2
+ * batch sizes).
+ */
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printFigure11a()
+{
+    printHeader("Figure 11-(a): inference speedup (normalized to "
+                "TensorFlow = 1.0)");
+    std::printf("%-12s %8s %8s %8s %8s\n", "model", "TF", "XLA", "TRT",
+                "AStitch");
+    double geo_xla = 1.0, geo_trt = 1.0, geo_as = 1.0,
+           as_vs_xla = 1.0;
+    int n = 0;
+    for (const auto &spec : workloads::inferenceWorkloads()) {
+        const Graph graph = spec.build();
+        const double tf =
+            profileModel(graph, Which::TensorFlow).end_to_end_us;
+        const double xla = profileModel(graph, Which::Xla).end_to_end_us;
+        const double trt =
+            profileModel(graph, Which::TensorRT).end_to_end_us;
+        const double as =
+            profileModel(graph, Which::AStitch).end_to_end_us;
+        std::printf("%-12s %8.2f %8.2f %8.2f %8.2f\n",
+                    spec.name.c_str(), 1.0, tf / xla, tf / trt, tf / as);
+        geo_xla *= tf / xla;
+        geo_trt *= tf / trt;
+        geo_as *= tf / as;
+        as_vs_xla *= xla / as;
+        ++n;
+    }
+    auto geo = [n](double p) { return std::pow(p, 1.0 / n); };
+    std::printf("%-12s %8.2f %8.2f %8.2f %8.2f   (geomean)\n", "average",
+                1.0, geo(geo_xla), geo(geo_trt), geo(geo_as));
+    std::printf("AStitch vs XLA geomean: %.2fx (paper: 1.84x average, "
+                "up to 2.73x)\n",
+                geo(as_vs_xla));
+    std::printf("AStitch vs TF geomean:  %.2fx (paper: 2.37x average, "
+                "up to 4.06x)\n",
+                geo(geo_as));
+}
+
+void
+BM_InferenceModel(benchmark::State &state)
+{
+    const auto specs = workloads::inferenceWorkloads();
+    const Graph graph = specs[state.range(0)].build();
+    const Which which = static_cast<Which>(state.range(1));
+    state.SetLabel(specs[state.range(0)].name);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(profileModel(graph, which).end_to_end_us);
+}
+BENCHMARK(BM_InferenceModel)
+    ->Args({0, static_cast<int>(Which::Xla)})
+    ->Args({0, static_cast<int>(Which::AStitch)})
+    ->Args({2, static_cast<int>(Which::Xla)})
+    ->Args({2, static_cast<int>(Which::AStitch)})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure11a();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

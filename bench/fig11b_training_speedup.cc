@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 11-(b): end-to-end training-iteration speedup over TensorFlow
+ * for XLA and AStitch on BERT, Transformer and DIEN.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printFigure11b()
+{
+    printHeader("Figure 11-(b): training speedup (normalized to "
+                "TensorFlow = 1.0)");
+    std::printf("%-12s %8s %8s %8s\n", "model", "TF", "XLA", "AStitch");
+    double geo_as = 1.0, geo_xla_rel = 1.0;
+    int n = 0;
+    for (const auto &spec : workloads::trainingWorkloads()) {
+        const Graph graph = spec.build();
+        const double tf =
+            profileModel(graph, Which::TensorFlow).end_to_end_us;
+        const double xla = profileModel(graph, Which::Xla).end_to_end_us;
+        const double as =
+            profileModel(graph, Which::AStitch).end_to_end_us;
+        std::printf("%-12s %8.2f %8.2f %8.2f\n", spec.name.c_str(), 1.0,
+                    tf / xla, tf / as);
+        geo_as *= tf / as;
+        geo_xla_rel *= xla / as;
+        ++n;
+    }
+    std::printf("AStitch vs TF geomean:  %.2fx (paper: 1.34x average)\n",
+                std::pow(geo_as, 1.0 / n));
+    std::printf("AStitch vs XLA geomean: %.2fx (paper: 1.30x average)\n",
+                std::pow(geo_xla_rel, 1.0 / n));
+}
+
+void
+BM_TrainingModel(benchmark::State &state)
+{
+    const auto specs = workloads::trainingWorkloads();
+    const Graph graph = specs[state.range(0)].build();
+    state.SetLabel(specs[state.range(0)].name);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            profileModel(graph, Which::AStitch).end_to_end_us);
+    }
+}
+BENCHMARK(BM_TrainingModel)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure11b();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 12: inference speedup with auto mixed precision (AMP) on the
+ * T4 GPU — all backends and AStitch run the fp16 graphs; speedups stay
+ * similar to the fp32/V100 results (Fig. 11-(a)), showing AStitch
+ * composes with AMP and other GPU generations.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printFigure12()
+{
+    printHeader("Figure 12: inference speedup with AMP (T4, fp16, "
+                "normalized to TensorFlow+AMP = 1.0)");
+    const GpuSpec t4 = GpuSpec::t4();
+    std::printf("%-12s %8s %8s %8s %8s\n", "model", "TF", "XLA", "TRT",
+                "AStitch");
+    double geo_vs_xla = 1.0;
+    int n = 0;
+    for (const auto &spec : workloads::inferenceWorkloads(DType::F16)) {
+        const Graph graph = spec.build();
+        const double tf =
+            profileModel(graph, Which::TensorFlow, t4).end_to_end_us;
+        const double xla =
+            profileModel(graph, Which::Xla, t4).end_to_end_us;
+        const double trt =
+            profileModel(graph, Which::TensorRT, t4).end_to_end_us;
+        const double as =
+            profileModel(graph, Which::AStitch, t4).end_to_end_us;
+        std::printf("%-12s %8.2f %8.2f %8.2f %8.2f\n",
+                    spec.name.c_str(), 1.0, tf / xla, tf / trt, tf / as);
+        geo_vs_xla *= xla / as;
+        ++n;
+    }
+    std::printf("AStitch vs XLA geomean under AMP: %.2fx (paper: "
+                "similar speedups to Fig. 11)\n",
+                std::pow(geo_vs_xla, 1.0 / n));
+}
+
+void
+BM_AmpVsFp32Traffic(benchmark::State &state)
+{
+    // fp16 halves the modeled off-chip traffic of memory-intensive ops.
+    const bool amp = state.range(0);
+    const auto specs = workloads::inferenceWorkloads(
+        amp ? DType::F16 : DType::F32);
+    const Graph graph = specs[2].build(); // BERT
+    state.SetLabel(amp ? "fp16" : "fp32");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            profileModel(graph, Which::AStitch, GpuSpec::t4())
+                .end_to_end_us);
+    }
+}
+BENCHMARK(BM_AmpVsFp32Traffic)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure12();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

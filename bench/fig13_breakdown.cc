@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 13: execution-time breakdown of memory-intensive time (MEM)
+ * and non-computation overhead (OVERHEAD) for XLA vs AStitch, with
+ * XLA's MEM+OVERHEAD normalized to 1.0 per model.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printFigure13()
+{
+    printHeader("Figure 13: MEM / OVERHEAD breakdown (XLA total "
+                "normalized to 1.0)");
+    std::printf("%-12s | %8s %8s | %8s %8s\n", "model", "XLA MEM",
+                "XLA OVH", "AS MEM", "AS OVH");
+    for (const auto &spec : workloads::inferenceWorkloads()) {
+        const Graph graph = spec.build();
+        const auto xla = profileModel(graph, Which::Xla).breakdown;
+        const auto as = profileModel(graph, Which::AStitch).breakdown;
+        const double base = xla.mem_us + xla.overhead_us;
+        std::printf("%-12s | %8.2f %8.2f | %8.2f %8.2f\n",
+                    spec.name.c_str(), xla.mem_us / base,
+                    xla.overhead_us / base, as.mem_us / base,
+                    as.overhead_us / base);
+    }
+    std::printf("(paper: AStitch saves ~2/3 of OVERHEAD and ~1/4 of MEM "
+                "on Transformer)\n");
+}
+
+void
+BM_BreakdownProfile(benchmark::State &state)
+{
+    const auto specs = workloads::inferenceWorkloads();
+    const Graph graph = specs[3].build(); // Transformer
+    for (auto _ : state) {
+        const auto breakdown =
+            profileModel(graph, Which::AStitch).breakdown;
+        benchmark::DoNotOptimize(breakdown.totalUs());
+    }
+}
+BENCHMARK(BM_BreakdownProfile)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure13();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

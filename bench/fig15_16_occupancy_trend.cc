@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figures 15 & 16: per-kernel occupancy and SM-efficiency trends for
+ * CRNN (vs XLA) and BERT (vs Ansor), kernels sorted by descending
+ * execution time. AStitch has fewer ops, each with higher parallelism.
+ */
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "workloads/bert.h"
+#include "workloads/crnn.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printTrend(const char *title, const Graph &graph, Which baseline,
+           const char *baseline_name)
+{
+    printHeader(title);
+    const auto base =
+        profileModel(graph, baseline).counters.memoryKernelsByTime();
+    const auto as =
+        profileModel(graph, Which::AStitch).counters
+            .memoryKernelsByTime();
+    const std::size_t rows = std::max(
+        std::min<std::size_t>(base.size(), 16),
+        std::min<std::size_t>(as.size(), 16));
+    std::printf("%-4s | %-9s occu/effi | %-9s occu/effi\n", "#",
+                baseline_name, "AStitch");
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::printf("%-4zu | ", i);
+        if (i < base.size()) {
+            std::printf("%9.1fus %4.2f/%4.2f | ", base[i].time_us,
+                        base[i].achieved_occupancy,
+                        base[i].sm_efficiency);
+        } else {
+            std::printf("%26s | ", "-");
+        }
+        if (i < as.size()) {
+            std::printf("%9.1fus %4.2f/%4.2f\n", as[i].time_us,
+                        as[i].achieved_occupancy, as[i].sm_efficiency);
+        } else {
+            std::printf("%26s\n", "-");
+        }
+    }
+    std::printf("total memory-intensive kernels: %s=%zu, AStitch=%zu\n",
+                baseline_name, base.size(), as.size());
+}
+
+void
+BM_TrendCollection(benchmark::State &state)
+{
+    const Graph graph =
+        workloads::buildBert(workloads::BertConfig::inference());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(profileModel(graph, Which::AStitch)
+                                     .counters.memoryKernelsByTime()
+                                     .size());
+    }
+}
+BENCHMARK(BM_TrendCollection)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTrend("Figure 15: CRNN occupancy / SM-efficiency trend "
+               "(top kernels by time)",
+               workloads::buildCrnn(workloads::CrnnConfig::inference()),
+               Which::Xla, "XLA");
+    printTrend("Figure 16: BERT occupancy / SM-efficiency trend "
+               "(top kernels by time)",
+               workloads::buildBert(workloads::BertConfig::inference()),
+               Which::Ansor, "Ansor");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

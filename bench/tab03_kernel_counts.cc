@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table 3: memory-intensive kernel counts (MEM) and cudaMemcpy/Memset
+ * activity counts (CPY) for XLA vs AStitch across the five models.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printTable3()
+{
+    printHeader("Table 3: kernel numbers (MEM) and memcpy/memset "
+                "activities (CPY)");
+    std::printf("%-6s %-10s", "", "backend");
+    const auto specs = workloads::inferenceWorkloads();
+    for (const auto &spec : specs)
+        std::printf(" %12s", spec.name.c_str());
+    std::printf("\n");
+
+    double mem_saved = 0.0, cpy_saved = 0.0;
+    std::vector<RunReport> xla_reports, as_reports;
+    for (const auto &spec : specs) {
+        const Graph graph = spec.build();
+        xla_reports.push_back(profileModel(graph, Which::Xla));
+        as_reports.push_back(profileModel(graph, Which::AStitch));
+    }
+    auto row = [&](const char *metric, const char *backend, auto getter,
+                   const std::vector<RunReport> &reports) {
+        std::printf("%-6s %-10s", metric, backend);
+        for (const auto &r : reports)
+            std::printf(" %12d", getter(r));
+        std::printf("\n");
+    };
+    row("MEM", "XLA", [](const RunReport &r) { return r.memKernelCount(); },
+        xla_reports);
+    row("MEM", "AStitch",
+        [](const RunReport &r) { return r.memKernelCount(); }, as_reports);
+    row("CPY", "XLA", [](const RunReport &r) { return r.cpyCount(); },
+        xla_reports);
+    row("CPY", "AStitch", [](const RunReport &r) { return r.cpyCount(); },
+        as_reports);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        mem_saved += 1.0 - static_cast<double>(
+                               as_reports[i].memKernelCount()) /
+                               xla_reports[i].memKernelCount();
+        cpy_saved +=
+            1.0 - static_cast<double>(as_reports[i].cpyCount() + 1) /
+                      (xla_reports[i].cpyCount() + 1);
+    }
+    std::printf("average MEM kernels saved: %.1f%% (paper: 65.7%%)\n",
+                100.0 * mem_saved / specs.size());
+    std::printf("average CPY activities saved: %.1f%% (paper: 43.2%%)\n",
+                100.0 * cpy_saved / specs.size());
+}
+
+void
+BM_KernelCountProfile(benchmark::State &state)
+{
+    const auto specs = workloads::inferenceWorkloads();
+    const Graph graph = specs[3].build(); // Transformer: most kernels
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            profileModel(graph, Which::Xla).memKernelCount());
+    }
+}
+BENCHMARK(BM_KernelCountProfile)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable3();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

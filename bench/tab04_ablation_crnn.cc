@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 4: CRNN ablation study — XLA, +adaptive thread mapping (ATM),
+ * +exhaustive stitching without dominant merging (HDM), full AStitch.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workloads/crnn.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printTable4()
+{
+    printHeader("Table 4: ablation study for CRNN");
+    const Graph graph =
+        workloads::buildCrnn(workloads::CrnnConfig::inference());
+    std::printf("%-10s %12s %12s %10s\n", "config", "time (ms)",
+                "vs XLA", "kernels");
+    double xla_time = 0.0;
+    for (auto [which, label] :
+         {std::pair{Which::Xla, "XLA"},
+          std::pair{Which::AStitchAtm, "ATM"},
+          std::pair{Which::AStitchHdm, "HDM"},
+          std::pair{Which::AStitch, "AStitch"}}) {
+        const RunReport report = profileModel(graph, which);
+        if (xla_time == 0.0)
+            xla_time = report.end_to_end_us;
+        std::printf("%-10s %12.3f %11.1f%% %10d\n", label,
+                    report.end_to_end_us / 1000.0,
+                    100.0 * (xla_time / report.end_to_end_us - 1.0),
+                    report.memKernelCount());
+    }
+    std::printf("(paper: 23.95 / 21.98 / 20.45 / 17.64 ms — ATM +8.9%%, "
+                "HDM +8.2%%, merging +18.7%%)\n");
+}
+
+void
+BM_AblationConfig(benchmark::State &state)
+{
+    const Graph graph =
+        workloads::buildCrnn(workloads::CrnnConfig::inference());
+    const Which which = static_cast<Which>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(profileModel(graph, which).end_to_end_us);
+}
+BENCHMARK(BM_AblationConfig)
+    ->Arg(static_cast<int>(Which::Xla))
+    ->Arg(static_cast<int>(Which::AStitchAtm))
+    ->Arg(static_cast<int>(Which::AStitchHdm))
+    ->Arg(static_cast<int>(Which::AStitch))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable4();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 5: total performance counters of all memory-intensive ops in
+ * CRNN — dram_read_transactions, dram_write_transactions, inst_fp_32 —
+ * XLA vs AStitch.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workloads/crnn.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printTable5()
+{
+    printHeader("Table 5: CRNN memory-intensive performance counters");
+    const Graph graph =
+        workloads::buildCrnn(workloads::CrnnConfig::inference());
+    std::printf("%-10s %18s %18s %16s\n", "backend", "DR_transactions",
+                "DW_transactions", "inst_fp_32");
+    std::int64_t xla_writes = 0, as_writes = 0;
+    for (Which which : {Which::Xla, Which::AStitch}) {
+        const auto counters = profileModel(graph, which).counters;
+        std::printf("%-10s %18lld %18lld %16.0f\n",
+                    which == Which::Xla ? "XLA" : "AStitch",
+                    static_cast<long long>(
+                        counters.dramReadTransactions()),
+                    static_cast<long long>(
+                        counters.dramWriteTransactions()),
+                    counters.instFp32());
+        (which == Which::Xla ? xla_writes : as_writes) =
+            counters.dramWriteTransactions();
+    }
+    std::printf("write-transaction reduction: %.1f%% (paper: 74%% — "
+                "63.8M -> 16.3M)\n",
+                100.0 * (1.0 - static_cast<double>(as_writes) /
+                                   xla_writes));
+}
+
+void
+BM_CounterCollection(benchmark::State &state)
+{
+    const Graph graph =
+        workloads::buildCrnn(workloads::CrnnConfig::inference());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(profileModel(graph, Which::AStitch)
+                                     .counters.dramReadTransactions());
+    }
+}
+BENCHMARK(BM_CounterCollection)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable5();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 6: overhead of the inlined global barrier vs resident block
+ * count (block size 1024, barrier-only kernel), plus the end-to-end
+ * justification: removing barriers from CRNN changes little because the
+ * barrier is not the bottleneck (Sec 6.4.2).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workloads/crnn.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+void
+printTable6()
+{
+    printHeader("Table 6: inlined global-barrier overhead "
+                "(barrier-only kernel, block size 1024)");
+    const CostModel model(GpuSpec::v100());
+    std::printf("%-10s", "#block");
+    for (int blocks = 20; blocks <= 160; blocks += 20)
+        std::printf(" %6d", blocks);
+    std::printf("\n%-10s", "time(us)");
+    for (int blocks = 20; blocks <= 160; blocks += 20)
+        std::printf(" %6.2f", model.globalBarrierUs(blocks));
+    std::printf("\n(paper: 2.53 .. 2.72 us; below the ~10us kernel "
+                "launch overhead it replaces)\n");
+
+    // Sec 6.4.2: barrier contribution to CRNN end-to-end.
+    const Graph graph =
+        workloads::buildCrnn(workloads::CrnnConfig::inference());
+    Session session(graph, makeBackend(Which::AStitch));
+    session.compile();
+    int barriers = 0;
+    for (const auto &compiled : session.compiled()) {
+        for (const auto &k : compiled.kernels)
+            barriers += k.num_global_barriers;
+    }
+    const RunReport report = session.profile();
+    const double barrier_us =
+        barriers * model.globalBarrierUs(160);
+    std::printf("\nCRNN: %d global barriers, <= %.1f us of %.1f us "
+                "total (%.2f%%) — not the bottleneck (Sec 6.4.2)\n",
+                barriers, barrier_us, report.end_to_end_us,
+                100.0 * barrier_us / report.end_to_end_us);
+}
+
+void
+BM_BarrierCostQuery(benchmark::State &state)
+{
+    const CostModel model(GpuSpec::v100());
+    for (auto _ : state) {
+        for (int blocks = 20; blocks <= 160; blocks += 20)
+            benchmark::DoNotOptimize(model.globalBarrierUs(blocks));
+    }
+}
+BENCHMARK(BM_BarrierCostQuery);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable6();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * End-to-end training loop: a small MLP regression trained by SGD,
+ * where every forward+backward iteration executes through the
+ * AStitch-compiled stitched kernels (autodiff gradients, JIT-compiled
+ * once, replayed every step). The loss printout demonstrates the whole
+ * stack — graph IR, autodiff, stitch compilation, functional plan
+ * execution — actually learning.
+ *
+ *   $ ./training_loop
+ */
+#include <cstdio>
+
+#include "core/astitch_backend.h"
+#include "graph/graph_builder.h"
+#include "opt/autodiff.h"
+#include "runtime/session.h"
+#include "support/rng.h"
+
+using namespace astitch;
+
+int
+main()
+{
+    // ---- Model: y = w2 * tanh(w1 x + b1) + b2, L2 loss. ----
+    Graph graph("mlp_regression");
+    GraphBuilder b(graph);
+    const int batch = 64, in_dim = 8, hidden = 16;
+
+    NodeId x = b.parameter({batch, in_dim}, "x");
+    NodeId target = b.parameter({batch, 1}, "target");
+    NodeId w1 = b.parameter({in_dim, hidden}, "w1");
+    NodeId b1 = b.parameter({hidden}, "b1");
+    NodeId w2 = b.parameter({hidden, 1}, "w2");
+    NodeId b2 = b.parameter({1}, "b2");
+
+    NodeId h = b.tanh(b.add(b.matmul(x, w1),
+                            b.broadcastTo(b1, {batch, hidden})));
+    NodeId pred =
+        b.add(b.matmul(h, w2), b.broadcastTo(b2, {batch, 1}));
+    NodeId err = b.sub(pred, target);
+    NodeId loss = b.reduceMean(b.mul(err, err), {0, 1});
+    b.output(loss);
+
+    const std::vector<NodeId> params{w1, b1, w2, b2};
+    const auto grads = buildGradients(b, loss, params);
+    for (NodeId g : grads)
+        b.output(g);
+
+    // ---- Data: a fixed random regression problem. ----
+    Rng rng(7);
+    TensorMap feeds;
+    auto randomize = [&](NodeId node, float scale) {
+        Tensor t(graph.node(node).shape());
+        for (auto &v : t.data())
+            v = rng.uniformFloat(-scale, scale);
+        feeds[node] = std::move(t);
+    };
+    randomize(x, 1.0f);
+    randomize(w1, 0.5f);
+    randomize(b1, 0.1f);
+    randomize(w2, 0.5f);
+    randomize(b2, 0.1f);
+    // Ground truth: target = sum of inputs (learnable by the MLP).
+    {
+        Tensor t(Shape{batch, 1});
+        for (int i = 0; i < batch; ++i) {
+            float sum = 0.0f;
+            for (int j = 0; j < in_dim; ++j)
+                sum += feeds[x].at(i * in_dim + j);
+            t.set(i, 0.5f * sum);
+        }
+        feeds[target] = std::move(t);
+    }
+
+    // ---- SGD through the compiled session. ----
+    Session session(graph, std::make_unique<AStitchBackend>());
+    const double compile_ms = session.compile();
+    std::printf("compiled once in %.2f ms (%d stitched clusters); "
+                "training...\n\n",
+                compile_ms, session.profile().num_clusters);
+
+    const float lr = 0.1f;
+    for (int step = 0; step <= 60; ++step) {
+        const RunReport report = session.run(feeds);
+        const float loss_value = report.outputs[0].at(0);
+        if (step % 10 == 0)
+            std::printf("  step %3d   loss %.5f\n", step, loss_value);
+        for (std::size_t p = 0; p < params.size(); ++p) {
+            Tensor &theta = feeds[params[p]];
+            const Tensor &grad = report.outputs[1 + p];
+            for (std::int64_t i = 0; i < theta.numElements(); ++i)
+                theta.set(i, theta.at(i) - lr * grad.at(i));
+        }
+    }
+    std::printf("\nevery step ran forward+backward through the "
+                "AStitch-stitched kernels;\nthe decreasing loss "
+                "exercises autodiff, stitch codegen and the plan "
+                "executor together.\n");
+    return 0;
+}

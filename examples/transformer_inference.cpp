@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Transformer inference end-to-end: the paper's NLP workload at the
+ * production batch size (Table 2), compared across all five backends.
+ *
+ *   $ ./transformer_inference
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "backends/tf/tf_backend.h"
+#include "backends/trt/trt_backend.h"
+#include "backends/tvm/tvm_backend.h"
+#include "backends/xla/xla_backend.h"
+#include "core/astitch_backend.h"
+#include "runtime/session.h"
+#include "workloads/transformer.h"
+
+using namespace astitch;
+
+int
+main()
+{
+    const Graph graph =
+        workloads::buildTransformer(workloads::TransformerConfig::inference());
+    std::printf("Transformer inference (batch 1, vocab 30000): %d nodes\n\n",
+                graph.numNodes());
+
+    std::vector<std::unique_ptr<Backend>> backends;
+    backends.push_back(std::make_unique<TfBackend>());
+    backends.push_back(std::make_unique<XlaBackend>());
+    backends.push_back(std::make_unique<TvmBackend>());
+    backends.push_back(std::make_unique<TrtBackend>());
+    backends.push_back(std::make_unique<AStitchBackend>());
+
+    double tf_time = 0.0;
+    for (auto &backend : backends) {
+        Session session(graph, std::move(backend));
+        const RunReport report = session.profile();
+        if (tf_time == 0.0)
+            tf_time = report.end_to_end_us;
+        std::printf("%-10s %9.3f ms  speedup vs TF: %5.2fx  "
+                    "(%4d mem kernels, compile %6.1f ms)\n",
+                    report.backend_name.c_str(),
+                    report.end_to_end_us / 1000.0,
+                    tf_time / report.end_to_end_us,
+                    report.memKernelCount(), report.compile_ms);
+    }
+    return 0;
+}

@@ -1,0 +1,36 @@
+#include "backends/tf/cuda_graph_backend.h"
+
+namespace astitch {
+
+namespace {
+
+/** Per-node dispatch cost of a captured graph replay (us). */
+constexpr double kGraphNodeDispatchUs = 0.8;
+
+} // namespace
+
+CompiledCluster
+CudaGraphBackend::compileCluster(const Graph &graph,
+                                 const Cluster &cluster,
+                                 const GpuSpec &spec)
+{
+    CompiledCluster compiled =
+        TfBackend::compileCluster(graph, cluster, spec);
+    for (KernelPlan &kernel : compiled.kernels) {
+        // Replace the executor + driver launch path with the captured
+        // graph's per-node dispatch: extra_launch is *added to* the
+        // driver launch latency by the cost model, so subtract the
+        // difference here.
+        kernel.extra_launch_overhead_us =
+            kGraphNodeDispatchUs - spec.kernel_launch_us;
+    }
+    // Graph capture also elides the executor's buffer-shuffle memcpys;
+    // only the reduce-initialization memsets remain (captured too, but
+    // their device work persists).
+    compiled.num_memcpy =
+        std::min(compiled.num_memcpy,
+                 static_cast<int>(compiled.kernels.size()) / 10 + 1);
+    return compiled;
+}
+
+} // namespace astitch

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CUDA-Graph comparator: TF's kernels, captured dispatch.
+ *
+ * The paper's related work (Sec 7) notes that CUDA Graph "binds, but
+ * not fuses, GPU kernels to reduce kernel launch overhead, which still
+ * suffers from off-chip memory traffic". This backend quantifies that:
+ * the exact op-per-kernel plans of the TF executor, with the CPU-side
+ * dispatch cost amortized away by graph capture. The remaining gap to
+ * AStitch is pure memory traffic + parallelism.
+ */
+#ifndef ASTITCH_BACKENDS_TF_CUDA_GRAPH_BACKEND_H
+#define ASTITCH_BACKENDS_TF_CUDA_GRAPH_BACKEND_H
+
+#include "backends/tf/tf_backend.h"
+
+namespace astitch {
+
+/** TF kernels replayed through a captured CUDA graph. */
+class CudaGraphBackend : public TfBackend
+{
+  public:
+    std::string name() const override { return "tf-cudagraph"; }
+
+    /** Graph replay dispatches from the GPU side: no executor cost. */
+    double frameworkOverheadUs() const override { return 0.0; }
+
+    CompiledCluster compileCluster(const Graph &graph,
+                                   const Cluster &cluster,
+                                   const GpuSpec &spec) override;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_BACKENDS_TF_CUDA_GRAPH_BACKEND_H

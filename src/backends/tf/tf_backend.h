@@ -1,0 +1,31 @@
+/**
+ * @file
+ * TensorFlow-executor baseline: one kernel per operator.
+ *
+ * Models TF v1.15 without XLA: every memory-intensive op dispatches its
+ * own GPU kernel through the framework executor, paying per-op scheduling
+ * overhead and writing every intermediate to off-chip memory — the
+ * baseline normalized to 1.0 in Fig. 11.
+ */
+#ifndef ASTITCH_BACKENDS_TF_TF_BACKEND_H
+#define ASTITCH_BACKENDS_TF_TF_BACKEND_H
+
+#include "compiler/backend.h"
+
+namespace astitch {
+
+/** Op-per-kernel framework executor. */
+class TfBackend : public Backend
+{
+  public:
+    std::string name() const override { return "tensorflow"; }
+    double frameworkOverheadUs() const override { return 2.0; }
+
+    CompiledCluster compileCluster(const Graph &graph,
+                                   const Cluster &cluster,
+                                   const GpuSpec &spec) override;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_BACKENDS_TF_TF_BACKEND_H

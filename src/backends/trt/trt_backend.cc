@@ -1,0 +1,18 @@
+#include "backends/trt/trt_backend.h"
+
+#include "compiler/loop_fusion.h"
+
+namespace astitch {
+
+CompiledCluster
+TrtBackend::compileCluster(const Graph &graph, const Cluster &cluster,
+                           const GpuSpec &spec)
+{
+    LoopFusionRules rules;
+    rules.fuse_heavy_into_broadcast_consumer = false;
+    rules.allow_duplication = false;      // boundary at multi-consumer ops
+    rules.broadcast_producer_is_root = true; // chains only
+    return compileClusterLoopFusion(graph, cluster, spec, rules);
+}
+
+} // namespace astitch

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * TVM / Ansor baseline backend.
+ *
+ * TVM fuses the heavy-elementwise-followed-by-broadcast pattern *with*
+ * per-thread recomputation (the Fig. 5 redundancy) and still breaks at
+ * reduces. Ansor (TVM auto-scheduler) keeps the same fusion scope but
+ * auto-tunes thread mappings; we model the tuning as a best-of-candidates
+ * search over launch configurations scored by the occupancy model
+ * (Sec 6.2's case study).
+ */
+#ifndef ASTITCH_BACKENDS_TVM_TVM_BACKEND_H
+#define ASTITCH_BACKENDS_TVM_TVM_BACKEND_H
+
+#include "compiler/backend.h"
+
+namespace astitch {
+
+/** TVM-policy loop fusion, optionally with Ansor-style tuned mappings. */
+class TvmBackend : public Backend
+{
+  public:
+    /** @param ansor_tuning enable auto-tuned thread mappings. */
+    explicit TvmBackend(bool ansor_tuning = false)
+        : ansor_tuning_(ansor_tuning)
+    {
+    }
+
+    std::string name() const override
+    {
+        return ansor_tuning_ ? "ansor" : "tvm";
+    }
+
+    CompiledCluster compileCluster(const Graph &graph,
+                                   const Cluster &cluster,
+                                   const GpuSpec &spec) override;
+
+  private:
+    bool ansor_tuning_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_BACKENDS_TVM_TVM_BACKEND_H

@@ -1,0 +1,18 @@
+#include "backends/xla/xla_backend.h"
+
+#include "compiler/loop_fusion.h"
+
+namespace astitch {
+
+CompiledCluster
+XlaBackend::compileCluster(const Graph &graph, const Cluster &cluster,
+                           const GpuSpec &spec)
+{
+    LoopFusionRules rules;
+    rules.fuse_heavy_into_broadcast_consumer = false; // skip pattern (2)
+    rules.allow_duplication = true; // op-level redundancy across kernels
+    rules.broadcast_producer_is_root = false;
+    return compileClusterLoopFusion(graph, cluster, spec, rules);
+}
+
+} // namespace astitch

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * XLA-like baseline backend.
+ *
+ * Models TensorFlow XLA's fusion policy as described in Sec 2.3: loop
+ * fusion with per-element inlining, *skipping* fusion at the two
+ * problematic patterns — (1) reduce feeding consumers and (2) heavy
+ * element-wise feeding broadcast — which yields many small kernels, plus
+ * the naive thread mappings of Fig. 6.
+ */
+#ifndef ASTITCH_BACKENDS_XLA_XLA_BACKEND_H
+#define ASTITCH_BACKENDS_XLA_XLA_BACKEND_H
+
+#include "compiler/backend.h"
+
+namespace astitch {
+
+/** XLA-policy loop fusion. */
+class XlaBackend : public Backend
+{
+  public:
+    std::string name() const override { return "xla"; }
+
+    CompiledCluster compileCluster(const Graph &graph,
+                                   const Cluster &cluster,
+                                   const GpuSpec &spec) override;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_BACKENDS_XLA_XLA_BACKEND_H

@@ -1,0 +1,7 @@
+#include "compiler/backend.h"
+
+namespace astitch {
+
+Backend::~Backend() = default;
+
+} // namespace astitch

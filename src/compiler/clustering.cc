@@ -1,0 +1,254 @@
+#include "compiler/clustering.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+#include "support/logging.h"
+
+namespace astitch {
+
+namespace {
+
+/** Fixed-width bitset helpers over vector<uint64_t>. */
+class BitRow
+{
+  public:
+    explicit BitRow(int bits) : words_((bits + 63) / 64, 0) {}
+
+    void set(int i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+    bool test(int i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1ULL;
+    }
+    void orWith(const BitRow &other)
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w)
+            words_[w] |= other.words_[w];
+    }
+    bool operator==(const BitRow &other) const
+    {
+        return words_ == other.words_;
+    }
+
+  private:
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace
+
+bool
+Cluster::contains(NodeId node) const
+{
+    return std::binary_search(nodes.begin(), nodes.end(), node);
+}
+
+Cluster
+makeCluster(const Graph &graph, std::vector<NodeId> nodes)
+{
+    Cluster cluster;
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    cluster.nodes = std::move(nodes);
+
+    std::vector<NodeId> inputs;
+    for (NodeId n : cluster.nodes) {
+        for (NodeId op : graph.node(n).operands()) {
+            if (!cluster.contains(op))
+                inputs.push_back(op);
+        }
+        bool escapes = graph.isOutput(n);
+        for (NodeId u : graph.users(n)) {
+            if (!cluster.contains(u)) {
+                escapes = true;
+                break;
+            }
+        }
+        if (escapes)
+            cluster.outputs.push_back(n);
+    }
+    std::sort(inputs.begin(), inputs.end());
+    inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+    cluster.inputs = std::move(inputs);
+    return cluster;
+}
+
+namespace {
+
+/**
+ * Split a cluster that is cyclic through external nodes (a path leaves
+ * the cluster and re-enters it). Nodes downstream of any such external
+ * "bridge" are peeled off and re-clustered; the rest is cycle-free
+ * (Sec 4.1: "no cyclic dependence is allowed").
+ */
+void
+splitCyclic(const Graph &graph, Cluster cluster,
+            std::vector<Cluster> &out)
+{
+    std::vector<char> member(graph.numNodes(), 0);
+    for (NodeId n : cluster.nodes)
+        member[n] = 1;
+
+    // External nodes reachable from the cluster (forward over users).
+    std::vector<char> from_cluster(graph.numNodes(), 0);
+    std::vector<NodeId> stack;
+    for (NodeId n : cluster.nodes)
+        stack.push_back(n);
+    while (!stack.empty()) {
+        const NodeId n = stack.back();
+        stack.pop_back();
+        for (NodeId u : graph.users(n)) {
+            if (!member[u] && !from_cluster[u]) {
+                from_cluster[u] = 1;
+                stack.push_back(u);
+            }
+        }
+    }
+    // External nodes that reach the cluster (backward over operands).
+    std::vector<char> to_cluster(graph.numNodes(), 0);
+    for (NodeId n : cluster.nodes)
+        stack.push_back(n);
+    while (!stack.empty()) {
+        const NodeId n = stack.back();
+        stack.pop_back();
+        for (NodeId op : graph.node(n).operands()) {
+            if (!member[op] && !to_cluster[op]) {
+                to_cluster[op] = 1;
+                stack.push_back(op);
+            }
+        }
+    }
+
+    // Bridges close a cycle through the cluster.
+    std::vector<NodeId> bridges;
+    for (NodeId n = 0; n < graph.numNodes(); ++n) {
+        if (!member[n] && from_cluster[n] && to_cluster[n])
+            bridges.push_back(n);
+    }
+    if (bridges.empty()) {
+        out.push_back(std::move(cluster));
+        return;
+    }
+
+    // Members downstream of a bridge are tainted; the rest is safe.
+    std::vector<char> tainted(graph.numNodes(), 0);
+    stack = bridges;
+    while (!stack.empty()) {
+        const NodeId n = stack.back();
+        stack.pop_back();
+        for (NodeId u : graph.users(n)) {
+            if (!tainted[u]) {
+                tainted[u] = 1;
+                stack.push_back(u);
+            }
+        }
+    }
+    std::vector<bool> safe_scope(graph.numNodes(), false);
+    std::vector<bool> tainted_scope(graph.numNodes(), false);
+    for (NodeId n : cluster.nodes)
+        (tainted[n] ? tainted_scope : safe_scope)[n] = true;
+
+    for (auto &component : connectedComponents(graph, safe_scope))
+        splitCyclic(graph, makeCluster(graph, std::move(component)), out);
+    for (auto &component : connectedComponents(graph, tainted_scope))
+        splitCyclic(graph, makeCluster(graph, std::move(component)), out);
+}
+
+} // namespace
+
+std::vector<Cluster>
+findMemoryIntensiveClusters(const Graph &graph)
+{
+    std::vector<bool> in_scope(graph.numNodes(), false);
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const OpKind kind = graph.node(id).kind();
+        in_scope[id] = isMemoryIntensive(kind) && !isSource(kind);
+    }
+    std::vector<Cluster> clusters;
+    for (auto &component : connectedComponents(graph, in_scope))
+        splitCyclic(graph, makeCluster(graph, std::move(component)),
+                    clusters);
+    return clusters;
+}
+
+std::vector<Cluster>
+remoteStitch(const Graph &graph, std::vector<Cluster> clusters,
+             int max_cluster_nodes)
+{
+    const int num_clusters = static_cast<int>(clusters.size());
+    if (num_clusters <= 1)
+        return clusters;
+
+    // Cluster id per node (-1 outside every cluster).
+    std::vector<int> cluster_of(graph.numNodes(), -1);
+    for (int c = 0; c < num_clusters; ++c) {
+        for (NodeId n : clusters[c].nodes)
+            cluster_of[n] = c;
+    }
+
+    // Downstream cluster reachability per node, in reverse topological
+    // order (creation order is topological).
+    std::vector<BitRow> node_reach(graph.numNodes(), BitRow(num_clusters));
+    for (NodeId n = graph.numNodes() - 1; n >= 0; --n) {
+        for (NodeId u : graph.users(n)) {
+            if (cluster_of[u] >= 0 && cluster_of[u] != cluster_of[n])
+                node_reach[n].set(cluster_of[u]);
+            node_reach[n].orWith(node_reach[u]);
+        }
+    }
+
+    // reach[a] = set of clusters reachable from cluster a.
+    std::vector<BitRow> reach(num_clusters, BitRow(num_clusters));
+    for (NodeId n = 0; n < graph.numNodes(); ++n) {
+        if (cluster_of[n] >= 0)
+            reach[cluster_of[n]].orWith(node_reach[n]);
+    }
+
+    // Merge clusters with *identical* downstream-reachability closures.
+    //
+    // Pairwise mutual unreachability is not enough: two merged groups
+    // {A,B} and {C,D} deadlock at the unit level when A feeds C while D
+    // feeds B, even though no pair inside either group is related. With
+    // equal closures the standard induction shows any unit-level cycle
+    // collapses to a cluster reaching itself through external nodes —
+    // which splitCyclic() has already ruled out — so equal-closure
+    // grouping can never create a cyclic stitch op.
+    struct Group
+    {
+        std::vector<int> members;
+        const BitRow *closure;
+        int total_nodes = 0;
+    };
+    std::vector<Group> groups;
+    for (int c = 0; c < num_clusters; ++c) {
+        const int c_nodes = static_cast<int>(clusters[c].nodes.size());
+        bool placed = false;
+        for (Group &g : groups) {
+            if (max_cluster_nodes > 0 &&
+                g.total_nodes + c_nodes > max_cluster_nodes) {
+                continue;
+            }
+            if (!(*g.closure == reach[c]))
+                continue;
+            g.members.push_back(c);
+            g.total_nodes += c_nodes;
+            placed = true;
+            break;
+        }
+        if (!placed)
+            groups.push_back(Group{{c}, &reach[c], c_nodes});
+    }
+
+    std::vector<Cluster> merged;
+    merged.reserve(groups.size());
+    for (const Group &g : groups) {
+        std::vector<NodeId> nodes;
+        for (int c : g.members) {
+            nodes.insert(nodes.end(), clusters[c].nodes.begin(),
+                         clusters[c].nodes.end());
+        }
+        merged.push_back(makeCluster(graph, std::move(nodes)));
+    }
+    return merged;
+}
+
+} // namespace astitch

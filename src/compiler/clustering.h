@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Stitching-scope identification (Sec 4.1).
+ *
+ * Memory-intensive subgraphs are the connected regions of element-wise +
+ * reduce operators delimited by compute-intensive ops. Each becomes a
+ * candidate *stitch op*. Remote stitching then merges mutually-independent
+ * clusters into larger stitch ops, guarded against cyclic dependence.
+ */
+#ifndef ASTITCH_COMPILER_CLUSTERING_H
+#define ASTITCH_COMPILER_CLUSTERING_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace astitch {
+
+/** One memory-intensive cluster (a future stitch op / fusion scope). */
+struct Cluster
+{
+    /** Member nodes, sorted ascending (hence topologically). */
+    std::vector<NodeId> nodes;
+
+    /**
+     * Values produced outside and consumed inside: parameters, constants
+     * and compute-intensive results feeding the cluster.
+     */
+    std::vector<NodeId> inputs;
+
+    /**
+     * Member nodes whose value escapes: consumed outside the cluster or
+     * marked as graph outputs.
+     */
+    std::vector<NodeId> outputs;
+
+    bool contains(NodeId node) const;
+};
+
+/**
+ * Identify memory-intensive clusters by BFS over the graph: connected
+ * components of non-source memory-intensive nodes. Input/output frontiers
+ * are populated. Sources (Parameter/Constant) are treated as cluster
+ * inputs, not members.
+ */
+std::vector<Cluster> findMemoryIntensiveClusters(const Graph &graph);
+
+/**
+ * Remote stitching: repeatedly merge cluster pairs that have no
+ * dependency path between them in either direction (merging such pairs
+ * can never create a cycle). Returns the reduced cluster list. @p
+ * max_cluster_nodes bounds the merged size (resource guard); <= 0 means
+ * unbounded.
+ */
+std::vector<Cluster> remoteStitch(const Graph &graph,
+                                  std::vector<Cluster> clusters,
+                                  int max_cluster_nodes = 0);
+
+/** Recompute the input/output frontiers of a node set. */
+Cluster makeCluster(const Graph &graph, std::vector<NodeId> nodes);
+
+} // namespace astitch
+
+#endif // ASTITCH_COMPILER_CLUSTERING_H

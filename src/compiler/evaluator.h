@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Functional graph interpreter — the correctness oracle.
+ *
+ * Buffer placement and thread mapping never change *values*; only timing
+ * and counters. The evaluator therefore executes the graph once with
+ * reference semantics, and every backend's compiled output is required to
+ * be value-identical to it (checked in the integration tests, mirroring
+ * the paper's "accuracy is the same between AStitch and other techniques").
+ */
+#ifndef ASTITCH_COMPILER_EVALUATOR_H
+#define ASTITCH_COMPILER_EVALUATOR_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace astitch {
+
+/** NodeId -> tensor bindings. */
+using TensorMap = std::unordered_map<NodeId, Tensor>;
+
+/** Reference interpreter over a Graph. */
+class Evaluator
+{
+  public:
+    explicit Evaluator(const Graph &graph);
+
+    /**
+     * Evaluate the whole graph. @p feeds must bind every Parameter.
+     * Returns the tensors of all graph outputs, in outputs() order.
+     * Intermediates are freed as soon as their last user has run.
+     */
+    std::vector<Tensor> run(const TensorMap &feeds) const;
+
+    /**
+     * Evaluate and return the tensor of every node (no liveness-based
+     * freeing) — used by tests that inspect intermediates.
+     */
+    TensorMap runAll(const TensorMap &feeds) const;
+
+    /** Evaluate a single node given its operand tensors. */
+    static Tensor evalNode(const Node &node,
+                           const std::vector<Tensor> &operands);
+
+  private:
+    const Graph &graph_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_COMPILER_EVALUATOR_H

@@ -1,0 +1,110 @@
+#include "compiler/kernel_plan.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace astitch {
+
+std::string
+bufferSpaceName(BufferSpace space)
+{
+    switch (space) {
+      case BufferSpace::Register:
+        return "register";
+      case BufferSpace::Shared:
+        return "shared";
+      case BufferSpace::Global:
+        return "global";
+      case BufferSpace::Output:
+        return "output";
+    }
+    panic("unknown buffer space");
+}
+
+bool
+KernelPlan::containsNode(NodeId node) const
+{
+    return std::any_of(ops.begin(), ops.end(), [node](const ScheduledOp &op) {
+        return op.node == node;
+    });
+}
+
+std::int64_t
+opProcessedElements(const Graph &graph, NodeId node)
+{
+    const Node &n = graph.node(node);
+    if (isReduce(n.kind()))
+        return graph.node(n.operands()[0]).shape().numElements();
+    return n.shape().numElements();
+}
+
+KernelWorkDesc
+workDescFor(const Graph &graph, const KernelPlan &plan)
+{
+    KernelWorkDesc desc;
+    desc.name = plan.name;
+    desc.category = KernelCategory::MemoryIntensive;
+    desc.launch = plan.launch;
+    desc.regs_per_thread = plan.regs_per_thread;
+    desc.smem_per_block = plan.smem_per_block;
+    desc.num_block_barriers = plan.num_block_barriers;
+    desc.num_global_barriers = plan.num_global_barriers;
+    desc.atomic_operations = plan.atomic_operations;
+    desc.read_coalescing = plan.read_coalescing;
+    desc.write_coalescing = plan.write_coalescing;
+    desc.extra_launch_overhead_us = plan.extra_launch_overhead_us;
+
+    desc.bytes_read += plan.extra_bytes_read;
+
+    // Kernel inputs: one full-tensor load per load_factor unit.
+    for (const KernelInput &input : plan.inputs) {
+        const Node &n = graph.node(input.node);
+        desc.bytes_read += static_cast<double>(n.shape().numElements()) *
+                           dtypeSizeBytes(n.dtype()) * input.load_factor;
+    }
+
+    // Scheduled ops: instructions plus traffic of global-space spills.
+    for (const ScheduledOp &op : plan.ops) {
+        const Node &n = graph.node(op.node);
+        const double elems =
+            static_cast<double>(opProcessedElements(graph, op.node));
+        desc.fp_instructions += elems *
+                                opInstructionsPerElement(n.kind()) *
+                                op.recompute_factor;
+
+        const double out_bytes =
+            static_cast<double>(n.shape().numElements()) *
+            dtypeSizeBytes(n.dtype());
+        switch (op.out_space) {
+          case BufferSpace::Register:
+          case BufferSpace::Shared:
+            break; // on-chip, no DRAM traffic
+          case BufferSpace::Global:
+            // Written once, read back by the consumer group(s).
+            desc.bytes_written += out_bytes;
+            desc.bytes_read += out_bytes;
+            break;
+          case BufferSpace::Output:
+            desc.bytes_written += out_bytes;
+            break;
+        }
+    }
+
+    // Kernel outputs that were not already marked Output in the schedule
+    // (defensive: every output node should carry BufferSpace::Output).
+    for (NodeId out : plan.outputs) {
+        const bool scheduled_as_output = std::any_of(
+            plan.ops.begin(), plan.ops.end(), [out](const ScheduledOp &op) {
+                return op.node == out &&
+                       op.out_space == BufferSpace::Output;
+            });
+        panicIf(!scheduled_as_output,
+                "kernel ", plan.name, " output node ", out,
+                " is not scheduled with BufferSpace::Output");
+    }
+
+    return desc;
+}
+
+} // namespace astitch

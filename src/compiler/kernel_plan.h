@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The kernel-plan IR: what a code generator emits for one GPU kernel.
+ *
+ * A KernelPlan is the contract between every backend (TF executor, XLA,
+ * TVM, TensorRT, AStitch) and the device model. It records, per scheduled
+ * operator, *where* its result lives (the stitching-scheme memory space)
+ * and *how often* each element is recomputed — the two quantities that
+ * separate AStitch's hierarchical data reuse from per-element inlining.
+ */
+#ifndef ASTITCH_COMPILER_KERNEL_PLAN_H
+#define ASTITCH_COMPILER_KERNEL_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cost_model.h"
+
+namespace astitch {
+
+/**
+ * Where an intermediate value is buffered between its producer and its
+ * consumers (Table 1 of the paper).
+ */
+enum class BufferSpace {
+    Register, ///< Local scheme: per-thread register, one-to-one deps.
+    Shared,   ///< Regional scheme: on-chip shared memory, block locality.
+    Global,   ///< Global scheme: off-chip scratch + device-wide barrier.
+    Output,   ///< Kernel output: written to framework-visible memory.
+};
+
+/** Printable name of a buffer space. */
+std::string bufferSpaceName(BufferSpace space);
+
+/** One operator scheduled inside a kernel. */
+struct ScheduledOp
+{
+    NodeId node = kInvalidNodeId;
+
+    /**
+     * How many times each element of this op is computed. 1.0 under
+     * hierarchical data reuse; the broadcast fan-out when a per-element
+     * inliner recomputes the producer in every consumer thread (Fig. 5);
+     * the consumer count when an op is duplicated into several kernels.
+     */
+    double recompute_factor = 1.0;
+
+    /** Where the result is buffered for consumers. */
+    BufferSpace out_space = BufferSpace::Register;
+};
+
+/** One kernel input (read from framework/global memory). */
+struct KernelInput
+{
+    NodeId node = kInvalidNodeId;
+
+    /**
+     * How many times the full tensor is loaded from off-chip memory.
+     * 1.0 when buffered in registers after one load (operator-level
+     * reuse); higher when separate schedules force reloads.
+     */
+    double load_factor = 1.0;
+};
+
+/** A generated kernel: scheduled ops plus launch/resource decisions. */
+struct KernelPlan
+{
+    std::string name;
+
+    /** Ops in execution (topological) order. */
+    std::vector<ScheduledOp> ops;
+
+    /** Values read from global memory at kernel start. */
+    std::vector<KernelInput> inputs;
+
+    /** Nodes written back to framework-visible memory. */
+    std::vector<NodeId> outputs;
+
+    LaunchDims launch{1, 256};
+    int regs_per_thread = 32;
+    std::int64_t smem_per_block = 0;
+
+    int num_block_barriers = 0;
+    int num_global_barriers = 0;
+
+    /** Global atomics (column-reduce, cross-block split reduction). */
+    double atomic_operations = 0.0;
+
+    /** Access-pattern quality (1 = fully coalesced). */
+    double read_coalescing = 1.0;
+    double write_coalescing = 1.0;
+
+    /** Extra CPU-side dispatch cost (framework executor overhead). */
+    double extra_launch_overhead_us = 0.0;
+
+    /**
+     * Extra off-chip reads not attributable to a single input: e.g.
+     * rematerialized boundary chains re-reading their ancestors once
+     * per extra consuming group.
+     */
+    double extra_bytes_read = 0.0;
+
+    /** True if op @p node is scheduled in this kernel. */
+    bool containsNode(NodeId node) const;
+};
+
+/** Result of compiling one memory-intensive cluster. */
+struct CompiledCluster
+{
+    std::vector<KernelPlan> kernels;
+
+    /** cudaMemcpy/Memset activities compilation requires at runtime. */
+    int num_memcpy = 0;
+    double memcpy_bytes = 0.0;
+
+    /** Peak global scratch allocated by the memory planner (bytes). */
+    std::int64_t global_scratch_bytes = 0;
+};
+
+/**
+ * Number of elements an op touches when executed once: output elements
+ * for element-wise ops, *input* elements for reductions (they stream the
+ * whole operand).
+ */
+std::int64_t opProcessedElements(const Graph &graph, NodeId node);
+
+/**
+ * Derive the device work of a kernel plan: traffic (with per-input load
+ * factors and global-space intermediates), instruction counts (with
+ * recompute factors) and barrier/atomic totals.
+ */
+KernelWorkDesc workDescFor(const Graph &graph, const KernelPlan &plan);
+
+} // namespace astitch
+
+#endif // ASTITCH_COMPILER_KERNEL_PLAN_H

@@ -1,0 +1,271 @@
+#include "compiler/loop_fusion.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "compiler/patterns.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+namespace {
+
+/** Per-eval operand demand: reduces request a full row per output. */
+double
+operandDemandPerEval(const Graph &graph, NodeId consumer)
+{
+    const Node &n = graph.node(consumer);
+    if (isReduce(n.kind())) {
+        const ReduceInfo info = analyzeReduce(graph, consumer);
+        return static_cast<double>(info.cols);
+    }
+    return 1.0;
+}
+
+} // namespace
+
+CompiledCluster
+compileClusterLoopFusion(const Graph &graph, const Cluster &cluster,
+                         const GpuSpec &spec, const LoopFusionRules &rules)
+{
+    ReduceMapper reduce_mapper = rules.reduce_mapper;
+    if (!reduce_mapper) {
+        reduce_mapper = [](const GpuSpec &s, const ReduceInfo &info) {
+            return info.is_row_reduce
+                       ? rowReduceMappingNaive(s, info.rows, info.cols)
+                       : columnReduceMappingNaive(info.rows * info.cols);
+        };
+    }
+    ElementwiseMapper ew_mapper = rules.elementwise_mapper;
+    if (!ew_mapper) {
+        ew_mapper = [](const GpuSpec &, std::int64_t n) {
+            return elementwiseMappingNaive(n);
+        };
+    }
+
+    // ---- 1. Pick kernel roots. ------------------------------------------
+    // Reverse-topo walk: a node is a root when fusion into its consumers
+    // is blocked by the backend's policy; otherwise it is inlined into
+    // every kernel that demands it.
+    std::set<NodeId> roots;
+    // kernel id == root node id; member set per kernel.
+    std::map<NodeId, std::set<NodeId>> kernels_of_node;
+
+    for (auto it = cluster.nodes.rbegin(); it != cluster.nodes.rend();
+         ++it) {
+        const NodeId id = *it;
+        const Node &node = graph.node(id);
+        bool is_root = false;
+
+        // Cluster outputs always materialize.
+        if (std::binary_search(cluster.outputs.begin(),
+                               cluster.outputs.end(), id)) {
+            is_root = true;
+        }
+        // Reductions can only be fusion roots: per-element inlining
+        // cannot express a reduce feeding downstream ops (pattern (1)).
+        if (isReduce(node.kind())) {
+            is_root = true;
+        }
+        // Pattern (2): heavy element-wise followed by broadcast.
+        if (!rules.fuse_heavy_into_broadcast_consumer &&
+            isHeavyElementwise(node.kind()) &&
+            feedsBroadcast(graph, id, &cluster)) {
+            is_root = true;
+        }
+        // TensorRT: no fusion across any one-to-many element dependency.
+        if (rules.broadcast_producer_is_root &&
+            feedsBroadcast(graph, id, &cluster)) {
+            is_root = true;
+        }
+
+        // Which kernels demand this node?
+        std::set<NodeId> consumer_kernels;
+        for (NodeId u : graph.users(id)) {
+            if (!cluster.contains(u))
+                continue;
+            auto found = kernels_of_node.find(u);
+            if (found != kernels_of_node.end()) {
+                consumer_kernels.insert(found->second.begin(),
+                                        found->second.end());
+            }
+        }
+        if (!is_root && consumer_kernels.empty()) {
+            // No in-cluster consumer kernel (should only happen for
+            // outputs, which are roots); materialize defensively.
+            is_root = true;
+        }
+        if (!is_root && consumer_kernels.size() > 1 &&
+            !rules.allow_duplication) {
+            is_root = true;
+        }
+        if (!is_root &&
+            static_cast<int>(consumer_kernels.size()) >
+                std::max(1, rules.max_duplication)) {
+            is_root = true;
+        }
+
+        if (is_root) {
+            roots.insert(id);
+            consumer_kernels.insert(id);
+            kernels_of_node[id] = {id};
+        } else {
+            kernels_of_node[id] = consumer_kernels;
+        }
+    }
+
+    // ---- 2. Gather members per kernel. ------------------------------------
+    std::map<NodeId, std::vector<NodeId>> members; // root -> sorted members
+    for (NodeId id : cluster.nodes) {
+        for (NodeId k : kernels_of_node[id]) {
+            if (roots.count(k) && (id == k || !roots.count(id)))
+                members[k].push_back(id);
+        }
+    }
+
+    CompiledCluster compiled;
+    for (auto &[root, kernel_nodes] : members) {
+        std::sort(kernel_nodes.begin(), kernel_nodes.end());
+        const Node &root_node = graph.node(root);
+
+        // ---- 3. Element-demand propagation (recompute factors). ----
+        // requests[x] = number of element evaluations of x demanded by
+        // this kernel's per-element inlined code generation.
+        std::map<NodeId, double> requests;
+        requests[root] =
+            static_cast<double>(root_node.shape().numElements());
+        for (auto it = kernel_nodes.rbegin(); it != kernel_nodes.rend();
+             ++it) {
+            const NodeId id = *it;
+            if (id == root)
+                continue;
+            double demand = 0.0;
+            for (NodeId u : graph.users(id)) {
+                auto found = requests.find(u);
+                if (found == requests.end() ||
+                    !std::binary_search(kernel_nodes.begin(),
+                                        kernel_nodes.end(), u)) {
+                    continue;
+                }
+                // Count each operand slot that reads this node.
+                int slots = 0;
+                for (NodeId op : graph.node(u).operands()) {
+                    if (op == id)
+                        ++slots;
+                }
+                demand +=
+                    found->second * operandDemandPerEval(graph, u) * slots;
+            }
+            requests[id] = demand;
+        }
+
+        // ---- 4. Emit the kernel plan. ----
+        KernelPlan plan;
+        plan.name = strCat("fusion_", opKindName(root_node.kind()), "_",
+                           root);
+        plan.extra_launch_overhead_us = rules.extra_launch_overhead_us;
+
+        bool has_column_reduce = false;
+        bool has_row_reduce = false;
+        bool has_transpose = false;
+        for (NodeId id : kernel_nodes) {
+            const Node &n = graph.node(id);
+            ScheduledOp op;
+            op.node = id;
+            const double elems =
+                static_cast<double>(n.shape().numElements());
+            op.recompute_factor =
+                std::max(1.0, requests[id] / std::max(1.0, elems));
+            op.out_space = id == root ? BufferSpace::Output
+                                      : BufferSpace::Register;
+            plan.ops.push_back(op);
+
+            if (isReduce(n.kind())) {
+                if (analyzeReduce(graph, id).is_row_reduce)
+                    has_row_reduce = true;
+                else
+                    has_column_reduce = true;
+            }
+            if (n.kind() == OpKind::Transpose ||
+                n.kind() == OpKind::Gather) {
+                has_transpose = true; // strided/indirect access
+            }
+        }
+
+        // Kernel inputs: operands outside the member set.
+        std::set<NodeId> input_set;
+        for (NodeId id : kernel_nodes) {
+            for (NodeId op : graph.node(id).operands()) {
+                if (!std::binary_search(kernel_nodes.begin(),
+                                        kernel_nodes.end(), op)) {
+                    input_set.insert(op);
+                }
+            }
+        }
+        for (NodeId in : input_set)
+            plan.inputs.push_back(KernelInput{in, 1.0});
+        plan.outputs.push_back(root);
+
+        // ---- 5. Thread mapping & resources. ----
+        if (isReduce(root_node.kind())) {
+            const ReduceInfo info = analyzeReduce(graph, root);
+            plan.launch = reduce_mapper(spec, info);
+            if (info.is_row_reduce) {
+                // Tree reduction in shared memory + syncthreads phases.
+                plan.smem_per_block = plan.launch.block * 4;
+                plan.num_block_barriers = 2;
+            } else if (rules.tiled_column_reduce) {
+                // Shared-memory tile stage: coalesced reads, one atomic
+                // per block-aggregated partial.
+                plan.smem_per_block = plan.launch.block * 4;
+                plan.num_block_barriers = 2;
+                plan.atomic_operations =
+                    static_cast<double>(info.rows * info.cols) /
+                    std::max(1, plan.launch.block);
+            } else {
+                // Atomic accumulation into a zero-initialized output.
+                plan.atomic_operations =
+                    static_cast<double>(info.rows * info.cols) /
+                    spec.warp_size;
+                plan.read_coalescing = 0.5;
+            }
+        } else {
+            plan.launch =
+                ew_mapper(spec, root_node.shape().numElements());
+        }
+        if (has_transpose)
+            plan.read_coalescing = std::min(plan.read_coalescing, 0.25);
+
+        // Register estimate grows with the inlined op count, but never
+        // beyond what lets one block reside on an SM.
+        const int regs_for_one_block = static_cast<int>(
+            spec.regs_per_sm /
+            std::max<std::int64_t>(1, plan.launch.block));
+        plan.regs_per_thread = std::min(
+            {128, 16 + 2 * static_cast<int>(kernel_nodes.size()),
+             regs_for_one_block});
+
+        if (has_column_reduce) {
+            // cudaMemset of the accumulator before launch.
+            compiled.num_memcpy += 1;
+            compiled.memcpy_bytes +=
+                static_cast<double>(root_node.shape().numElements()) *
+                dtypeSizeBytes(root_node.dtype());
+        }
+        (void)has_row_reduce;
+
+        compiled.kernels.push_back(std::move(plan));
+    }
+
+    // Framework-side tensor management: each cluster boundary tensor the
+    // framework owns costs a memcpy-class activity now and then. Model:
+    // one activity per three kernels (temp buffer shuffling).
+    compiled.num_memcpy +=
+        static_cast<int>(compiled.kernels.size() / 3);
+
+    return compiled;
+}
+
+} // namespace astitch

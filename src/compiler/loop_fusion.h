@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Parameterized loop-fusion engine modelling the state-of-the-art
+ * compilers' fusion behaviour (Sec 2.2/2.3).
+ *
+ * XLA, TVM, Ansor and TensorRT all perform producer-into-consumer loop
+ * fusion with *per-element inlining*: no intermediate is communicated
+ * between threads, so one-to-many element dependencies either block the
+ * fusion (a new kernel root) or force redundant recomputation (Fig. 5).
+ * The engine captures those choices as LoopFusionRules; each baseline
+ * backend instantiates it with its documented policy.
+ */
+#ifndef ASTITCH_COMPILER_LOOP_FUSION_H
+#define ASTITCH_COMPILER_LOOP_FUSION_H
+
+#include <functional>
+
+#include "compiler/backend.h"
+#include "compiler/thread_mapping.h"
+
+namespace astitch {
+
+/** Hook that chooses the launch dims for a reduce-rooted kernel. */
+using ReduceMapper = std::function<LaunchDims(
+    const GpuSpec &spec, const ReduceInfo &info)>;
+
+/** Hook that chooses the launch dims for an elementwise-rooted kernel. */
+using ElementwiseMapper = std::function<LaunchDims(
+    const GpuSpec &spec, std::int64_t num_elements)>;
+
+/** Policy knobs distinguishing the baseline compilers. */
+struct LoopFusionRules
+{
+    /**
+     * Fuse a heavy element-wise op into its broadcast consumer's kernel,
+     * recomputing it per consumer thread (TVM: true, Fig. 5) — or make it
+     * a kernel root (XLA: false, "skip fusion").
+     */
+    bool fuse_heavy_into_broadcast_consumer = false;
+
+    /**
+     * Duplicate a multi-consumer producer into each consumer kernel
+     * (operator-level redundancy, Sec 2.3.1) — or cut a kernel boundary
+     * at every multi-consumer op (TensorRT: false).
+     */
+    bool allow_duplication = true;
+
+    /**
+     * Fan-out bound for operator duplication: a producer demanded by
+     * more kernels than this becomes a root instead (XLA bounds fusion
+     * growth the same way; also keeps JIT time linear on huge graphs).
+     */
+    int max_duplication = 8;
+
+    /**
+     * Treat *any* producer feeding a broadcast as a kernel root
+     * (TensorRT's conservative element-wise-chain-only fusion).
+     */
+    bool broadcast_producer_is_root = false;
+
+    /** Launch-dimension selection (naive by default; Ansor tunes). */
+    ReduceMapper reduce_mapper;
+    ElementwiseMapper elementwise_mapper;
+
+    /**
+     * Generate column-reduces with a shared-memory tile stage: coalesced
+     * reads and block-aggregated atomics instead of strided loads with
+     * warp-aggregated atomics (AStitch's adaptive-mapping codegen).
+     */
+    bool tiled_column_reduce = false;
+
+    /** Extra per-kernel CPU dispatch cost (framework executors). */
+    double extra_launch_overhead_us = 0.0;
+};
+
+/**
+ * Compile @p cluster into one kernel per fusion root under @p rules.
+ * Emits per-op recompute factors derived from element-level demand
+ * propagation, naive/hooked thread mappings, and the memcpy/memset
+ * activities (reduce initialization, atomics) the plans require.
+ */
+CompiledCluster compileClusterLoopFusion(const Graph &graph,
+                                         const Cluster &cluster,
+                                         const GpuSpec &spec,
+                                         const LoopFusionRules &rules);
+
+} // namespace astitch
+
+#endif // ASTITCH_COMPILER_LOOP_FUSION_H

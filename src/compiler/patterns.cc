@@ -1,0 +1,35 @@
+#include "compiler/patterns.h"
+
+namespace astitch {
+
+namespace {
+
+bool
+feedsBroadcastFrom(const Graph &graph, NodeId node, const Cluster *cluster,
+                   int depth)
+{
+    if (depth > 8)
+        return false;
+    for (NodeId u : graph.users(node)) {
+        if (cluster && !cluster->contains(u))
+            continue;
+        const OpKind kind = graph.node(u).kind();
+        if (kind == OpKind::Broadcast)
+            return true;
+        if (kind == OpKind::Reshape &&
+            feedsBroadcastFrom(graph, u, cluster, depth + 1)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+feedsBroadcast(const Graph &graph, NodeId node, const Cluster *cluster)
+{
+    return feedsBroadcastFrom(graph, node, cluster, 0);
+}
+
+} // namespace astitch

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared dependency-pattern queries.
+ *
+ * The two fusion-hostile patterns of Sec 2.3.1 are (1) reduce feeding
+ * consumers and (2) heavy element-wise ops feeding broadcast. Real graphs
+ * interpose rank-adjusting Reshapes between a producer and its Broadcast
+ * (e.g. [n] -> [n,1] -> [n,m]); pattern queries must look through them.
+ */
+#ifndef ASTITCH_COMPILER_PATTERNS_H
+#define ASTITCH_COMPILER_PATTERNS_H
+
+#include "compiler/clustering.h"
+
+namespace astitch {
+
+/**
+ * True if @p node feeds a Broadcast op, possibly through a chain of
+ * pure one-to-one data movement (Reshape). When @p cluster is non-null,
+ * only in-cluster consumers are considered.
+ */
+bool feedsBroadcast(const Graph &graph, NodeId node,
+                    const Cluster *cluster = nullptr);
+
+} // namespace astitch
+
+#endif // ASTITCH_COMPILER_PATTERNS_H

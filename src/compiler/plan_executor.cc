@@ -1,0 +1,56 @@
+#include "compiler/plan_executor.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace astitch {
+
+void
+executeCompiledCluster(const Graph &graph, const CompiledCluster &compiled,
+                       TensorMap &env)
+{
+    for (const KernelPlan &kernel : compiled.kernels) {
+        // On-chip values visible inside this kernel only.
+        TensorMap local;
+
+        for (const KernelInput &input : kernel.inputs) {
+            const auto it = env.find(input.node);
+            fatalIf(it == env.end(), "kernel ", kernel.name,
+                    " input %", input.node,
+                    " is not materialized in global memory");
+            local.emplace(input.node, it->second);
+        }
+
+        for (const ScheduledOp &op : kernel.ops) {
+            const Node &node = graph.node(op.node);
+            std::vector<Tensor> operands;
+            operands.reserve(node.operands().size());
+            for (NodeId operand : node.operands()) {
+                const auto it = local.find(operand);
+                fatalIf(it == local.end(), "kernel ", kernel.name,
+                        " schedules %", op.node, " (", node.name(),
+                        ") before its operand %", operand,
+                        " is available");
+                operands.push_back(it->second);
+            }
+            Tensor value = Evaluator::evalNode(node, operands);
+            if (op.out_space == BufferSpace::Output) {
+                const bool declared =
+                    std::find(kernel.outputs.begin(), kernel.outputs.end(),
+                              op.node) != kernel.outputs.end();
+                fatalIf(!declared, "kernel ", kernel.name,
+                        " writes undeclared output %", op.node);
+                env[op.node] = value;
+            }
+            local.emplace(op.node, std::move(value));
+        }
+
+        for (NodeId out : kernel.outputs) {
+            fatalIf(!env.count(out), "kernel ", kernel.name,
+                    " declared output %", out, " was never written");
+        }
+    }
+}
+
+} // namespace astitch

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Functional execution of compiled kernel plans.
+ *
+ * Executes a cluster's kernels exactly as scheduled: each kernel may only
+ * read values that are (a) its declared inputs, already materialized in
+ * framework/global memory, or (b) produced earlier *inside the same
+ * kernel*. Buffer spaces are enforced — only Output-space values survive
+ * a kernel boundary — so a backend that forgets to schedule or
+ * materialize an op fails loudly here rather than silently reusing the
+ * reference interpreter's values.
+ */
+#ifndef ASTITCH_COMPILER_PLAN_EXECUTOR_H
+#define ASTITCH_COMPILER_PLAN_EXECUTOR_H
+
+#include "compiler/evaluator.h"
+#include "compiler/kernel_plan.h"
+
+namespace astitch {
+
+/**
+ * Execute every kernel of @p compiled in order against @p env (the
+ * framework-visible memory: parameters, constants, library-op results and
+ * previous kernels' outputs). Kernel outputs are written back into
+ * @p env. fatal()s on any plan inconsistency (missing input, op scheduled
+ * before its operand, undeclared output).
+ */
+void executeCompiledCluster(const Graph &graph,
+                            const CompiledCluster &compiled,
+                            TensorMap &env);
+
+} // namespace astitch
+
+#endif // ASTITCH_COMPILER_PLAN_EXECUTOR_H

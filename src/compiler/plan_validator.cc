@@ -1,0 +1,136 @@
+#include "compiler/plan_validator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/occupancy.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+std::vector<PlanDefect>
+validateCompiledCluster(const Graph &graph, const Cluster &cluster,
+                        const CompiledCluster &compiled,
+                        const GpuSpec &spec)
+{
+    std::vector<PlanDefect> defects;
+    auto defect = [&](const std::string &kernel,
+                      const std::string &message) {
+        defects.push_back(PlanDefect{kernel, message});
+    };
+
+    // Framework-visible values as kernels execute in order.
+    std::set<NodeId> materialized(cluster.inputs.begin(),
+                                  cluster.inputs.end());
+    std::set<NodeId> scheduled_anywhere;
+
+    for (const KernelPlan &kernel : compiled.kernels) {
+        // -- resources --
+        if (kernel.launch.block <= 0 ||
+            kernel.launch.block > spec.max_threads_per_block) {
+            defect(kernel.name, strCat("illegal block size ",
+                                       kernel.launch.block));
+        }
+        if (kernel.launch.grid <= 0)
+            defect(kernel.name, "empty grid");
+        if (kernel.regs_per_thread > spec.max_regs_per_thread) {
+            defect(kernel.name, strCat("register bound ",
+                                       kernel.regs_per_thread,
+                                       " exceeds device limit"));
+        }
+        if (kernel.smem_per_block > spec.smem_per_block_bytes) {
+            defect(kernel.name,
+                   strCat("shared memory ", kernel.smem_per_block,
+                          " exceeds per-block limit"));
+        }
+        if (kernel.num_global_barriers > 0) {
+            const Occupancy occ =
+                computeOccupancy(spec, kernel.launch.block,
+                                 kernel.regs_per_thread,
+                                 kernel.smem_per_block);
+            if (occ.blocks_per_sm == 0) {
+                defect(kernel.name, "unlaunchable configuration");
+            } else if (kernel.launch.grid > occ.blocksPerWave(spec)) {
+                defect(kernel.name,
+                       strCat("global barrier with ",
+                              kernel.launch.grid,
+                              " blocks exceeds the wave capacity ",
+                              occ.blocksPerWave(spec)));
+            }
+        }
+
+        // -- dataflow --
+        std::set<NodeId> local;
+        for (const KernelInput &in : kernel.inputs) {
+            if (!materialized.count(in.node)) {
+                defect(kernel.name,
+                       strCat("input %", in.node,
+                              " is not materialized before this "
+                              "kernel"));
+            }
+            if (in.load_factor < 1.0) {
+                defect(kernel.name, strCat("input %", in.node,
+                                           " has load factor < 1"));
+            }
+            local.insert(in.node);
+        }
+        for (const ScheduledOp &op : kernel.ops) {
+            if (op.recompute_factor < 1.0) {
+                defect(kernel.name,
+                       strCat("op %", op.node,
+                              " has recompute factor < 1"));
+            }
+            for (NodeId operand : graph.node(op.node).operands()) {
+                if (!local.count(operand)) {
+                    defect(kernel.name,
+                           strCat("op %", op.node, " reads %", operand,
+                                  " before it is available"));
+                }
+            }
+            local.insert(op.node);
+            scheduled_anywhere.insert(op.node);
+            if (op.out_space == BufferSpace::Output)
+                materialized.insert(op.node);
+        }
+        for (NodeId out : kernel.outputs) {
+            if (!materialized.count(out)) {
+                defect(kernel.name, strCat("declared output %", out,
+                                           " never written"));
+            }
+        }
+    }
+
+    // -- coverage --
+    for (NodeId n : cluster.nodes) {
+        if (!scheduled_anywhere.count(n)) {
+            defect("<cluster>",
+                   strCat("cluster node %", n, " (",
+                          graph.node(n).name(),
+                          ") is not scheduled by any kernel"));
+        }
+    }
+    for (NodeId out : cluster.outputs) {
+        if (!materialized.count(out)) {
+            defect("<cluster>", strCat("cluster output %", out,
+                                       " is never materialized"));
+        }
+    }
+    return defects;
+}
+
+void
+checkCompiledCluster(const Graph &graph, const Cluster &cluster,
+                     const CompiledCluster &compiled, const GpuSpec &spec)
+{
+    const auto defects =
+        validateCompiledCluster(graph, cluster, compiled, spec);
+    if (defects.empty())
+        return;
+    std::string message = "invalid compiled cluster:";
+    for (const PlanDefect &d : defects)
+        message += strCat("\n  [", d.kernel, "] ", d.message);
+    fatal(message);
+}
+
+} // namespace astitch

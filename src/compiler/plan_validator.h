@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Static validation of compiled kernel plans.
+ *
+ * The functional plan executor catches inconsistencies at run time; this
+ * validator catches them at compile time, the way a production compiler
+ * verifies its IR between passes. Checks per cluster:
+ *
+ *   - coverage: every cluster node is scheduled by some kernel;
+ *   - availability: each scheduled op's operands are either earlier in
+ *     the same kernel or declared kernel inputs;
+ *   - materialization: kernel inputs produced inside the cluster were
+ *     written to framework memory (Output space) by an earlier kernel;
+ *   - outputs: every cluster output is scheduled with Output space;
+ *   - resources: block size, register bound, shared memory and the
+ *     global-barrier wave constraint respect the device.
+ */
+#ifndef ASTITCH_COMPILER_PLAN_VALIDATOR_H
+#define ASTITCH_COMPILER_PLAN_VALIDATOR_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/clustering.h"
+#include "compiler/kernel_plan.h"
+#include "sim/gpu_spec.h"
+
+namespace astitch {
+
+/** One validation finding (all findings are errors). */
+struct PlanDefect
+{
+    std::string kernel;
+    std::string message;
+};
+
+/**
+ * Validate @p compiled against its cluster and device. Returns the list
+ * of defects (empty = valid).
+ */
+std::vector<PlanDefect> validateCompiledCluster(
+    const Graph &graph, const Cluster &cluster,
+    const CompiledCluster &compiled, const GpuSpec &spec);
+
+/** Convenience: fatal() with all defects if any exist. */
+void checkCompiledCluster(const Graph &graph, const Cluster &cluster,
+                          const CompiledCluster &compiled,
+                          const GpuSpec &spec);
+
+} // namespace astitch
+
+#endif // ASTITCH_COMPILER_PLAN_VALIDATOR_H

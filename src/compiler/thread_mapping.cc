@@ -1,0 +1,75 @@
+#include "compiler/thread_mapping.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace astitch {
+
+ReduceInfo
+analyzeReduce(const Graph &graph, NodeId node)
+{
+    const Node &n = graph.node(node);
+    panicIf(!isReduce(n.kind()), "analyzeReduce on non-reduce ", n.name());
+    const Shape &in = graph.node(n.operands()[0]).shape();
+    const auto &dims = n.attrs().reduce_dims;
+
+    std::vector<bool> reduced(in.rank(), false);
+    for (int d : dims)
+        reduced[d] = true;
+
+    // Row-reduce iff the reduced dims form a contiguous suffix.
+    bool is_row = true;
+    bool seen_kept = false;
+    for (int d = in.rank() - 1; d >= 0; --d) {
+        if (!reduced[d]) {
+            seen_kept = true;
+        } else if (seen_kept) {
+            is_row = false;
+            break;
+        }
+    }
+
+    ReduceInfo info;
+    info.is_row_reduce = is_row;
+    info.cols = 1;
+    for (int d : dims)
+        info.cols *= in.dims()[d];
+    info.rows = in.numElements() / std::max<std::int64_t>(1, info.cols);
+    return info;
+}
+
+int
+roundUpToWarp(const GpuSpec &spec, std::int64_t threads)
+{
+    const std::int64_t warped =
+        (threads + spec.warp_size - 1) / spec.warp_size * spec.warp_size;
+    return static_cast<int>(std::min<std::int64_t>(
+        std::max<std::int64_t>(warped, spec.warp_size),
+        spec.max_threads_per_block));
+}
+
+LaunchDims
+elementwiseMappingNaive(std::int64_t num_elements)
+{
+    const int block = 256;
+    const std::int64_t grid =
+        std::max<std::int64_t>(1, (num_elements + block - 1) / block);
+    return LaunchDims{grid, block};
+}
+
+LaunchDims
+rowReduceMappingNaive(const GpuSpec &spec, std::int64_t rows,
+                      std::int64_t cols)
+{
+    const int block = roundUpToWarp(spec, cols);
+    return LaunchDims{std::max<std::int64_t>(1, rows), block};
+}
+
+LaunchDims
+columnReduceMappingNaive(std::int64_t input_elements)
+{
+    return elementwiseMappingNaive(input_elements);
+}
+
+} // namespace astitch

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reduce classification and the *naive* thread mappings the baseline
+ * compilers emit (the Fig. 6 pathologies), shared across backends.
+ *
+ * AStitch's adaptive mappings (task packing / splitting) live in
+ * core/adaptive_mapping.h and are compared against these.
+ */
+#ifndef ASTITCH_COMPILER_THREAD_MAPPING_H
+#define ASTITCH_COMPILER_THREAD_MAPPING_H
+
+#include "graph/graph.h"
+#include "sim/gpu_spec.h"
+#include "sim/launch_dims.h"
+
+namespace astitch {
+
+/** Geometry of a reduction, flattened to (rows, cols). */
+struct ReduceInfo
+{
+    /**
+     * True when the reduced dimensions are the innermost (contiguous in
+     * memory) ones — a *row-reduce*; false for *column-reduce*, which
+     * needs strided access and atomics.
+     */
+    bool is_row_reduce = true;
+
+    /** Number of independent reduction results. */
+    std::int64_t rows = 1;
+
+    /** Elements reduced per result. */
+    std::int64_t cols = 1;
+};
+
+/** Analyze a Reduce* node. panics if @p node is not a reduction. */
+ReduceInfo analyzeReduce(const Graph &graph, NodeId node);
+
+/** Round @p threads up to a warp multiple, clamped to the block limit. */
+int roundUpToWarp(const GpuSpec &spec, std::int64_t threads);
+
+/** Naive element-per-thread mapping (block 256). */
+LaunchDims elementwiseMappingNaive(std::int64_t num_elements);
+
+/**
+ * XLA-style row-reduce mapping: one block per row, block size = the row
+ * length rounded to a warp (capped at 1024). Tiny rows yield tiny blocks
+ * (Fig. 6-(a)); few rows yield tiny grids (Fig. 6-(b)).
+ */
+LaunchDims rowReduceMappingNaive(const GpuSpec &spec, std::int64_t rows,
+                                 std::int64_t cols);
+
+/**
+ * Naive column-reduce mapping: element-per-thread over the input with
+ * atomic accumulation into the output.
+ */
+LaunchDims columnReduceMappingNaive(std::int64_t input_elements);
+
+} // namespace astitch
+
+#endif // ASTITCH_COMPILER_THREAD_MAPPING_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Adaptive thread mapping: task packing and task splitting (Sec 3.3).
+ *
+ * Irregular production tensor shapes break the naive mappings of the
+ * baselines (Fig. 6). AStitch adapts:
+ *
+ *   - *Horizontal packing* merges many small per-row blocks into one
+ *     large block (fixes <750000,32>: 32 rows x 32 threads per block);
+ *   - *Vertical packing* folds multiple logical blocks into one physical
+ *     block that loops over tasks, bounding the grid to one wave (the
+ *     global-barrier requirement);
+ *   - *Task splitting* spreads one long row over several blocks joined by
+ *     cross-block atomics (fixes <64,30000>).
+ */
+#ifndef ASTITCH_CORE_ADAPTIVE_MAPPING_H
+#define ASTITCH_CORE_ADAPTIVE_MAPPING_H
+
+#include "compiler/thread_mapping.h"
+#include "sim/occupancy.h"
+
+namespace astitch {
+
+/** A thread mapping decided by the adaptive pass. */
+struct AdaptiveMapping
+{
+    /** Logical launch (before any whole-kernel physical capping). */
+    LaunchDims launch{1, 256};
+
+    /** Rows each block reduces (horizontal packing factor). */
+    std::int64_t rows_per_block = 1;
+
+    /** Blocks cooperating on one row (task splitting factor). */
+    int split_factor = 1;
+
+    /** Logical tasks each physical block loops over (vertical packing). */
+    std::int64_t tasks_per_block = 1;
+
+    /** True when cross-block atomics finalize the result. */
+    bool uses_atomics = false;
+};
+
+/**
+ * Upper bound on resident blocks per wave for stitched kernels: blocks
+ * of @p block_size threads at the assumed 32-register budget and @p
+ * smem_per_block bytes of shared memory.
+ */
+std::int64_t blocksPerWaveFor(const GpuSpec &spec, int block_size,
+                              std::int64_t smem_per_block);
+
+/** Adaptive mapping for a row-reduction of @p rows x @p cols. */
+AdaptiveMapping adaptiveRowReduce(const GpuSpec &spec, std::int64_t rows,
+                                  std::int64_t cols);
+
+/** Adaptive mapping for a column-reduction (strided, atomics). */
+AdaptiveMapping adaptiveColumnReduce(const GpuSpec &spec,
+                                     std::int64_t rows, std::int64_t cols);
+
+/** Adaptive mapping for an element-wise group of @p num_elements. */
+AdaptiveMapping adaptiveElementwise(const GpuSpec &spec,
+                                    std::int64_t num_elements);
+
+} // namespace astitch
+
+#endif // ASTITCH_CORE_ADAPTIVE_MAPPING_H

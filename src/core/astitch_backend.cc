@@ -1,0 +1,77 @@
+#include "core/astitch_backend.h"
+
+#include "compiler/loop_fusion.h"
+#include "core/adaptive_mapping.h"
+
+namespace astitch {
+
+AStitchBackend::AStitchBackend(AStitchOptions options) : options_(options)
+{
+}
+
+std::string
+AStitchBackend::name() const
+{
+    if (!options_.hierarchical_stitching)
+        return "astitch-atm";
+    if (!options_.dominant_merging)
+        return "astitch-hdm";
+    return "astitch";
+}
+
+bool
+AStitchBackend::wantsRemoteStitching() const
+{
+    // Remote stitching only makes sense when clusters compile into
+    // single stitched kernels.
+    return options_.hierarchical_stitching;
+}
+
+AStitchOptions
+AStitchBackend::atmOnly()
+{
+    AStitchOptions options;
+    options.hierarchical_stitching = false;
+    options.dominant_merging = false;
+    return options;
+}
+
+AStitchOptions
+AStitchBackend::withoutMerging()
+{
+    AStitchOptions options;
+    options.dominant_merging = false;
+    return options;
+}
+
+CompiledCluster
+AStitchBackend::compileCluster(const Graph &graph, const Cluster &cluster,
+                               const GpuSpec &spec)
+{
+    if (!options_.hierarchical_stitching) {
+        // ATM ablation: XLA's fusion decisions, AStitch's thread
+        // mappings.
+        LoopFusionRules rules;
+        rules.fuse_heavy_into_broadcast_consumer = false;
+        rules.allow_duplication = true;
+        rules.tiled_column_reduce = options_.adaptive_thread_mapping;
+        if (options_.adaptive_thread_mapping) {
+            rules.reduce_mapper = [](const GpuSpec &s,
+                                     const ReduceInfo &info) {
+                const AdaptiveMapping m =
+                    info.is_row_reduce
+                        ? adaptiveRowReduce(s, info.rows, info.cols)
+                        : adaptiveColumnReduce(s, info.rows, info.cols);
+                return m.launch;
+            };
+            rules.elementwise_mapper = [](const GpuSpec &s,
+                                          std::int64_t n) {
+                return adaptiveElementwise(s, n).launch;
+            };
+        }
+        return compileClusterLoopFusion(graph, cluster, spec, rules);
+    }
+    return compileStitchOp(graph, cluster, spec, options_);
+}
+
+} // namespace astitch

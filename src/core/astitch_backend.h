@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The AStitch backend: the paper's primary contribution as a Backend.
+ *
+ * Remote stitching is requested from the session, then each stitched
+ * cluster compiles into exactly one kernel via compileStitchOp(). The
+ * ablation configurations of Table 4 are exposed through AStitchOptions:
+ *
+ *   - atmOnly():       XLA fusion scopes + adaptive thread mapping (ATM)
+ *   - withoutMerging():  full stitching, no dominant merging (HDM)
+ *   - (default):       complete AStitch
+ */
+#ifndef ASTITCH_CORE_ASTITCH_BACKEND_H
+#define ASTITCH_CORE_ASTITCH_BACKEND_H
+
+#include "compiler/backend.h"
+#include "core/stitch_codegen.h"
+
+namespace astitch {
+
+/** AStitch as a pluggable backend. */
+class AStitchBackend : public Backend
+{
+  public:
+    explicit AStitchBackend(AStitchOptions options = {});
+
+    std::string name() const override;
+    bool wantsRemoteStitching() const override;
+
+    CompiledCluster compileCluster(const Graph &graph,
+                                   const Cluster &cluster,
+                                   const GpuSpec &spec) override;
+
+    const AStitchOptions &options() const { return options_; }
+
+    /** Table 4 "ATM": XLA scopes with adaptive thread mapping only. */
+    static AStitchOptions atmOnly();
+
+    /** Table 4 "HDM": exhaustive stitching without dominant merging. */
+    static AStitchOptions withoutMerging();
+
+  private:
+    AStitchOptions options_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_CORE_ASTITCH_BACKEND_H

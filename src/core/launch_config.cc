@@ -1,0 +1,54 @@
+#include "core/launch_config.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace astitch {
+
+LaunchConfig
+configureLaunch(const GpuSpec &spec, std::int64_t logical_grid, int block,
+                std::int64_t smem_per_block, bool needs_global_barrier)
+{
+    LaunchConfig config;
+    fatalIf(block <= 0 || block > spec.max_threads_per_block,
+            "invalid stitched block size ", block);
+
+    // Step 1 (assume): a conservative 32-register bound.
+    constexpr int assumed_regs = 32;
+    const Occupancy assumed =
+        computeOccupancy(spec, block, assumed_regs, smem_per_block);
+    fatalIf(assumed.blocks_per_sm == 0,
+            "stitched kernel cannot launch: block ", block, ", smem ",
+            smem_per_block);
+
+    // Step 2 (relax): find the largest register budget that keeps the
+    // assumed residency — occupancy may be bounded by shared memory, in
+    // which case registers are free to grow.
+    int relaxed = assumed_regs;
+    for (int regs = assumed_regs; regs <= spec.max_regs_per_thread;
+         ++regs) {
+        const Occupancy occ =
+            computeOccupancy(spec, block, regs, smem_per_block);
+        if (occ.blocks_per_sm >= assumed.blocks_per_sm)
+            relaxed = regs;
+        else
+            break;
+    }
+
+    // Step 3 (apply): the relaxed bound becomes the compiler annotation.
+    config.regs_per_thread = relaxed;
+    config.blocks_per_wave = assumed.blocksPerWave(spec);
+
+    std::int64_t grid = std::max<std::int64_t>(1, logical_grid);
+    if (needs_global_barrier && grid > config.blocks_per_wave) {
+        // Vertical packing: fold the excess logical blocks into the wave.
+        config.grid_packing =
+            (grid + config.blocks_per_wave - 1) / config.blocks_per_wave;
+        grid = (grid + config.grid_packing - 1) / config.grid_packing;
+    }
+    config.launch = LaunchDims{grid, block};
+    return config;
+}
+
+} // namespace astitch

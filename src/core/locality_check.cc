@@ -1,0 +1,70 @@
+#include "core/locality_check.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace astitch {
+
+SchemeMap
+finalizeSchemes(const Graph &graph, const Cluster &cluster,
+                const DominantAnalysis &analysis,
+                const std::vector<GroupSchedule> &schedules)
+{
+    SchemeMap schemes;
+
+    for (std::size_t g = 0; g < analysis.groups.size(); ++g) {
+        const DominantGroup &group = analysis.groups[g];
+        const GroupSchedule &producer = schedules[g];
+
+        std::vector<NodeId> boundaries = group.sub_dominants;
+        boundaries.push_back(group.dominant);
+
+        for (NodeId x : boundaries) {
+            // A boundary node may be listed in several groups when
+            // dominant merging is off; decide once, conservatively.
+            if (schemes.count(x))
+                continue;
+
+            // Split or atomic finalization: the value is complete only
+            // after cross-block sync — block locality is impossible.
+            if (producer.mapping.uses_atomics ||
+                producer.mapping.split_factor > 1) {
+                schemes[x] = StitchScheme::Global;
+                continue;
+            }
+
+            bool regional = true;
+            for (NodeId u : graph.users(x)) {
+                if (!cluster.contains(u))
+                    continue;
+                auto it = analysis.groups_of_node.find(u);
+                panicIf(it == analysis.groups_of_node.end(),
+                        "cluster node without group");
+                for (int cg : it->second) {
+                    const GroupSchedule &consumer = schedules[cg];
+                    // Passive check: the consuming block must read
+                    // exactly the range the producing block wrote, which
+                    // our mapping model guarantees iff the partitionings
+                    // coincide.
+                    if (!(consumer.mapping.launch ==
+                              producer.mapping.launch &&
+                          consumer.mapping.rows_per_block ==
+                              producer.mapping.rows_per_block &&
+                          consumer.mapping.tasks_per_block ==
+                              producer.mapping.tasks_per_block)) {
+                        regional = false;
+                        break;
+                    }
+                }
+                if (!regional)
+                    break;
+            }
+            schemes[x] =
+                regional ? StitchScheme::Regional : StitchScheme::Global;
+        }
+    }
+    return schemes;
+}
+
+} // namespace astitch

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Passive block-locality checking (Sec 4.3 Step 3).
+ *
+ * Every dominant and sub-dominant output must be buffered for its
+ * consumers: in shared memory (Regional) when the producing block and the
+ * consuming block are the same — i.e. the producer and all consumer
+ * groups share the same thread-mapping partitioning — and in global
+ * memory (Global) otherwise. Split/atomic-finalized reductions always
+ * fall to Global, since their result is only complete after a cross-block
+ * synchronization.
+ */
+#ifndef ASTITCH_CORE_LOCALITY_CHECK_H
+#define ASTITCH_CORE_LOCALITY_CHECK_H
+
+#include <unordered_map>
+
+#include "core/schedule_propagation.h"
+#include "core/stitch_scheme.h"
+
+namespace astitch {
+
+/** Scheme decision per dominant / sub-dominant node. */
+using SchemeMap = std::unordered_map<NodeId, StitchScheme>;
+
+/**
+ * Decide Regional vs Global for every scheme-boundary node by comparing
+ * the producing group's mapping with each consuming group's mapping.
+ */
+SchemeMap finalizeSchemes(const Graph &graph, const Cluster &cluster,
+                          const DominantAnalysis &analysis,
+                          const std::vector<GroupSchedule> &schedules);
+
+} // namespace astitch
+
+#endif // ASTITCH_CORE_LOCALITY_CHECK_H

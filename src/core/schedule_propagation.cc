@@ -1,0 +1,106 @@
+#include "core/schedule_propagation.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace astitch {
+
+namespace {
+
+/** Wrap a plain launch into an AdaptiveMapping (naive fallback). */
+AdaptiveMapping
+wrapNaive(LaunchDims launch, bool atomics = false)
+{
+    AdaptiveMapping m;
+    m.launch = launch;
+    m.uses_atomics = atomics;
+    return m;
+}
+
+} // namespace
+
+std::vector<GroupSchedule>
+computeGroupSchedules(const Graph &graph, const Cluster &cluster,
+                      const DominantAnalysis &analysis, const GpuSpec &spec,
+                      bool adaptive_mapping)
+{
+    const std::size_t num_groups = analysis.groups.size();
+    std::vector<GroupSchedule> schedules(num_groups);
+
+    // Process groups in dominant order (creation order is topological,
+    // so producers come before consumers).
+    std::vector<int> order(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g)
+        order[g] = static_cast<int>(g);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return analysis.groups[a].dominant < analysis.groups[b].dominant;
+    });
+
+    for (int g : order) {
+        const DominantGroup &group = analysis.groups[g];
+        const Node &dom = graph.node(group.dominant);
+        GroupSchedule &sched = schedules[g];
+
+        if (isReduce(dom.kind())) {
+            sched.is_reduce_group = true;
+            const ReduceInfo info = analyzeReduce(graph, group.dominant);
+            if (adaptive_mapping) {
+                sched.mapping =
+                    info.is_row_reduce
+                        ? adaptiveRowReduce(spec, info.rows, info.cols)
+                        : adaptiveColumnReduce(spec, info.rows, info.cols);
+            } else {
+                sched.mapping =
+                    info.is_row_reduce
+                        ? wrapNaive(rowReduceMappingNaive(spec, info.rows,
+                                                          info.cols))
+                        : wrapNaive(columnReduceMappingNaive(info.rows *
+                                                             info.cols),
+                                    true);
+            }
+            continue;
+        }
+
+        // Element-wise-dominated group: proactive block-locality
+        // adaptation — adopt the mapping of a producer group feeding it.
+        int producer_group = -1;
+        for (NodeId member : group.members) {
+            for (NodeId op : graph.node(member).operands()) {
+                if (!cluster.contains(op))
+                    continue;
+                auto it = analysis.groups_of_node.find(op);
+                if (it == analysis.groups_of_node.end())
+                    continue;
+                for (int pg : it->second) {
+                    if (pg != g &&
+                        analysis.groups[pg].dominant <
+                            group.dominant) {
+                        producer_group = pg;
+                        break;
+                    }
+                }
+                if (producer_group >= 0)
+                    break;
+            }
+            if (producer_group >= 0)
+                break;
+        }
+
+        if (producer_group >= 0 && adaptive_mapping) {
+            sched.mapping = schedules[producer_group].mapping;
+            sched.mapping.uses_atomics = false;
+            sched.mapping.split_factor = 1;
+            sched.proactively_adapted = true;
+        } else if (adaptive_mapping) {
+            sched.mapping = adaptiveElementwise(
+                spec, dom.shape().numElements());
+        } else {
+            sched.mapping = wrapNaive(
+                elementwiseMappingNaive(dom.shape().numElements()));
+        }
+    }
+    return schedules;
+}
+
+} // namespace astitch

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Per-group thread-mapping decisions and schedule propagation
+ * (Sec 4.3 Step 2).
+ *
+ * Only dominants get a schedule; every other op in the group inherits it
+ * by element-wise index propagation (observation A). Reduce-dominated
+ * groups prioritize parallelism and pick their mapping adaptively;
+ * element-wise-dominated groups prioritize locality and *proactively
+ * adapt* their mapping to match their producer group, making the
+ * block-locality check succeed more often.
+ */
+#ifndef ASTITCH_CORE_SCHEDULE_PROPAGATION_H
+#define ASTITCH_CORE_SCHEDULE_PROPAGATION_H
+
+#include <vector>
+
+#include "core/adaptive_mapping.h"
+#include "core/dominant_analysis.h"
+
+namespace astitch {
+
+/** The thread-mapping schedule shared by one group. */
+struct GroupSchedule
+{
+    AdaptiveMapping mapping;
+
+    /** True when the dominant is a reduction. */
+    bool is_reduce_group = false;
+
+    /** True when the group adopted its producer's mapping. */
+    bool proactively_adapted = false;
+};
+
+/**
+ * Decide the mapping of every group. With @p adaptive_mapping disabled
+ * the naive baselines' mappings are used instead (the ablation study's
+ * ATM-off configuration).
+ */
+std::vector<GroupSchedule>
+computeGroupSchedules(const Graph &graph, const Cluster &cluster,
+                      const DominantAnalysis &analysis, const GpuSpec &spec,
+                      bool adaptive_mapping);
+
+} // namespace astitch
+
+#endif // ASTITCH_CORE_SCHEDULE_PROPAGATION_H

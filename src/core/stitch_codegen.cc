@@ -1,0 +1,201 @@
+#include "core/stitch_codegen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+CompiledCluster
+compileStitchOp(const Graph &graph, const Cluster &cluster,
+                const GpuSpec &spec, const AStitchOptions &options,
+                StitchDiagnostics *diagnostics)
+{
+    panicIf(cluster.nodes.empty(), "empty cluster in stitch codegen");
+
+    // ---- Steps 1-2: dominants, groups, schedules. ----
+    DominantAnalysis analysis =
+        analyzeDominants(graph, cluster, options.dominant_merging);
+    std::vector<GroupSchedule> schedules = computeGroupSchedules(
+        graph, cluster, analysis, spec, options.adaptive_thread_mapping);
+
+    // ---- Step 3: stitching schemes + memory planning. ----
+    SchemeMap schemes =
+        finalizeSchemes(graph, cluster, analysis, schedules);
+    MemoryPlan memory =
+        planMemory(graph, cluster, analysis, schedules, std::move(schemes),
+                   spec, options.smem_budget_per_block);
+
+    // ---- Launch configuration (assume-relax-apply). ----
+    std::int64_t logical_grid = 1;
+    int block = 1;
+    for (const GroupSchedule &sched : schedules) {
+        logical_grid = std::max(logical_grid, sched.mapping.launch.grid);
+        block = std::max(block, sched.mapping.launch.block);
+    }
+
+    // Count barrier requirements before capping the grid.
+    const std::set<NodeId> output_set(cluster.outputs.begin(),
+                                      cluster.outputs.end());
+    int num_global = 0;
+    int num_regional = 0;
+    for (const auto &[x, scheme] : memory.schemes) {
+        bool has_internal_user = false;
+        for (NodeId u : graph.users(x)) {
+            if (cluster.contains(u)) {
+                has_internal_user = true;
+                break;
+            }
+        }
+        if (!has_internal_user)
+            continue; // pure outputs need no in-kernel communication
+        if (scheme == StitchScheme::Global)
+            ++num_global;
+        else if (scheme == StitchScheme::Regional)
+            ++num_regional;
+    }
+
+    const LaunchConfig launch =
+        configureLaunch(spec, logical_grid, block, memory.smem_per_block,
+                        /*needs_global_barrier=*/num_global > 0);
+
+    // ---- Emit the kernel plan. ----
+    KernelPlan plan;
+    plan.name = strCat("stitch_", graph.name(), "_", cluster.nodes.front(),
+                       "_", cluster.nodes.back());
+    plan.launch = launch.launch;
+    plan.regs_per_thread = launch.regs_per_thread;
+    plan.smem_per_block = memory.smem_per_block;
+    plan.num_global_barriers = num_global;
+
+    int num_reduce = 0;
+    bool has_transpose = false;
+    for (NodeId id : cluster.nodes) {
+        const Node &node = graph.node(id);
+        if (isReduce(node.kind()))
+            ++num_reduce;
+        if (node.kind() == OpKind::Transpose ||
+            node.kind() == OpKind::Gather) {
+            has_transpose = true; // strided/indirect access
+        }
+
+        ScheduledOp op;
+        op.node = id;
+        // Without dominant merging, ops shared between groups are
+        // scheduled once per group (lost operator-level reuse).
+        const auto it = analysis.groups_of_node.find(id);
+        const int dup =
+            it == analysis.groups_of_node.end()
+                ? 1
+                : static_cast<int>(it->second.size());
+        op.recompute_factor = static_cast<double>(std::max(1, dup));
+
+        if (memory.rematerialized.count(id)) {
+            // Recomputed once per extra consuming group; the recompute
+            // re-reads ancestors of roughly the value's own footprint.
+            std::set<int> consumer_groups;
+            const int own = analysis.groups_of_node.at(id).front();
+            for (NodeId u : graph.users(id)) {
+                if (!cluster.contains(u))
+                    continue;
+                const auto gi = analysis.groups_of_node.find(u);
+                if (gi != analysis.groups_of_node.end()) {
+                    for (int cg : gi->second) {
+                        if (cg != own)
+                            consumer_groups.insert(cg);
+                    }
+                }
+            }
+            const int extra =
+                static_cast<int>(consumer_groups.size());
+            op.recompute_factor =
+                std::max(op.recompute_factor, 1.0 + extra);
+            plan.extra_bytes_read +=
+                static_cast<double>(extra) *
+                node.shape().numElements() *
+                dtypeSizeBytes(node.dtype());
+        }
+
+        if (output_set.count(id)) {
+            op.out_space = BufferSpace::Output;
+        } else if (auto s = memory.schemes.find(id);
+                   s != memory.schemes.end()) {
+            op.out_space = schemeBufferSpace(s->second);
+        } else {
+            op.out_space = BufferSpace::Register;
+        }
+        plan.ops.push_back(op);
+    }
+    plan.num_block_barriers = num_regional + 2 * num_reduce;
+    if (has_transpose)
+        plan.read_coalescing = 0.5;
+
+    // ---- Inputs: one load per distinct consuming group. ----
+    for (NodeId in : cluster.inputs) {
+        std::set<int> consuming_groups;
+        for (NodeId u : graph.users(in)) {
+            if (!cluster.contains(u))
+                continue;
+            const auto it = analysis.groups_of_node.find(u);
+            if (it != analysis.groups_of_node.end())
+                consuming_groups.insert(it->second.begin(),
+                                        it->second.end());
+        }
+        plan.inputs.push_back(KernelInput{
+            in, static_cast<double>(
+                    std::max<std::size_t>(1, consuming_groups.size()))});
+    }
+    plan.outputs = cluster.outputs;
+
+    // ---- Atomics from split / column reductions. ----
+    CompiledCluster compiled;
+    for (std::size_t g = 0; g < analysis.groups.size(); ++g) {
+        const GroupSchedule &sched = schedules[g];
+        if (!sched.mapping.uses_atomics)
+            continue;
+        const NodeId dom = analysis.groups[g].dominant;
+        const Node &node = graph.node(dom);
+        if (isReduce(node.kind())) {
+            const ReduceInfo info = analyzeReduce(graph, dom);
+            if (info.is_row_reduce) {
+                // Split reduction: one atomic per cooperating block/row.
+                plan.atomic_operations +=
+                    static_cast<double>(info.rows) *
+                    sched.mapping.split_factor;
+            } else if (options.adaptive_thread_mapping) {
+                // Tiled column-reduce: coalesced reads, one atomic per
+                // block-aggregated partial (smem scratch already
+                // budgeted by the reduction slab).
+                plan.atomic_operations +=
+                    static_cast<double>(info.rows * info.cols) /
+                    std::max(1, sched.mapping.launch.block);
+            } else {
+                plan.atomic_operations +=
+                    static_cast<double>(info.rows * info.cols) /
+                    spec.warp_size;
+                plan.read_coalescing =
+                    std::min(plan.read_coalescing, 0.5);
+            }
+        }
+        // Atomic accumulators need zero-initialization (memset).
+        compiled.num_memcpy += 1;
+        compiled.memcpy_bytes +=
+            static_cast<double>(node.shape().numElements()) *
+            dtypeSizeBytes(node.dtype());
+    }
+
+    compiled.global_scratch_bytes = memory.global_scratch_bytes;
+    compiled.kernels.push_back(std::move(plan));
+
+    if (diagnostics) {
+        diagnostics->analysis = std::move(analysis);
+        diagnostics->schedules = std::move(schedules);
+        diagnostics->memory = std::move(memory);
+        diagnostics->launch = launch;
+    }
+    return compiled;
+}
+
+} // namespace astitch

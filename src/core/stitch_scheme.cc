@@ -1,0 +1,38 @@
+#include "core/stitch_scheme.h"
+
+#include "support/logging.h"
+
+namespace astitch {
+
+std::string
+stitchSchemeName(StitchScheme scheme)
+{
+    switch (scheme) {
+      case StitchScheme::Independent:
+        return "independent";
+      case StitchScheme::Local:
+        return "local";
+      case StitchScheme::Regional:
+        return "regional";
+      case StitchScheme::Global:
+        return "global";
+    }
+    panic("unknown stitch scheme");
+}
+
+BufferSpace
+schemeBufferSpace(StitchScheme scheme)
+{
+    switch (scheme) {
+      case StitchScheme::Independent:
+      case StitchScheme::Local:
+        return BufferSpace::Register;
+      case StitchScheme::Regional:
+        return BufferSpace::Shared;
+      case StitchScheme::Global:
+        return BufferSpace::Global;
+    }
+    panic("unknown stitch scheme");
+}
+
+} // namespace astitch

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The operator-stitching scheme abstraction (Table 1 of the paper).
+ *
+ * Four schemes cover every dependency scenario under the joint
+ * consideration of dependency, memory hierarchy and parallelism:
+ *
+ *   Independent — no dependency, no buffering requirement;
+ *   Local       — one-to-one element dependency, per-thread registers;
+ *   Regional    — one-to-many dependency, shared memory, block locality
+ *                 first (CAT locality);
+ *   Global      — any dependency, global memory scratch + in-kernel
+ *                 device-wide barrier, parallelism first.
+ */
+#ifndef ASTITCH_CORE_STITCH_SCHEME_H
+#define ASTITCH_CORE_STITCH_SCHEME_H
+
+#include <string>
+
+#include "compiler/kernel_plan.h"
+
+namespace astitch {
+
+/** The four stitching schemes. */
+enum class StitchScheme {
+    Independent,
+    Local,
+    Regional,
+    Global,
+};
+
+/** Printable name. */
+std::string stitchSchemeName(StitchScheme scheme);
+
+/** The buffer space a scheme stores its intermediate in. */
+BufferSpace schemeBufferSpace(StitchScheme scheme);
+
+} // namespace astitch
+
+#endif // ASTITCH_CORE_STITCH_SCHEME_H

@@ -1,0 +1,31 @@
+#include "graph/dot_export.h"
+
+#include <sstream>
+
+namespace astitch {
+
+std::string
+exportDot(const Graph &graph)
+{
+    std::ostringstream oss;
+    oss << "digraph \"" << graph.name() << "\" {\n";
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &n = graph.node(id);
+        const char *style = "ellipse";
+        if (isComputeIntensive(n.kind()))
+            style = "box";
+        else if (isSource(n.kind()))
+            style = "plaintext";
+        oss << "  n" << id << " [shape=" << style << ", label=\""
+            << opKindName(n.kind()) << "." << id << "\\n"
+            << n.shape().toString() << "\"];\n";
+    }
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        for (NodeId op : graph.node(id).operands())
+            oss << "  n" << op << " -> n" << id << ";\n";
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace astitch

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Graphviz DOT export for debugging and documentation.
+ */
+#ifndef ASTITCH_GRAPH_DOT_EXPORT_H
+#define ASTITCH_GRAPH_DOT_EXPORT_H
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace astitch {
+
+/**
+ * Render the graph in Graphviz DOT syntax. Memory-intensive ops are drawn
+ * as ellipses, compute-intensive ops as boxes, sources as plaintext.
+ */
+std::string exportDot(const Graph &graph);
+
+} // namespace astitch
+
+#endif // ASTITCH_GRAPH_DOT_EXPORT_H

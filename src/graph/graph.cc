@@ -1,0 +1,111 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+Graph::Graph(std::string name) : name_(std::move(name)) {}
+
+NodeId
+Graph::addNode(OpKind kind, std::vector<NodeId> operands, NodeAttrs attrs,
+               Shape shape, DType dtype, std::string name)
+{
+    const int arity = opKindArity(kind);
+    fatalIf(arity >= 0 && static_cast<int>(operands.size()) != arity,
+            opKindName(kind), " expects ", arity, " operands, got ",
+            operands.size());
+    for (NodeId op : operands) {
+        fatalIf(op < 0 || op >= numNodes(),
+                "operand ", op, " does not exist (", numNodes(),
+                " nodes so far)");
+    }
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    if (name.empty())
+        name = strCat(opKindName(kind), ".", id);
+    nodes_.push_back(std::make_unique<Node>(id, kind, operands,
+                                            std::move(attrs),
+                                            std::move(shape), dtype,
+                                            std::move(name)));
+    users_.emplace_back();
+    is_output_.push_back(false);
+    std::set<NodeId> seen;
+    for (NodeId op : operands) {
+        if (seen.insert(op).second)
+            users_[op].push_back(id);
+    }
+    return id;
+}
+
+const Node &
+Graph::node(NodeId id) const
+{
+    panicIf(id < 0 || id >= numNodes(), "node id ", id, " out of range");
+    return *nodes_[id];
+}
+
+const std::vector<NodeId> &
+Graph::users(NodeId id) const
+{
+    panicIf(id < 0 || id >= numNodes(), "node id ", id, " out of range");
+    return users_[id];
+}
+
+void
+Graph::markOutput(NodeId id)
+{
+    panicIf(id < 0 || id >= numNodes(), "node id ", id, " out of range");
+    if (!is_output_[id]) {
+        is_output_[id] = true;
+        outputs_.push_back(id);
+    }
+}
+
+bool
+Graph::isOutput(NodeId id) const
+{
+    panicIf(id < 0 || id >= numNodes(), "node id ", id, " out of range");
+    return is_output_[id];
+}
+
+std::vector<NodeId>
+Graph::parameters() const
+{
+    std::vector<NodeId> params;
+    for (const auto &n : nodes_) {
+        if (n->kind() == OpKind::Parameter)
+            params.push_back(n->id());
+    }
+    return params;
+}
+
+std::vector<NodeId>
+Graph::topoOrder() const
+{
+    std::vector<NodeId> order(nodes_.size());
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+}
+
+std::string
+Graph::toString() const
+{
+    std::ostringstream oss;
+    oss << "graph " << name_ << " {\n";
+    for (const auto &n : nodes_) {
+        oss << "  %" << n->id() << " = " << opKindName(n->kind())
+            << n->shape().toString() << "(";
+        oss << strJoin(n->operands(), ", ") << ")";
+        if (isOutput(n->id()))
+            oss << " [output]";
+        oss << "\n";
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace astitch

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The computation graph: a DAG of nodes with use-def bookkeeping.
+ */
+#ifndef ASTITCH_GRAPH_GRAPH_H
+#define ASTITCH_GRAPH_GRAPH_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+
+namespace astitch {
+
+/**
+ * A directed acyclic computation graph.
+ *
+ * Nodes are created through addNode() (or the GraphBuilder convenience
+ * layer) and are immutable afterwards. Node ids are dense [0, numNodes).
+ */
+class Graph
+{
+  public:
+    explicit Graph(std::string name = "graph");
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Create a node. Shape/dtype must already be inferred (GraphBuilder
+     * does this); operands must reference existing nodes.
+     */
+    NodeId addNode(OpKind kind, std::vector<NodeId> operands,
+                   NodeAttrs attrs, Shape shape, DType dtype,
+                   std::string name = "");
+
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+    const Node &node(NodeId id) const;
+
+    /** Nodes that consume @p id as an operand (each use counted once). */
+    const std::vector<NodeId> &users(NodeId id) const;
+
+    /** Mark a node as a graph output (kept live, written to framework). */
+    void markOutput(NodeId id);
+    const std::vector<NodeId> &outputs() const { return outputs_; }
+    bool isOutput(NodeId id) const;
+
+    /** All Parameter nodes in creation order. */
+    std::vector<NodeId> parameters() const;
+
+    /**
+     * Topological order (creation order is already topological since
+     * operands must exist before use; this returns ids 0..n-1).
+     */
+    std::vector<NodeId> topoOrder() const;
+
+    /** Multi-line dump for debugging. */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::vector<NodeId>> users_;
+    std::vector<NodeId> outputs_;
+    std::vector<bool> is_output_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_GRAPH_GRAPH_H

@@ -1,0 +1,244 @@
+#include "graph/graph_builder.h"
+
+#include "graph/shape_inference.h"
+#include "support/logging.h"
+
+namespace astitch {
+
+GraphBuilder::GraphBuilder(Graph &graph, DType default_dtype)
+    : graph_(graph), dtype_(default_dtype)
+{
+}
+
+NodeId
+GraphBuilder::emit(OpKind kind, std::vector<NodeId> operands,
+                   NodeAttrs attrs, std::string name)
+{
+    std::vector<Shape> shapes;
+    shapes.reserve(operands.size());
+    for (NodeId op : operands)
+        shapes.push_back(graph_.node(op).shape());
+    Shape shape = inferShape(kind, shapes, attrs);
+    DType dtype = operands.empty()
+                      ? dtype_
+                      : graph_.node(operands[0]).dtype();
+    if (kind == OpKind::Constant)
+        dtype = attrs.literal.dtype();
+    return graph_.addNode(kind, std::move(operands), std::move(attrs),
+                          std::move(shape), dtype, std::move(name));
+}
+
+NodeId
+GraphBuilder::parameter(Shape shape, std::string name)
+{
+    NodeAttrs attrs;
+    attrs.target_shape = std::move(shape);
+    return emit(OpKind::Parameter, {}, std::move(attrs), std::move(name));
+}
+
+NodeId
+GraphBuilder::constant(Tensor literal, std::string name)
+{
+    NodeAttrs attrs;
+    attrs.literal = std::move(literal);
+    return emit(OpKind::Constant, {}, std::move(attrs), std::move(name));
+}
+
+NodeId
+GraphBuilder::constantScalar(float value, std::string name)
+{
+    return constant(Tensor::scalar(value, dtype_), std::move(name));
+}
+
+NodeId GraphBuilder::add(NodeId a, NodeId b)
+{ return emit(OpKind::Add, {a, b}, {}); }
+NodeId GraphBuilder::sub(NodeId a, NodeId b)
+{ return emit(OpKind::Sub, {a, b}, {}); }
+NodeId GraphBuilder::mul(NodeId a, NodeId b)
+{ return emit(OpKind::Mul, {a, b}, {}); }
+NodeId GraphBuilder::div(NodeId a, NodeId b)
+{ return emit(OpKind::Div, {a, b}, {}); }
+NodeId GraphBuilder::maximum(NodeId a, NodeId b)
+{ return emit(OpKind::Maximum, {a, b}, {}); }
+NodeId GraphBuilder::minimum(NodeId a, NodeId b)
+{ return emit(OpKind::Minimum, {a, b}, {}); }
+NodeId GraphBuilder::neg(NodeId a) { return emit(OpKind::Neg, {a}, {}); }
+NodeId GraphBuilder::abs(NodeId a) { return emit(OpKind::Abs, {a}, {}); }
+NodeId GraphBuilder::compareGT(NodeId a, NodeId b)
+{ return emit(OpKind::CompareGT, {a, b}, {}); }
+NodeId GraphBuilder::select(NodeId pred, NodeId on_true, NodeId on_false)
+{ return emit(OpKind::Select, {pred, on_true, on_false}, {}); }
+
+NodeId GraphBuilder::tanh(NodeId a) { return emit(OpKind::Tanh, {a}, {}); }
+NodeId GraphBuilder::exp(NodeId a) { return emit(OpKind::Exp, {a}, {}); }
+NodeId GraphBuilder::log(NodeId a) { return emit(OpKind::Log, {a}, {}); }
+
+NodeId
+GraphBuilder::power(NodeId a, double exponent)
+{
+    NodeAttrs attrs;
+    attrs.exponent = exponent;
+    return emit(OpKind::Power, {a}, std::move(attrs));
+}
+
+NodeId GraphBuilder::sqrt(NodeId a) { return emit(OpKind::Sqrt, {a}, {}); }
+NodeId GraphBuilder::rsqrt(NodeId a) { return emit(OpKind::Rsqrt, {a}, {}); }
+NodeId GraphBuilder::sigmoid(NodeId a)
+{ return emit(OpKind::Sigmoid, {a}, {}); }
+NodeId GraphBuilder::erf(NodeId a) { return emit(OpKind::Erf, {a}, {}); }
+
+NodeId
+GraphBuilder::broadcastTo(NodeId a, Shape target)
+{
+    NodeAttrs attrs;
+    attrs.target_shape = std::move(target);
+    return emit(OpKind::Broadcast, {a}, std::move(attrs));
+}
+
+NodeId
+GraphBuilder::reshape(NodeId a, Shape target)
+{
+    NodeAttrs attrs;
+    attrs.target_shape = std::move(target);
+    return emit(OpKind::Reshape, {a}, std::move(attrs));
+}
+
+NodeId
+GraphBuilder::transpose(NodeId a, std::vector<int> perm)
+{
+    NodeAttrs attrs;
+    attrs.perm = std::move(perm);
+    return emit(OpKind::Transpose, {a}, std::move(attrs));
+}
+
+NodeId
+GraphBuilder::concat(std::vector<NodeId> inputs, int dim)
+{
+    NodeAttrs attrs;
+    attrs.concat_dim = dim;
+    return emit(OpKind::Concat, std::move(inputs), std::move(attrs));
+}
+
+NodeId
+GraphBuilder::slice(NodeId a, std::int64_t start, std::int64_t size)
+{
+    NodeAttrs attrs;
+    attrs.slice_start = start;
+    attrs.slice_size = size;
+    return emit(OpKind::Slice, {a}, std::move(attrs));
+}
+
+NodeId
+GraphBuilder::pad(NodeId a, Shape target)
+{
+    NodeAttrs attrs;
+    attrs.target_shape = std::move(target);
+    return emit(OpKind::Pad, {a}, std::move(attrs));
+}
+
+NodeId
+GraphBuilder::gather(NodeId table, NodeId indices)
+{
+    return emit(OpKind::Gather, {table, indices}, {});
+}
+
+NodeId
+GraphBuilder::reduceSum(NodeId a, std::vector<int> dims)
+{
+    NodeAttrs attrs;
+    attrs.reduce_dims = std::move(dims);
+    return emit(OpKind::ReduceSum, {a}, std::move(attrs));
+}
+
+NodeId
+GraphBuilder::reduceMax(NodeId a, std::vector<int> dims)
+{
+    NodeAttrs attrs;
+    attrs.reduce_dims = std::move(dims);
+    return emit(OpKind::ReduceMax, {a}, std::move(attrs));
+}
+
+NodeId
+GraphBuilder::reduceMin(NodeId a, std::vector<int> dims)
+{
+    NodeAttrs attrs;
+    attrs.reduce_dims = std::move(dims);
+    return emit(OpKind::ReduceMin, {a}, std::move(attrs));
+}
+
+NodeId
+GraphBuilder::reduceMean(NodeId a, std::vector<int> dims)
+{
+    NodeAttrs attrs;
+    attrs.reduce_dims = std::move(dims);
+    return emit(OpKind::ReduceMean, {a}, std::move(attrs));
+}
+
+NodeId GraphBuilder::matmul(NodeId a, NodeId b)
+{ return emit(OpKind::MatMul, {a, b}, {}); }
+NodeId GraphBuilder::batchMatmul(NodeId a, NodeId b)
+{ return emit(OpKind::BatchMatMul, {a, b}, {}); }
+NodeId GraphBuilder::conv3x3(NodeId x, NodeId w)
+{ return emit(OpKind::Conv3x3, {x, w}, {}); }
+
+NodeId
+GraphBuilder::keepDims(NodeId reduced, const Shape &original)
+{
+    auto dims = original.dims();
+    dims[dims.size() - 1] = 1;
+    return reshape(reduced, Shape(dims));
+}
+
+NodeId
+GraphBuilder::softmax(NodeId logits)
+{
+    const Shape &shape = shapeOf(logits);
+    fatalIf(shape.rank() < 1, "softmax requires rank >= 1");
+    const int last = shape.rank() - 1;
+    NodeId m = keepDims(reduceMax(logits, {last}), shape);
+    NodeId centered = sub(logits, broadcastTo(m, shape));
+    NodeId e = exp(centered);
+    NodeId s = keepDims(reduceSum(e, {last}), shape);
+    return div(e, broadcastTo(s, shape));
+}
+
+NodeId
+GraphBuilder::layerNorm(NodeId x, NodeId gamma, NodeId beta, float eps)
+{
+    const Shape &shape = shapeOf(x);
+    fatalIf(shape.rank() < 1, "layerNorm requires rank >= 1");
+    const int last = shape.rank() - 1;
+    NodeId mean = keepDims(reduceMean(x, {last}), shape);
+    NodeId centered = sub(x, broadcastTo(mean, shape));
+    NodeId sq = power(centered, 2.0);
+    NodeId var = keepDims(reduceMean(sq, {last}), shape);
+    NodeId inv = rsqrt(add(var, constantScalar(eps)));
+    NodeId normed = mul(centered, broadcastTo(inv, shape));
+    return add(mul(normed, broadcastTo(gamma, shape)),
+               broadcastTo(beta, shape));
+}
+
+NodeId
+GraphBuilder::gelu(NodeId x)
+{
+    // 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 * x^3)))
+    NodeId x3 = power(x, 3.0);
+    NodeId inner = add(x, mul(constantScalar(0.044715f), x3));
+    NodeId t = tanh(mul(constantScalar(0.7978845608f), inner));
+    NodeId one_plus = add(constantScalar(1.0f), t);
+    return mul(mul(constantScalar(0.5f), x), one_plus);
+}
+
+void
+GraphBuilder::output(NodeId id)
+{
+    graph_.markOutput(id);
+}
+
+const Shape &
+GraphBuilder::shapeOf(NodeId id) const
+{
+    return graph_.node(id).shape();
+}
+
+} // namespace astitch

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fluent construction API over Graph with automatic shape inference.
+ *
+ * This is the public entry point for users assembling models:
+ *
+ * @code
+ *   Graph g("softmax");
+ *   GraphBuilder b(g);
+ *   auto x = b.parameter({64, 30000}, "logits");
+ *   auto m = b.reduceMax(x, {1});
+ *   auto e = b.exp(b.sub(x, b.broadcastTo(m, {64, 30000})));
+ *   auto s = b.reduceSum(e, {1});
+ *   b.output(b.div(e, b.broadcastTo(s, {64, 30000})));
+ * @endcode
+ */
+#ifndef ASTITCH_GRAPH_GRAPH_BUILDER_H
+#define ASTITCH_GRAPH_GRAPH_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace astitch {
+
+/** Convenience wrapper that infers shapes and fills attributes. */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(Graph &graph, DType default_dtype = DType::F32);
+
+    Graph &graph() { return graph_; }
+
+    // --- Sources -------------------------------------------------------
+    NodeId parameter(Shape shape, std::string name = "");
+    NodeId constant(Tensor literal, std::string name = "");
+    NodeId constantScalar(float value, std::string name = "");
+
+    // --- Light element-wise ---------------------------------------------
+    NodeId add(NodeId a, NodeId b);
+    NodeId sub(NodeId a, NodeId b);
+    NodeId mul(NodeId a, NodeId b);
+    NodeId div(NodeId a, NodeId b);
+    NodeId maximum(NodeId a, NodeId b);
+    NodeId minimum(NodeId a, NodeId b);
+    NodeId neg(NodeId a);
+    NodeId abs(NodeId a);
+    NodeId compareGT(NodeId a, NodeId b);
+    NodeId select(NodeId pred, NodeId on_true, NodeId on_false);
+
+    // --- Heavy element-wise ----------------------------------------------
+    NodeId tanh(NodeId a);
+    NodeId exp(NodeId a);
+    NodeId log(NodeId a);
+    NodeId power(NodeId a, double exponent);
+    NodeId sqrt(NodeId a);
+    NodeId rsqrt(NodeId a);
+    NodeId sigmoid(NodeId a);
+    NodeId erf(NodeId a);
+
+    // --- Data movement ---------------------------------------------------
+    NodeId broadcastTo(NodeId a, Shape target);
+    NodeId reshape(NodeId a, Shape target);
+    NodeId transpose(NodeId a, std::vector<int> perm);
+    NodeId concat(std::vector<NodeId> inputs, int dim);
+    /** Rows [start, start+size) along dim 0. */
+    NodeId slice(NodeId a, std::int64_t start, std::int64_t size);
+    /** Zero-pad to @p target (per-dim >= input). */
+    NodeId pad(NodeId a, Shape target);
+    /** Embedding lookup: rows of @p table selected by @p indices. */
+    NodeId gather(NodeId table, NodeId indices);
+
+    // --- Reductions --------------------------------------------------------
+    NodeId reduceSum(NodeId a, std::vector<int> dims);
+    NodeId reduceMax(NodeId a, std::vector<int> dims);
+    NodeId reduceMin(NodeId a, std::vector<int> dims);
+    NodeId reduceMean(NodeId a, std::vector<int> dims);
+
+    // --- Compute-intensive --------------------------------------------------
+    NodeId matmul(NodeId a, NodeId b);
+    NodeId batchMatmul(NodeId a, NodeId b);
+    /** Implicit-GEMM 3x3 conv: x[rows,in] with weights [9*in,out]. */
+    NodeId conv3x3(NodeId x, NodeId w);
+
+    // --- Composites (common model fragments) --------------------------------
+    /** Numerically-stable softmax over the last dimension. */
+    NodeId softmax(NodeId logits);
+    /** Layer normalization over the last dimension (includes eps). */
+    NodeId layerNorm(NodeId x, NodeId gamma, NodeId beta,
+                     float eps = 1e-5f);
+    /** tanh-approximation GELU (the heavy chain BERT FFN uses). */
+    NodeId gelu(NodeId x);
+
+    /**
+     * Reshape a last-dim-reduced tensor back to @p original's rank with
+     * a trailing 1 (numpy keepdims), so it can broadcast against the
+     * un-reduced tensor.
+     */
+    NodeId keepDims(NodeId reduced, const Shape &original);
+
+    /** Mark a graph output. */
+    void output(NodeId id);
+
+    const Shape &shapeOf(NodeId id) const;
+
+  private:
+    NodeId emit(OpKind kind, std::vector<NodeId> operands, NodeAttrs attrs,
+                std::string name = "");
+
+    Graph &graph_;
+    DType dtype_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_GRAPH_GRAPH_BUILDER_H

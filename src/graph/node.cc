@@ -1,0 +1,21 @@
+#include "graph/node.h"
+
+#include "support/strings.h"
+
+namespace astitch {
+
+Node::Node(NodeId id, OpKind kind, std::vector<NodeId> operands,
+           NodeAttrs attrs, Shape shape, DType dtype, std::string name)
+    : id_(id), kind_(kind), operands_(std::move(operands)),
+      attrs_(std::move(attrs)), shape_(std::move(shape)), dtype_(dtype),
+      name_(std::move(name))
+{
+}
+
+std::string
+Node::toString() const
+{
+    return strCat(name_, " ", shape_.toString());
+}
+
+} // namespace astitch

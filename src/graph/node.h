@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Graph nodes: one operator application with typed attributes.
+ */
+#ifndef ASTITCH_GRAPH_NODE_H
+#define ASTITCH_GRAPH_NODE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/op_kind.h"
+#include "tensor/tensor.h"
+
+namespace astitch {
+
+/** Stable identifier of a node within its graph. */
+using NodeId = std::int32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNodeId = -1;
+
+/** Per-op attributes; only the fields relevant to the kind are used. */
+struct NodeAttrs
+{
+    /** Reduce*: dimensions to reduce. */
+    std::vector<int> reduce_dims;
+
+    /** Transpose: dimension permutation. */
+    std::vector<int> perm;
+
+    /** Power: the exponent. */
+    double exponent = 2.0;
+
+    /** Concat: concatenation axis. */
+    int concat_dim = 0;
+
+    /** Slice: first row taken (dim 0). */
+    std::int64_t slice_start = 0;
+
+    /** Slice: number of rows taken (dim 0). */
+    std::int64_t slice_size = 0;
+
+    /** Broadcast/Reshape: the target shape. */
+    Shape target_shape;
+
+    /** Constant: the literal value. */
+    Tensor literal;
+};
+
+/** One operator application. Owned by a Graph; immutable after creation. */
+class Node
+{
+  public:
+    Node(NodeId id, OpKind kind, std::vector<NodeId> operands,
+         NodeAttrs attrs, Shape shape, DType dtype, std::string name);
+
+    NodeId id() const { return id_; }
+    OpKind kind() const { return kind_; }
+    const std::vector<NodeId> &operands() const { return operands_; }
+    const NodeAttrs &attrs() const { return attrs_; }
+    const Shape &shape() const { return shape_; }
+    DType dtype() const { return dtype_; }
+    const std::string &name() const { return name_; }
+
+    /** "add.3 [2,128]" style debug string. */
+    std::string toString() const;
+
+  private:
+    NodeId id_;
+    OpKind kind_;
+    std::vector<NodeId> operands_;
+    NodeAttrs attrs_;
+    Shape shape_;
+    DType dtype_;
+    std::string name_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_GRAPH_NODE_H

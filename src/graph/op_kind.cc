@@ -1,0 +1,286 @@
+#include "graph/op_kind.h"
+
+#include "support/logging.h"
+
+namespace astitch {
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Parameter:
+        return "parameter";
+      case OpKind::Constant:
+        return "constant";
+      case OpKind::Add:
+        return "add";
+      case OpKind::Sub:
+        return "sub";
+      case OpKind::Mul:
+        return "mul";
+      case OpKind::Div:
+        return "div";
+      case OpKind::Maximum:
+        return "maximum";
+      case OpKind::Minimum:
+        return "minimum";
+      case OpKind::Neg:
+        return "neg";
+      case OpKind::Abs:
+        return "abs";
+      case OpKind::CompareGT:
+        return "compare_gt";
+      case OpKind::Select:
+        return "select";
+      case OpKind::Tanh:
+        return "tanh";
+      case OpKind::Exp:
+        return "exp";
+      case OpKind::Log:
+        return "log";
+      case OpKind::Power:
+        return "power";
+      case OpKind::Sqrt:
+        return "sqrt";
+      case OpKind::Rsqrt:
+        return "rsqrt";
+      case OpKind::Sigmoid:
+        return "sigmoid";
+      case OpKind::Erf:
+        return "erf";
+      case OpKind::Broadcast:
+        return "broadcast";
+      case OpKind::Reshape:
+        return "reshape";
+      case OpKind::Transpose:
+        return "transpose";
+      case OpKind::Concat:
+        return "concat";
+      case OpKind::Slice:
+        return "slice";
+      case OpKind::Pad:
+        return "pad";
+      case OpKind::Gather:
+        return "gather";
+      case OpKind::ReduceSum:
+        return "reduce_sum";
+      case OpKind::ReduceMax:
+        return "reduce_max";
+      case OpKind::ReduceMin:
+        return "reduce_min";
+      case OpKind::ReduceMean:
+        return "reduce_mean";
+      case OpKind::MatMul:
+        return "matmul";
+      case OpKind::BatchMatMul:
+        return "batch_matmul";
+      case OpKind::Conv3x3:
+        return "conv3x3";
+    }
+    panic("unknown op kind ", static_cast<int>(kind));
+}
+
+int
+opKindArity(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Parameter:
+      case OpKind::Constant:
+        return 0;
+      case OpKind::Neg:
+      case OpKind::Abs:
+      case OpKind::Tanh:
+      case OpKind::Exp:
+      case OpKind::Log:
+      case OpKind::Power:
+      case OpKind::Sqrt:
+      case OpKind::Rsqrt:
+      case OpKind::Sigmoid:
+      case OpKind::Erf:
+      case OpKind::Broadcast:
+      case OpKind::Reshape:
+      case OpKind::Transpose:
+      case OpKind::Slice:
+      case OpKind::Pad:
+      case OpKind::ReduceSum:
+      case OpKind::ReduceMax:
+      case OpKind::ReduceMin:
+      case OpKind::ReduceMean:
+        return 1;
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+      case OpKind::Maximum:
+      case OpKind::Minimum:
+      case OpKind::CompareGT:
+      case OpKind::Gather:
+      case OpKind::MatMul:
+      case OpKind::BatchMatMul:
+      case OpKind::Conv3x3:
+        return 2;
+      case OpKind::Select:
+        return 3;
+      case OpKind::Concat:
+        return -1;
+    }
+    panic("unknown op kind ", static_cast<int>(kind));
+}
+
+bool
+isLightElementwise(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+      case OpKind::Maximum:
+      case OpKind::Minimum:
+      case OpKind::Neg:
+      case OpKind::Abs:
+      case OpKind::CompareGT:
+      case OpKind::Select:
+      case OpKind::Broadcast:
+      case OpKind::Reshape:
+      case OpKind::Transpose:
+      case OpKind::Concat:
+      case OpKind::Slice:
+      case OpKind::Pad:
+      case OpKind::Gather:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isHeavyElementwise(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Tanh:
+      case OpKind::Exp:
+      case OpKind::Log:
+      case OpKind::Power:
+      case OpKind::Sqrt:
+      case OpKind::Rsqrt:
+      case OpKind::Sigmoid:
+      case OpKind::Erf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isElementwise(OpKind kind)
+{
+    return isLightElementwise(kind) || isHeavyElementwise(kind);
+}
+
+bool
+isReduce(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::ReduceSum:
+      case OpKind::ReduceMax:
+      case OpKind::ReduceMin:
+      case OpKind::ReduceMean:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isComputeIntensive(OpKind kind)
+{
+    return kind == OpKind::MatMul || kind == OpKind::BatchMatMul ||
+           kind == OpKind::Conv3x3;
+}
+
+bool
+isMemoryIntensive(OpKind kind)
+{
+    return isElementwise(kind) || isReduce(kind);
+}
+
+bool
+isSource(OpKind kind)
+{
+    return kind == OpKind::Parameter || kind == OpKind::Constant;
+}
+
+double
+opInstructionsPerElement(OpKind kind)
+{
+    switch (kind) {
+      // Sources cost nothing; their traffic is modelled as kernel input.
+      case OpKind::Parameter:
+      case OpKind::Constant:
+        return 0.0;
+
+      // Light ALU ops: ~1 instruction per element.
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Maximum:
+      case OpKind::Minimum:
+      case OpKind::Neg:
+      case OpKind::Abs:
+      case OpKind::CompareGT:
+        return 1.0;
+      case OpKind::Div:
+        return 4.0;
+      case OpKind::Select:
+        return 2.0;
+
+      // Pure data movement: index arithmetic only.
+      case OpKind::Broadcast:
+      case OpKind::Reshape:
+      case OpKind::Transpose:
+      case OpKind::Concat:
+      case OpKind::Slice:
+      case OpKind::Pad:
+        return 0.5;
+      // Indirect addressing: index load + bounds math per element.
+      case OpKind::Gather:
+        return 2.0;
+
+      // Heavy transcendental ops: tens of SFU/ALU cycles.
+      case OpKind::Tanh:
+        return 24.0;
+      case OpKind::Exp:
+        return 16.0;
+      case OpKind::Log:
+        return 20.0;
+      case OpKind::Power:
+        return 40.0; // exp(log(x)*p) expansion
+      case OpKind::Sqrt:
+        return 8.0;
+      case OpKind::Rsqrt:
+        return 6.0;
+      case OpKind::Sigmoid:
+        return 20.0;
+      case OpKind::Erf:
+        return 32.0;
+
+      // Cost is per *input* element accumulated into the output; the cost
+      // model multiplies by the reduction ratio where needed.
+      case OpKind::ReduceSum:
+      case OpKind::ReduceMax:
+      case OpKind::ReduceMin:
+        return 1.0;
+      case OpKind::ReduceMean:
+        return 1.0;
+
+      // Compute-intensive: priced by the library model, not here.
+      case OpKind::MatMul:
+      case OpKind::BatchMatMul:
+      case OpKind::Conv3x3:
+        return 0.0;
+    }
+    panic("unknown op kind ", static_cast<int>(kind));
+}
+
+} // namespace astitch

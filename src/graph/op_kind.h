@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Operator vocabulary and the classification the compiler reasons about.
+ *
+ * The paper's taxonomy (Sec 2.1): memory-intensive operators are
+ * *element-wise* ops (further split into light — add/sub — and heavy —
+ * tanh/power/log) plus *reduce* ops; broadcast is treated as element-wise.
+ * Compute-intensive ops (GEMM-family) partition the graph into
+ * memory-intensive subgraphs.
+ *
+ * Convolutions in the evaluated workloads are represented as im2col +
+ * MatMul, so no separate Conv kind is needed (see DESIGN.md).
+ */
+#ifndef ASTITCH_GRAPH_OP_KIND_H
+#define ASTITCH_GRAPH_OP_KIND_H
+
+#include <string>
+
+namespace astitch {
+
+/** Every operator the graph IR supports. */
+enum class OpKind {
+    // Sources.
+    Parameter,
+    Constant,
+
+    // Light element-wise (cheap ALU work).
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Maximum,
+    Minimum,
+    Neg,
+    Abs,
+    CompareGT, ///< a > b -> 1.0 / 0.0 predicate
+    Select,    ///< select(pred, on_true, on_false)
+
+    // Heavy element-wise (transcendental / many-cycle).
+    Tanh,
+    Exp,
+    Log,
+    Power, ///< x ** attr.exponent
+    Sqrt,
+    Rsqrt,
+    Sigmoid,
+    Erf,
+
+    // Data movement (treated as element-wise by the compiler).
+    Broadcast, ///< broadcast-in-dim to attr.target shape
+    Reshape,
+    Transpose, ///< permute dims by attr.perm
+    Concat,    ///< concatenate along attr.concat_dim
+    Slice,     ///< contiguous row slice [attr.slice_start, +attr.slice_size)
+    Pad,       ///< zero-pad rows to attr.target shape
+    Gather,    ///< embedding lookup: rows of operand 0 by indices (op 1)
+
+    // Reductions.
+    ReduceSum,
+    ReduceMax,
+    ReduceMin,
+    ReduceMean,
+
+    // Compute-intensive (handled by the vendor-library model, never
+    // stitched; they delimit memory-intensive subgraphs).
+    MatMul,
+    BatchMatMul,
+    Conv3x3, ///< implicit-GEMM 3x3 conv: x[rows,in] * w[9*in,out]
+};
+
+/** Printable name ("add", "reduce_sum", ...). */
+std::string opKindName(OpKind kind);
+
+/** Number of operands the op consumes (-1 for variadic Concat). */
+int opKindArity(OpKind kind);
+
+/** True for Add..Select plus data-movement ops. */
+bool isLightElementwise(OpKind kind);
+
+/** True for Tanh..Erf. */
+bool isHeavyElementwise(OpKind kind);
+
+/** Light or heavy element-wise (includes data movement, per the paper). */
+bool isElementwise(OpKind kind);
+
+/** True for the Reduce* family. */
+bool isReduce(OpKind kind);
+
+/** True for MatMul/BatchMatMul. */
+bool isComputeIntensive(OpKind kind);
+
+/** Element-wise or reduce: a candidate for fusion/stitching. */
+bool isMemoryIntensive(OpKind kind);
+
+/** True for Parameter/Constant. */
+bool isSource(OpKind kind);
+
+/**
+ * Approximate fp32 instructions issued per produced element. Heavy ops
+ * cost tens of cycles (the paper's motivation for avoiding their
+ * recomputation); used by the cost model and shared with the backends.
+ */
+double opInstructionsPerElement(OpKind kind);
+
+} // namespace astitch
+
+#endif // ASTITCH_GRAPH_OP_KIND_H

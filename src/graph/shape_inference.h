@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Output-shape inference for every OpKind.
+ */
+#ifndef ASTITCH_GRAPH_SHAPE_INFERENCE_H
+#define ASTITCH_GRAPH_SHAPE_INFERENCE_H
+
+#include <vector>
+
+#include "graph/node.h"
+
+namespace astitch {
+
+/**
+ * Infer the result shape of applying @p kind with @p attrs to operands of
+ * the given shapes. fatal()s on malformed combinations.
+ */
+Shape inferShape(OpKind kind, const std::vector<Shape> &operand_shapes,
+                 const NodeAttrs &attrs);
+
+} // namespace astitch
+
+#endif // ASTITCH_GRAPH_SHAPE_INFERENCE_H

@@ -1,0 +1,156 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.h"
+
+namespace astitch {
+
+bool
+hasPath(const Graph &graph, NodeId from, NodeId to)
+{
+    if (from == to)
+        return true;
+    std::vector<bool> visited(graph.numNodes(), false);
+    std::deque<NodeId> queue{from};
+    visited[from] = true;
+    while (!queue.empty()) {
+        const NodeId n = queue.front();
+        queue.pop_front();
+        for (NodeId u : graph.users(n)) {
+            if (u == to)
+                return true;
+            if (!visited[u]) {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<NodeId>
+reachableFrom(const Graph &graph, NodeId start)
+{
+    std::vector<bool> visited(graph.numNodes(), false);
+    std::deque<NodeId> queue{start};
+    visited[start] = true;
+    std::vector<NodeId> result;
+    while (!queue.empty()) {
+        const NodeId n = queue.front();
+        queue.pop_front();
+        for (NodeId u : graph.users(n)) {
+            if (!visited[u]) {
+                visited[u] = true;
+                result.push_back(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+std::vector<NodeId>
+ancestorsOf(const Graph &graph, NodeId start)
+{
+    std::vector<bool> visited(graph.numNodes(), false);
+    std::deque<NodeId> queue{start};
+    visited[start] = true;
+    std::vector<NodeId> result;
+    while (!queue.empty()) {
+        const NodeId n = queue.front();
+        queue.pop_front();
+        for (NodeId op : graph.node(n).operands()) {
+            if (!visited[op]) {
+                visited[op] = true;
+                result.push_back(op);
+                queue.push_back(op);
+            }
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+bool
+mergeWouldCreateCycle(const Graph &graph, const std::vector<NodeId> &a,
+                      const std::vector<NodeId> &b)
+{
+    // The merged cluster is cyclic iff an external path connects the two
+    // sets in both directions, or an external path leaves and re-enters
+    // the same set through the other. Equivalently: some node of one set
+    // reaches a node of the other set through at least one node outside
+    // both sets.
+    std::vector<char> membership(graph.numNodes(), 0);
+    for (NodeId n : a)
+        membership[n] = 1;
+    for (NodeId n : b)
+        membership[n] = 2;
+
+    // BFS from every boundary user that is outside the merged set; if any
+    // such external region feeds back into the merged set while also being
+    // fed by it, merging creates a cycle.
+    std::vector<bool> reaches_merged(graph.numNodes(), false);
+    // Compute, for every node, whether it can reach the merged set,
+    // walking in reverse topological order (operands before users means
+    // we iterate ids descending since creation order is topological).
+    for (NodeId n = graph.numNodes() - 1; n >= 0; --n) {
+        if (membership[n])
+            continue;
+        for (NodeId u : graph.users(n)) {
+            if (membership[u] || reaches_merged[u]) {
+                reaches_merged[n] = true;
+                break;
+            }
+        }
+    }
+    // A cycle exists iff some member's external user reaches the merged
+    // set again.
+    for (NodeId n = 0; n < graph.numNodes(); ++n) {
+        if (!membership[n])
+            continue;
+        for (NodeId u : graph.users(n)) {
+            if (!membership[u] && reaches_merged[u])
+                return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::vector<NodeId>>
+connectedComponents(const Graph &graph, const std::vector<bool> &in_scope)
+{
+    panicIf(static_cast<int>(in_scope.size()) != graph.numNodes(),
+            "in_scope size mismatch");
+    std::vector<int> component(graph.numNodes(), -1);
+    std::vector<std::vector<NodeId>> components;
+    for (NodeId seed = 0; seed < graph.numNodes(); ++seed) {
+        if (!in_scope[seed] || component[seed] >= 0)
+            continue;
+        const int cid = static_cast<int>(components.size());
+        components.emplace_back();
+        std::deque<NodeId> queue{seed};
+        component[seed] = cid;
+        while (!queue.empty()) {
+            const NodeId n = queue.front();
+            queue.pop_front();
+            components[cid].push_back(n);
+            auto visit = [&](NodeId m) {
+                if (m >= 0 && in_scope[m] && component[m] < 0) {
+                    component[m] = cid;
+                    queue.push_back(m);
+                }
+            };
+            for (NodeId op : graph.node(n).operands())
+                visit(op);
+            for (NodeId u : graph.users(n))
+                visit(u);
+        }
+        std::sort(components[cid].begin(), components[cid].end());
+    }
+    return components;
+}
+
+} // namespace astitch

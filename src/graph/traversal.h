@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Graph traversal utilities: reachability, ancestors, connected regions.
+ *
+ * These primitives back the compiler's stitch-scope identification
+ * (Sec 4.1): BFS clustering of memory-intensive subgraphs and the cyclic-
+ * dependence guard that remote stitching must respect.
+ */
+#ifndef ASTITCH_GRAPH_TRAVERSAL_H
+#define ASTITCH_GRAPH_TRAVERSAL_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace astitch {
+
+/** True if there is a directed path @p from -> ... -> @p to. */
+bool hasPath(const Graph &graph, NodeId from, NodeId to);
+
+/** All nodes reachable (downstream) from @p start, excluding start. */
+std::vector<NodeId> reachableFrom(const Graph &graph, NodeId start);
+
+/** All ancestors (transitive operands) of @p start, excluding start. */
+std::vector<NodeId> ancestorsOf(const Graph &graph, NodeId start);
+
+/**
+ * True if merging node sets @p a and @p b into one cluster would create a
+ * cyclic dependence: i.e. some path leaves one set, passes through an
+ * external node, and re-enters the other set.
+ */
+bool mergeWouldCreateCycle(const Graph &graph,
+                           const std::vector<NodeId> &a,
+                           const std::vector<NodeId> &b);
+
+/**
+ * Undirected connected components restricted to nodes where
+ * @p in_scope[id] is true. Edges are operand/user links whose both
+ * endpoints are in scope. Returns one sorted vector per component.
+ */
+std::vector<std::vector<NodeId>>
+connectedComponents(const Graph &graph, const std::vector<bool> &in_scope);
+
+} // namespace astitch
+
+#endif // ASTITCH_GRAPH_TRAVERSAL_H

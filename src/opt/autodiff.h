@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reverse-mode automatic differentiation over the graph IR.
+ *
+ * The paper evaluates *training* iterations (Fig. 11-(b)); their
+ * backward passes come from TensorFlow's autodiff. This module supplies
+ * that substrate: given a scalar loss node, emit the gradient subgraph
+ * for any requested inputs using per-op vector-Jacobian rules built from
+ * the existing op vocabulary, so the resulting backward graph is itself
+ * compileable by every backend.
+ *
+ * Notes on specific rules:
+ *  - broadcasting binaries reduce their gradients back over the
+ *    broadcast dimensions;
+ *  - ReduceMax/Min use the tie-splitting subgradient (an equality mask);
+ *  - Gather tables are non-differentiable here (embedding scatter-add is
+ *    outside the op set): requesting their gradient is a fatal error;
+ *  - CompareGT/Select predicates get zero gradient, as usual.
+ */
+#ifndef ASTITCH_OPT_AUTODIFF_H
+#define ASTITCH_OPT_AUTODIFF_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace astitch {
+
+/**
+ * Append gradient computations for d(@p loss)/d(@p wrt[i]) to the graph
+ * behind @p b. @p loss must be scalar-shaped. Returns one gradient node
+ * per requested input, shape-matching it. fatal()s on non-differentiable
+ * requests.
+ */
+std::vector<NodeId> buildGradients(GraphBuilder &b, NodeId loss,
+                                   const std::vector<NodeId> &wrt);
+
+/** Convenience: gradients for every Parameter the loss depends on. */
+std::unordered_map<NodeId, NodeId>
+buildParameterGradients(GraphBuilder &b, NodeId loss);
+
+} // namespace astitch
+
+#endif // ASTITCH_OPT_AUTODIFF_H

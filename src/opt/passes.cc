@@ -1,0 +1,393 @@
+#include "opt/passes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "compiler/evaluator.h"
+#include "opt/rewriter.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+OptPass::~OptPass() = default;
+
+// ---------------------------------------------------------------------
+// Dead-code elimination
+// ---------------------------------------------------------------------
+
+int
+DeadCodeElimination::run(const Graph &graph, Graph &out)
+{
+    std::vector<bool> live(graph.numNodes(), false);
+    std::deque<NodeId> queue;
+    for (NodeId o : graph.outputs()) {
+        live[o] = true;
+        queue.push_back(o);
+    }
+    while (!queue.empty()) {
+        const NodeId n = queue.front();
+        queue.pop_front();
+        for (NodeId op : graph.node(n).operands()) {
+            if (!live[op]) {
+                live[op] = true;
+                queue.push_back(op);
+            }
+        }
+    }
+    // Parameters are part of the graph signature: keep them even when
+    // unused so feed binding stays stable.
+    int removed = 0;
+    GraphRewriter rewriter(graph);
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        if (!live[id] && graph.node(id).kind() != OpKind::Parameter) {
+            rewriter.drop(id);
+            ++removed;
+        }
+    }
+    rewriter.build(out);
+    return removed;
+}
+
+// ---------------------------------------------------------------------
+// Common-subexpression elimination
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Structural key of a node (kind, operands, attrs, shape). */
+std::string
+structuralKey(const Node &node)
+{
+    std::ostringstream oss;
+    oss << static_cast<int>(node.kind());
+    for (NodeId op : node.operands())
+        oss << ',' << op;
+    oss << ';' << node.shape().toString();
+    const NodeAttrs &a = node.attrs();
+    oss << ';' << strJoin(a.reduce_dims, ",") << ';'
+        << strJoin(a.perm, ",") << ';' << a.exponent << ';'
+        << a.concat_dim << ';' << a.slice_start << ';' << a.slice_size
+        << ';' << a.target_shape.toString();
+    if (node.kind() == OpKind::Constant) {
+        oss << ";lit:" << a.literal.shape().toString();
+        // Hash the literal contents (small constants dominate).
+        std::uint64_t h = 1469598103934665603ULL;
+        for (float v : a.literal.data()) {
+            std::uint32_t bits;
+            std::memcpy(&bits, &v, sizeof(bits));
+            h = (h ^ bits) * 1099511628211ULL;
+        }
+        oss << ':' << h;
+    }
+    return oss.str();
+}
+
+} // namespace
+
+int
+CommonSubexpressionElimination::run(const Graph &graph, Graph &out)
+{
+    GraphRewriter rewriter(graph);
+    // representative[key] = first node with that structure, where keys
+    // are computed against *resolved* operands so chains collapse in one
+    // sweep.
+    std::map<std::string, NodeId> representative;
+    std::vector<NodeId> resolved(graph.numNodes());
+    int merged = 0;
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &node = graph.node(id);
+        resolved[id] = id;
+        if (node.kind() == OpKind::Parameter)
+            continue; // parameters are distinct by definition
+        if (graph.isOutput(id)) {
+            // Outputs must survive individually so the graph's result
+            // arity and order stay stable; they may still act as
+            // representatives for non-output duplicates.
+            std::vector<NodeId> ops;
+            ops.reserve(node.operands().size());
+            for (NodeId op : node.operands())
+                ops.push_back(resolved[op]);
+            Node probe(id, node.kind(), ops, node.attrs(), node.shape(),
+                       node.dtype(), "");
+            representative.emplace(structuralKey(probe), id);
+            continue;
+        }
+        // Build the key over resolved operand ids.
+        std::vector<NodeId> ops;
+        ops.reserve(node.operands().size());
+        for (NodeId op : node.operands())
+            ops.push_back(resolved[op]);
+        Node probe(id, node.kind(), ops, node.attrs(), node.shape(),
+                   node.dtype(), "");
+        const std::string key = structuralKey(probe);
+        const auto [it, inserted] = representative.emplace(key, id);
+        if (!inserted) {
+            resolved[id] = it->second;
+            rewriter.replaceWith(id, it->second);
+            ++merged;
+        }
+    }
+    rewriter.build(out);
+    return merged;
+}
+
+// ---------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------
+
+int
+ConstantFolding::run(const Graph &graph, Graph &out)
+{
+    // folded[id] holds the computed literal for constant subtrees.
+    std::unordered_map<NodeId, Tensor> folded;
+    int changes = 0;
+
+    // First sweep: decide what folds; values are computed bottom-up.
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &node = graph.node(id);
+        if (node.kind() == OpKind::Constant) {
+            folded.emplace(id, node.attrs().literal);
+            continue;
+        }
+        if (isSource(node.kind()) || isComputeIntensive(node.kind()))
+            continue;
+        if (node.shape().numElements() > max_elements_)
+            continue;
+        bool all_constant = !node.operands().empty();
+        for (NodeId op : node.operands())
+            all_constant &= folded.count(op) > 0;
+        if (!all_constant)
+            continue;
+        std::vector<Tensor> operands;
+        for (NodeId op : node.operands())
+            operands.push_back(folded.at(op));
+        folded.emplace(id, Evaluator::evalNode(node, operands));
+    }
+
+    // Second sweep: rewrite. A folded node whose value is still used by
+    // an unfolded consumer becomes a fresh Constant.
+    std::unordered_map<NodeId, NodeId> constant_for;
+    Graph result(graph.name());
+    // We must interleave constant creation with cloning, so do it
+    // manually instead of via GraphRewriter.
+    std::unordered_map<NodeId, NodeId> mapping;
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &node = graph.node(id);
+        const auto f = folded.find(id);
+        if (f != folded.end() && node.kind() != OpKind::Constant) {
+            // Materialize only if some non-folded node or an output
+            // needs it.
+            bool needed = graph.isOutput(id);
+            for (NodeId u : graph.users(id))
+                needed |= !folded.count(u);
+            if (!needed)
+                continue;
+            NodeAttrs attrs;
+            attrs.literal = f->second;
+            mapping[id] = result.addNode(OpKind::Constant, {},
+                                         std::move(attrs), node.shape(),
+                                         node.dtype(),
+                                         strCat("folded.", id));
+            ++changes;
+            continue;
+        }
+        if (f != folded.end() && node.kind() == OpKind::Constant) {
+            // Original constants: keep only when still referenced.
+            bool needed = graph.isOutput(id);
+            for (NodeId u : graph.users(id))
+                needed |= !folded.count(u);
+            if (!needed && !graph.users(id).empty()) {
+                ++changes;
+                continue;
+            }
+        }
+        std::vector<NodeId> operands;
+        for (NodeId op : node.operands()) {
+            const auto found = mapping.find(op);
+            panicIf(found == mapping.end(),
+                    "constant folding lost operand ", op);
+            operands.push_back(found->second);
+        }
+        mapping[id] = result.addNode(node.kind(), std::move(operands),
+                                     node.attrs(), node.shape(),
+                                     node.dtype(), node.name());
+    }
+    for (NodeId o : graph.outputs()) {
+        const auto found = mapping.find(o);
+        panicIf(found == mapping.end(), "output ", o, " lost in folding");
+        result.markOutput(found->second);
+    }
+    out = std::move(result);
+    return changes;
+}
+
+// ---------------------------------------------------------------------
+// Algebraic simplification
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Is @p id a Constant with every element equal to @p value? */
+bool
+isSplatConstant(const Graph &graph, NodeId id, float value)
+{
+    const Node &node = graph.node(id);
+    if (node.kind() != OpKind::Constant)
+        return false;
+    for (float v : node.attrs().literal.data()) {
+        if (v != value)
+            return false;
+    }
+    return node.attrs().literal.numElements() > 0;
+}
+
+} // namespace
+
+int
+AlgebraicSimplification::run(const Graph &graph, Graph &out)
+{
+    GraphRewriter rewriter(graph);
+    int changes = 0;
+    // Track replacements locally so chained rules see through them.
+    std::vector<NodeId> resolved(graph.numNodes());
+
+    auto replace = [&](NodeId id, NodeId with) {
+        // Only legal when shapes agree (identities must not change the
+        // result shape), and never on outputs (result arity is part of
+        // the graph signature).
+        if (graph.isOutput(id) ||
+            graph.node(id).shape() != graph.node(with).shape()) {
+            return false;
+        }
+        resolved[id] = resolved[with];
+        rewriter.replaceWith(id, resolved[with]);
+        ++changes;
+        return true;
+    };
+
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        resolved[id] = id;
+        const Node &node = graph.node(id);
+        const auto &ops = node.operands();
+        switch (node.kind()) {
+          case OpKind::Add:
+            if (isSplatConstant(graph, ops[1], 0.0f) &&
+                replace(id, ops[0])) {
+                continue;
+            }
+            if (isSplatConstant(graph, ops[0], 0.0f))
+                replace(id, ops[1]);
+            break;
+          case OpKind::Sub:
+            if (isSplatConstant(graph, ops[1], 0.0f))
+                replace(id, ops[0]);
+            break;
+          case OpKind::Mul:
+            if (isSplatConstant(graph, ops[1], 1.0f) &&
+                replace(id, ops[0])) {
+                continue;
+            }
+            if (isSplatConstant(graph, ops[0], 1.0f))
+                replace(id, ops[1]);
+            break;
+          case OpKind::Div:
+            if (isSplatConstant(graph, ops[1], 1.0f))
+                replace(id, ops[0]);
+            break;
+          case OpKind::Neg: {
+              const Node &operand = graph.node(ops[0]);
+              if (operand.kind() == OpKind::Neg)
+                  replace(id, operand.operands()[0]);
+              break;
+          }
+          case OpKind::Power:
+            if (node.attrs().exponent == 1.0)
+                replace(id, ops[0]);
+            break;
+          case OpKind::Reshape: {
+              const Node &operand = graph.node(ops[0]);
+              if (node.shape() == operand.shape()) {
+                  replace(id, ops[0]);
+              } else if (operand.kind() == OpKind::Reshape) {
+                  // reshape(reshape(x)) -> reshape(x): rebuild below by
+                  // replacing the inner hop. GraphRewriter cannot change
+                  // operands in place, so emit nothing here; CSE+DCE
+                  // handle the chain once the outer reshape reads
+                  // through. Skipped intentionally.
+              }
+              break;
+          }
+          case OpKind::Broadcast:
+            if (node.shape() == graph.node(ops[0]).shape())
+                replace(id, ops[0]);
+            break;
+          case OpKind::Transpose: {
+              bool identity = true;
+              for (std::size_t i = 0; i < node.attrs().perm.size(); ++i)
+                  identity &= node.attrs().perm[i] == static_cast<int>(i);
+              if (identity)
+                  replace(id, ops[0]);
+              break;
+          }
+          default:
+            break;
+        }
+    }
+    rewriter.build(out);
+    return changes;
+}
+
+// ---------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------
+
+PassPipeline
+PassPipeline::standard()
+{
+    PassPipeline pipeline;
+    pipeline.addPass(std::make_unique<AlgebraicSimplification>());
+    pipeline.addPass(std::make_unique<ConstantFolding>());
+    pipeline.addPass(std::make_unique<CommonSubexpressionElimination>());
+    pipeline.addPass(std::make_unique<DeadCodeElimination>());
+    return pipeline;
+}
+
+void
+PassPipeline::addPass(std::unique_ptr<OptPass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+Graph
+PassPipeline::run(const Graph &graph, int max_iterations)
+{
+    statistics_.clear();
+    Graph current("pipeline_tmp");
+    {
+        // Start from a clone so `graph` is never aliased.
+        GraphRewriter rewriter(graph);
+        Graph clone(graph.name());
+        rewriter.build(clone);
+        current = std::move(clone);
+    }
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        int total_changes = 0;
+        for (auto &pass : passes_) {
+            Graph next(current.name());
+            const int changes = pass->run(current, next);
+            statistics_.push_back(PassStatistics{pass->name(), changes});
+            total_changes += changes;
+            current = std::move(next);
+        }
+        if (total_changes == 0)
+            break;
+    }
+    return current;
+}
+
+} // namespace astitch

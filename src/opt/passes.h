@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Standard graph optimization passes.
+ *
+ * AStitch "retains all the optimizations of XLA except fusion strategies
+ * and code generation passes" (Sec 5). This module supplies that
+ * substrate: dead-code elimination, common-subexpression elimination,
+ * constant folding and algebraic simplification, composed by a pipeline
+ * that the Session runs before clustering.
+ */
+#ifndef ASTITCH_OPT_PASSES_H
+#define ASTITCH_OPT_PASSES_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace astitch {
+
+/** A graph-to-graph transformation. */
+class OptPass
+{
+  public:
+    virtual ~OptPass();
+
+    /** Display name for pass statistics. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Rewrite @p graph into a fresh graph. Returns the number of nodes
+     * changed/eliminated (0 = no-op, in which case @p out may simply be
+     * a clone).
+     */
+    virtual int run(const Graph &graph, Graph &out) = 0;
+};
+
+/** Remove nodes that no output (transitively) depends on. */
+class DeadCodeElimination : public OptPass
+{
+  public:
+    std::string name() const override { return "dce"; }
+    int run(const Graph &graph, Graph &out) override;
+};
+
+/** Merge structurally identical nodes (same kind, operands, attrs). */
+class CommonSubexpressionElimination : public OptPass
+{
+  public:
+    std::string name() const override { return "cse"; }
+    int run(const Graph &graph, Graph &out) override;
+};
+
+/** Evaluate nodes whose operands are all constants. */
+class ConstantFolding : public OptPass
+{
+  public:
+    /** @param max_elements fold only results up to this many elements. */
+    explicit ConstantFolding(std::int64_t max_elements = 65536)
+        : max_elements_(max_elements)
+    {
+    }
+
+    std::string name() const override { return "constant-folding"; }
+    int run(const Graph &graph, Graph &out) override;
+
+  private:
+    std::int64_t max_elements_;
+};
+
+/**
+ * Local algebraic identities: x+0, x*1, x*0, x-0, x/1, neg(neg x),
+ * power(x,1), reshape-to-same-shape, broadcast-to-same-shape,
+ * reshape(reshape(x)).
+ */
+class AlgebraicSimplification : public OptPass
+{
+  public:
+    std::string name() const override { return "algebraic-simplify"; }
+    int run(const Graph &graph, Graph &out) override;
+};
+
+/** Per-pass change count from a pipeline run. */
+struct PassStatistics
+{
+    std::string pass_name;
+    int changes = 0;
+};
+
+/** Runs a pass list to fixpoint (bounded iterations). */
+class PassPipeline
+{
+  public:
+    /** The standard pre-clustering pipeline. */
+    static PassPipeline standard();
+
+    void addPass(std::unique_ptr<OptPass> pass);
+
+    /**
+     * Run all passes repeatedly until a full sweep makes no change (or
+     * @p max_iterations sweeps). Returns the optimized graph.
+     */
+    Graph run(const Graph &graph, int max_iterations = 4);
+
+    const std::vector<PassStatistics> &statistics() const
+    {
+        return statistics_;
+    }
+
+  private:
+    std::vector<std::unique_ptr<OptPass>> passes_;
+    std::vector<PassStatistics> statistics_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_OPT_PASSES_H

@@ -1,0 +1,72 @@
+#include "opt/rewriter.h"
+
+#include "support/logging.h"
+
+namespace astitch {
+
+GraphRewriter::GraphRewriter(const Graph &source)
+    : source_(source), dropped_(source.numNodes(), false)
+{
+}
+
+void
+GraphRewriter::replaceWith(NodeId old_id, NodeId replacement)
+{
+    panicIf(old_id == replacement, "self-replacement of node ", old_id);
+    replacements_[old_id] = replacement;
+}
+
+void
+GraphRewriter::drop(NodeId old_id)
+{
+    dropped_[old_id] = true;
+}
+
+NodeId
+GraphRewriter::resolve(NodeId id) const
+{
+    int hops = 0;
+    auto it = replacements_.find(id);
+    while (it != replacements_.end()) {
+        id = it->second;
+        it = replacements_.find(id);
+        panicIf(++hops > source_.numNodes(),
+                "replacement cycle at node ", id);
+    }
+    return id;
+}
+
+std::unordered_map<NodeId, NodeId>
+GraphRewriter::build(Graph &target)
+{
+    std::unordered_map<NodeId, NodeId> mapping;
+    for (NodeId id = 0; id < source_.numNodes(); ++id) {
+        if (dropped_[id] || replacements_.count(id))
+            continue;
+        const Node &node = source_.node(id);
+        std::vector<NodeId> operands;
+        operands.reserve(node.operands().size());
+        for (NodeId op : node.operands()) {
+            const NodeId rep = resolve(op);
+            const auto found = mapping.find(rep);
+            panicIf(found == mapping.end(),
+                    "operand ", op, " of node ", id,
+                    " resolved to ", rep, " which was not cloned");
+            operands.push_back(found->second);
+        }
+        mapping[id] = target.addNode(node.kind(), std::move(operands),
+                                     node.attrs(), node.shape(),
+                                     node.dtype(), node.name());
+    }
+    for (NodeId out : source_.outputs()) {
+        const NodeId rep = resolve(out);
+        const auto found = mapping.find(rep);
+        fatalIf(found == mapping.end(),
+                "graph output ", out, " was eliminated with no "
+                "surviving replacement");
+        target.markOutput(found->second);
+    }
+    return mapping;
+}
+
+} // namespace astitch

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Graph rewriting support.
+ *
+ * Graphs are immutable after construction, so optimization passes build a
+ * new graph, cloning nodes with operand substitutions. The rewriter keeps
+ * the old-id -> new-id mapping so passes can redirect uses and preserve
+ * output markings.
+ */
+#ifndef ASTITCH_OPT_REWRITER_H
+#define ASTITCH_OPT_REWRITER_H
+
+#include <unordered_map>
+
+#include "graph/graph.h"
+
+namespace astitch {
+
+/** Clones a graph node-by-node with substitutions. */
+class GraphRewriter
+{
+  public:
+    explicit GraphRewriter(const Graph &source);
+
+    /**
+     * Record that uses of @p old_id should read @p replacement instead,
+     * where @p replacement is an id in the *source* graph that has
+     * already been (or will be) cloned. Typical use: CSE mapping a
+     * duplicate onto its representative.
+     */
+    void replaceWith(NodeId old_id, NodeId replacement);
+
+    /** Record that @p old_id should not be cloned (dead code). */
+    void drop(NodeId old_id);
+
+    /**
+     * Clone every non-dropped node into @p target, applying
+     * substitutions, and re-mark outputs. Returns the old->new mapping.
+     * A dropped or replaced node must not be a graph output unless its
+     * replacement survives.
+     */
+    std::unordered_map<NodeId, NodeId> build(Graph &target);
+
+  private:
+    /** Follow replacement chains to the final representative. */
+    NodeId resolve(NodeId id) const;
+
+    const Graph &source_;
+    std::unordered_map<NodeId, NodeId> replacements_;
+    std::vector<bool> dropped_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_OPT_REWRITER_H

@@ -1,0 +1,64 @@
+#include "runtime/dynamic_session.h"
+
+#include "support/logging.h"
+
+namespace astitch {
+
+namespace {
+
+std::int64_t
+nextPowerOfTwo(std::int64_t v)
+{
+    std::int64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+DynamicSession::DynamicSession(GraphTemplate graph_template,
+                               BackendFactory backend,
+                               DynamicSessionOptions options)
+    : template_(std::move(graph_template)), backend_(std::move(backend)),
+      options_(std::move(options))
+{
+    fatalIf(!template_, "dynamic session requires a graph template");
+    fatalIf(!backend_, "dynamic session requires a backend factory");
+}
+
+std::vector<std::int64_t>
+DynamicSession::bucketFor(const std::vector<std::int64_t> &dims) const
+{
+    if (!options_.bucket_to_power_of_two)
+        return dims;
+    std::vector<std::int64_t> rounded;
+    rounded.reserve(dims.size());
+    for (std::int64_t d : dims)
+        rounded.push_back(nextPowerOfTwo(std::max<std::int64_t>(1, d)));
+    return rounded;
+}
+
+DynamicSession::Bucket &
+DynamicSession::bucket(const std::vector<std::int64_t> &dims)
+{
+    const auto key = bucketFor(dims);
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) {
+        Bucket b;
+        b.graph = std::make_unique<Graph>(template_(key));
+        b.session = std::make_unique<Session>(*b.graph, backend_(),
+                                              options_.session);
+        b.session->compile();
+        it = buckets_.emplace(key, std::move(b)).first;
+    }
+    return it->second;
+}
+
+RunReport
+DynamicSession::profile(const std::vector<std::int64_t> &dims)
+{
+    return bucket(dims).session->profile();
+}
+
+} // namespace astitch

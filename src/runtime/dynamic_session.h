@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Dynamic-shape execution via shape bucketing.
+ *
+ * Production workloads change tensor shapes between requests (variable
+ * batch and sequence lengths) — the motivation behind the authors'
+ * follow-on dynamic-shape compiler (DISC/BladeDISC, reference [59]).
+ * This session compiles a model *template* per concrete shape signature,
+ * reusing compilations through a per-instance bucket cache; optional
+ * power-of-two bucketing bounds the number of compilations at the cost
+ * of padding.
+ */
+#ifndef ASTITCH_RUNTIME_DYNAMIC_SESSION_H
+#define ASTITCH_RUNTIME_DYNAMIC_SESSION_H
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "runtime/session.h"
+
+namespace astitch {
+
+/** Builds the model graph for one concrete binding of dynamic dims. */
+using GraphTemplate =
+    std::function<Graph(const std::vector<std::int64_t> &dims)>;
+
+/** Creates a fresh backend instance per compiled bucket. */
+using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+/** Options for dynamic execution. */
+struct DynamicSessionOptions
+{
+    SessionOptions session;
+
+    /**
+     * Round each dynamic dim up to the next power of two before
+     * compiling, so nearby shapes share one compilation (classic
+     * bucketing). The padded graph does at most 2x the work.
+     */
+    bool bucket_to_power_of_two = false;
+};
+
+/** Compile-per-shape-signature session with a bucket cache. */
+class DynamicSession
+{
+  public:
+    DynamicSession(GraphTemplate graph_template, BackendFactory backend,
+                   DynamicSessionOptions options = {});
+
+    /** Profile the model at a concrete shape binding. */
+    RunReport profile(const std::vector<std::int64_t> &dims);
+
+    /** Number of distinct compilations performed so far. */
+    int numCompiledBuckets() const
+    {
+        return static_cast<int>(buckets_.size());
+    }
+
+    /** The bucket key @p dims resolves to (after optional rounding). */
+    std::vector<std::int64_t>
+    bucketFor(const std::vector<std::int64_t> &dims) const;
+
+  private:
+    struct Bucket
+    {
+        std::unique_ptr<Graph> graph;
+        std::unique_ptr<Session> session;
+    };
+
+    Bucket &bucket(const std::vector<std::int64_t> &dims);
+
+    GraphTemplate template_;
+    BackendFactory backend_;
+    DynamicSessionOptions options_;
+    std::map<std::vector<std::int64_t>, Bucket> buckets_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_RUNTIME_DYNAMIC_SESSION_H

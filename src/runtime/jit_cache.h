@@ -1,0 +1,79 @@
+/**
+ * @file
+ * JIT compilation cache.
+ *
+ * The paper's optimization overhead "is introduced only once for all
+ * following iterations of training/inference" (Sec 6.4.1). Within one
+ * Session that is a member cache; across sessions — ML practitioners
+ * re-run the same model structure constantly — this LRU cache keyed by
+ * (graph fingerprint, backend, device) shares the compiled stitch ops.
+ */
+#ifndef ASTITCH_RUNTIME_JIT_CACHE_H
+#define ASTITCH_RUNTIME_JIT_CACHE_H
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "compiler/clustering.h"
+#include "compiler/kernel_plan.h"
+#include "sim/gpu_spec.h"
+
+namespace astitch {
+
+/** Structural fingerprint of a graph (kinds, edges, attrs, shapes). */
+std::uint64_t graphFingerprint(const Graph &graph);
+
+/** One cached compilation. */
+struct JitCacheEntry
+{
+    std::vector<Cluster> clusters;
+    std::vector<CompiledCluster> compiled;
+};
+
+/** Thread-safe LRU cache of compiled graphs. */
+class JitCache
+{
+  public:
+    explicit JitCache(std::size_t capacity = 64);
+
+    /** Cache key for a (graph, backend, device) triple. */
+    static std::string makeKey(const Graph &graph,
+                               const std::string &backend_name,
+                               const GpuSpec &spec);
+
+    /** nullptr on miss; bumps the entry on hit. */
+    std::shared_ptr<const JitCacheEntry>
+    lookup(const std::string &key);
+
+    /** Insert (or refresh) an entry, evicting the least recently used. */
+    void insert(const std::string &key, JitCacheEntry entry);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    std::int64_t hits() const { return hits_; }
+    std::int64_t misses() const { return misses_; }
+
+    void clear();
+
+    /** Process-wide cache instance. */
+    static JitCache &global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+
+    /** MRU-first list of (key, entry). */
+    std::list<std::pair<std::string,
+                        std::shared_ptr<const JitCacheEntry>>>
+        lru_;
+    std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_RUNTIME_JIT_CACHE_H

@@ -1,0 +1,30 @@
+#include "runtime/run_report.h"
+
+#include "support/strings.h"
+
+namespace astitch {
+
+int
+RunReport::memKernelCount() const
+{
+    return counters.kernelCount(KernelCategory::MemoryIntensive);
+}
+
+int
+RunReport::cpyCount() const
+{
+    return counters.kernelCount(KernelCategory::Memcpy);
+}
+
+std::string
+RunReport::summary() const
+{
+    return strCat(backend_name, ": ", strFixed(end_to_end_us / 1000.0, 3),
+                  " ms, ", memKernelCount(), " mem kernels, ",
+                  counters.kernelCount(KernelCategory::ComputeIntensive),
+                  " compute kernels, ", cpyCount(), " memcpys, mem=",
+                  strFixed(breakdown.mem_us / 1000.0, 3), " ms, overhead=",
+                  strFixed(breakdown.overhead_us / 1000.0, 3), " ms");
+}
+
+} // namespace astitch

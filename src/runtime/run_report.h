@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Results of one simulated model execution.
+ */
+#ifndef ASTITCH_RUNTIME_RUN_REPORT_H
+#define ASTITCH_RUNTIME_RUN_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "sim/perf_counters.h"
+#include "sim/timeline.h"
+#include "tensor/tensor.h"
+
+namespace astitch {
+
+/** Everything a run produces: outputs, counters, breakdown, timings. */
+struct RunReport
+{
+    std::string backend_name;
+
+    /** Per-kernel records of the whole execution. */
+    PerfCounters counters;
+
+    /** MEM / compute / OVERHEAD split (Fig. 13). */
+    TimelineBreakdown breakdown;
+
+    /** Simulated end-to-end latency (us). */
+    double end_to_end_us = 0.0;
+
+    /** Wall-clock JIT compilation time (ms), measured, not simulated. */
+    double compile_ms = 0.0;
+
+    /** Graph output tensors (empty for profile-only runs). */
+    std::vector<Tensor> outputs;
+
+    /** Memory-intensive clusters after (optional) remote stitching. */
+    int num_clusters = 0;
+
+    /** Kernel count of memory-intensive ops (Table 3 "MEM"). */
+    int memKernelCount() const;
+
+    /** cudaMemcpy/Memset activity count (Table 3 "CPY"). */
+    int cpyCount() const;
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_RUNTIME_RUN_REPORT_H

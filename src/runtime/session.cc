@@ -1,0 +1,296 @@
+#include "runtime/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+
+#include "compiler/clustering.h"
+#include "compiler/plan_executor.h"
+#include "compiler/plan_validator.h"
+#include "opt/passes.h"
+#include "runtime/jit_cache.h"
+#include "sim/kernel_sim.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+Session::Session(const Graph &graph, std::unique_ptr<Backend> backend,
+                 SessionOptions options)
+    : graph_(graph), backend_(std::move(backend)), options_(options)
+{
+    fatalIf(!backend_, "session requires a backend");
+}
+
+Session::~Session() = default;
+
+double
+Session::compile()
+{
+    if (compiled_valid_)
+        return compile_ms_;
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    if (options_.enable_optimizer && !optimized_) {
+        PassPipeline pipeline = PassPipeline::standard();
+        optimized_ = std::make_unique<Graph>(pipeline.run(graph_));
+    }
+    const Graph &graph = activeGraph();
+
+    std::string cache_key;
+    bool cache_hit = false;
+    if (options_.use_jit_cache) {
+        cache_key = JitCache::makeKey(graph, backend_->name(),
+                                      options_.spec);
+        if (auto entry = JitCache::global().lookup(cache_key)) {
+            clusters_ = entry->clusters;
+            compiled_ = entry->compiled;
+            cache_hit = true;
+        }
+    }
+    if (!cache_hit) {
+        clusters_ = findMemoryIntensiveClusters(graph);
+        if (backend_->wantsRemoteStitching()) {
+            clusters_ = remoteStitch(graph, std::move(clusters_),
+                                     options_.max_cluster_nodes);
+        }
+        compiled_.clear();
+        compiled_.reserve(clusters_.size());
+        for (const Cluster &cluster : clusters_) {
+            compiled_.push_back(
+                backend_->compileCluster(graph, cluster, options_.spec));
+            if (options_.validate_plans) {
+                checkCompiledCluster(graph, cluster, compiled_.back(),
+                                     options_.spec);
+            }
+        }
+        if (options_.use_jit_cache) {
+            JitCache::global().insert(cache_key,
+                                      JitCacheEntry{clusters_, compiled_});
+        }
+    }
+
+    // ---- Unit scheduling: clusters + compute-intensive nodes. ----
+    // unit encoding: [0, C) are clusters; C + i enumerates the i-th
+    // compute-intensive node.
+    const int num_clusters = static_cast<int>(clusters_.size());
+    std::vector<NodeId> compute_nodes;
+    std::vector<int> unit_of_node(graph.numNodes(), -1);
+    for (int c = 0; c < num_clusters; ++c) {
+        for (NodeId n : clusters_[c].nodes)
+            unit_of_node[n] = c;
+    }
+    for (NodeId n = 0; n < graph.numNodes(); ++n) {
+        if (isComputeIntensive(graph.node(n).kind())) {
+            unit_of_node[n] =
+                num_clusters + static_cast<int>(compute_nodes.size());
+            compute_nodes.push_back(n);
+        }
+    }
+    const int num_units =
+        num_clusters + static_cast<int>(compute_nodes.size());
+
+    // Kahn topological sort over the unit DAG.
+    std::vector<std::vector<int>> unit_users(num_units);
+    std::vector<int> in_degree(num_units, 0);
+    for (NodeId n = 0; n < graph.numNodes(); ++n) {
+        const int u = unit_of_node[n];
+        if (u < 0)
+            continue;
+        for (NodeId op : graph.node(n).operands()) {
+            const int pu = unit_of_node[op];
+            if (pu < 0 || pu == u)
+                continue;
+            unit_users[pu].push_back(u);
+        }
+    }
+    for (auto &users : unit_users) {
+        std::sort(users.begin(), users.end());
+        users.erase(std::unique(users.begin(), users.end()), users.end());
+        for (int u : users)
+            ++in_degree[u];
+    }
+    std::deque<int> ready;
+    for (int u = 0; u < num_units; ++u) {
+        if (in_degree[u] == 0)
+            ready.push_back(u);
+    }
+    unit_order_.clear();
+    while (!ready.empty()) {
+        const int u = ready.front();
+        ready.pop_front();
+        unit_order_.push_back(
+            u < num_clusters
+                ? static_cast<std::int64_t>(u)
+                : ~static_cast<std::int64_t>(
+                      compute_nodes[u - num_clusters]));
+        for (int v : unit_users[u]) {
+            if (--in_degree[v] == 0)
+                ready.push_back(v);
+        }
+    }
+    fatalIf(static_cast<int>(unit_order_.size()) != num_units,
+            "cyclic dependence between stitch ops and library ops — ",
+            "clustering produced an illegal partition");
+
+    const auto t1 = std::chrono::steady_clock::now();
+    compile_ms_ =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    compiled_valid_ = true;
+    return compile_ms_;
+}
+
+const std::vector<Cluster> &
+Session::clusters()
+{
+    compile();
+    return clusters_;
+}
+
+const std::vector<CompiledCluster> &
+Session::compiled()
+{
+    compile();
+    return compiled_;
+}
+
+RunReport
+Session::execute(const TensorMap *feeds)
+{
+    compile();
+    const Graph &graph = activeGraph();
+    KernelSim sim(options_.spec);
+
+    TensorMap env;
+    TensorMap translated;
+    if (feeds) {
+        translated = translateFeeds(*feeds);
+        for (NodeId n = 0; n < graph.numNodes(); ++n) {
+            const Node &node = graph.node(n);
+            if (node.kind() == OpKind::Parameter) {
+                const auto it = translated.find(n);
+                fatalIf(it == translated.end(), "no feed for parameter ",
+                        node.name());
+                env.emplace(n, it->second);
+            } else if (node.kind() == OpKind::Constant) {
+                env.emplace(n, node.attrs().literal);
+            }
+        }
+    }
+
+    for (std::int64_t unit : unit_order_) {
+        if (unit >= 0) {
+            // Memory-intensive cluster: its generated kernels + the
+            // memcpy/memset activities its compilation requires.
+            const CompiledCluster &compiled =
+                compiled_[static_cast<std::size_t>(unit)];
+            for (const KernelPlan &kernel : compiled.kernels)
+                sim.launch(workDescFor(graph, kernel));
+            for (int i = 0; i < compiled.num_memcpy; ++i) {
+                sim.memcpy(strCat("cpy_u", unit, "_", i),
+                           compiled.memcpy_bytes /
+                               std::max(1, compiled.num_memcpy));
+            }
+            if (feeds)
+                executeCompiledCluster(graph, compiled, env);
+            continue;
+        }
+
+        // Library (compute-intensive) op.
+        const NodeId n = static_cast<NodeId>(~unit);
+        const Node &node = graph.node(n);
+        const Shape &a = graph.node(node.operands()[0]).shape();
+        const Shape &b = graph.node(node.operands()[1]).shape();
+        std::int64_t batch = 1;
+        std::int64_t m, nn, k;
+        if (node.kind() == OpKind::MatMul) {
+            m = a.dim(0);
+            k = a.dim(1);
+            nn = b.dim(1);
+        } else if (node.kind() == OpKind::Conv3x3) {
+            // Implicit GEMM over the 9x patch dimension.
+            m = a.dim(0);
+            k = b.dim(0);
+            nn = b.dim(1);
+        } else {
+            batch = a.dim(0);
+            m = a.dim(1);
+            k = a.dim(2);
+            nn = b.dim(2);
+        }
+        sim.launchMatmul(node.name(), batch, m, nn, k,
+                         dtypeSizeBytes(node.dtype()),
+                         backend_->frameworkOverheadUs());
+        if (feeds) {
+            std::vector<Tensor> operands;
+            for (NodeId op : node.operands()) {
+                const auto it = env.find(op);
+                panicIf(it == env.end(), "library op %", n,
+                        " operand not materialized");
+                operands.push_back(it->second);
+            }
+            env.emplace(n, Evaluator::evalNode(node, operands));
+        }
+    }
+
+    RunReport report;
+    report.backend_name = backend_->name();
+    report.compile_ms = compile_ms_;
+    report.num_clusters = static_cast<int>(clusters_.size());
+    report.counters = sim.takeCounters();
+    report.breakdown = breakdownOf(report.counters);
+    report.end_to_end_us = report.counters.endToEndUs();
+    if (feeds) {
+        for (NodeId out : graph.outputs()) {
+            const auto it = env.find(out);
+            fatalIf(it == env.end(), "graph output %", out,
+                    " was not materialized by any kernel");
+            report.outputs.push_back(it->second);
+        }
+    }
+    return report;
+}
+
+const Graph &
+Session::activeGraph() const
+{
+    return optimized_ ? *optimized_ : graph_;
+}
+
+TensorMap
+Session::translateFeeds(const TensorMap &feeds) const
+{
+    if (!optimized_)
+        return feeds;
+    // Parameters survive every pass and keep their names; remap feeds
+    // from original ids to optimized ids by name.
+    std::unordered_map<std::string, NodeId> by_name;
+    for (NodeId p : optimized_->parameters())
+        by_name.emplace(optimized_->node(p).name(), p);
+    TensorMap translated;
+    for (const auto &[id, tensor] : feeds) {
+        const Node &node = graph_.node(id);
+        fatalIf(node.kind() != OpKind::Parameter,
+                "feed bound to non-parameter node ", id);
+        const auto it = by_name.find(node.name());
+        fatalIf(it == by_name.end(), "parameter ", node.name(),
+                " vanished during optimization");
+        translated.emplace(it->second, tensor);
+    }
+    return translated;
+}
+
+RunReport
+Session::run(const TensorMap &feeds)
+{
+    return execute(&feeds);
+}
+
+RunReport
+Session::profile()
+{
+    return execute(nullptr);
+}
+
+} // namespace astitch

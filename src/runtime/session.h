@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The Session: JIT compile a graph with a backend and simulate a run.
+ *
+ * Mirrors the paper's deployment model (Sec 5): the session partitions
+ * the computation graph into compute-intensive library calls and
+ * memory-intensive clusters, hands each cluster to the active backend's
+ * fusion/codegen, caches the compilation (JIT happens once), and then
+ * executes: functionally through the compiled plans (correctness) and
+ * analytically through the device model (time + counters).
+ */
+#ifndef ASTITCH_RUNTIME_SESSION_H
+#define ASTITCH_RUNTIME_SESSION_H
+
+#include <memory>
+
+#include "compiler/backend.h"
+#include "compiler/evaluator.h"
+#include "runtime/run_report.h"
+
+namespace astitch {
+
+/** Session configuration. */
+struct SessionOptions
+{
+    GpuSpec spec = GpuSpec::v100();
+
+    /** Bound on remote-stitched cluster size; <= 0 means unbounded. */
+    int max_cluster_nodes = 0;
+
+    /**
+     * Run the standard optimization pipeline (algebraic simplify,
+     * constant folding, CSE, DCE) before clustering — the non-fusion XLA
+     * optimizations AStitch retains (Sec 5). Feeds keep binding to the
+     * original graph's parameter ids; the session translates them.
+     */
+    bool enable_optimizer = false;
+
+    /** Share compilations across sessions via the global JIT cache. */
+    bool use_jit_cache = false;
+
+    /** Statically validate every compiled cluster (cheap; on by
+     * default — a backend emitting an inconsistent plan fails at
+     * compile time rather than at simulation time). */
+    bool validate_plans = true;
+};
+
+/** Compile-once, run-many execution session. */
+class Session
+{
+  public:
+    Session(const Graph &graph, std::unique_ptr<Backend> backend,
+            SessionOptions options = {});
+    ~Session();
+
+    /**
+     * JIT-compile all memory-intensive clusters (no-op when cached).
+     * Returns the wall-clock compilation time in ms.
+     */
+    double compile();
+
+    /**
+     * Simulate one execution with functional evaluation through the
+     * compiled plans. @p feeds must bind every graph parameter.
+     */
+    RunReport run(const TensorMap &feeds);
+
+    /** Simulate one execution without computing tensor values. */
+    RunReport profile();
+
+    const Graph &graph() const { return graph_; }
+
+    /** The graph actually compiled (post-optimizer when enabled). */
+    const Graph &activeGraph() const;
+
+    Backend &backend() { return *backend_; }
+    const std::vector<Cluster> &clusters();
+    const std::vector<CompiledCluster> &compiled();
+
+  private:
+    RunReport execute(const TensorMap *feeds);
+
+    /** Map original-graph feeds onto the active graph's parameters. */
+    TensorMap translateFeeds(const TensorMap &feeds) const;
+
+    const Graph &graph_;
+    std::unique_ptr<Graph> optimized_;
+    std::unique_ptr<Backend> backend_;
+    SessionOptions options_;
+
+    bool compiled_valid_ = false;
+    double compile_ms_ = 0.0;
+    std::vector<Cluster> clusters_;
+    std::vector<CompiledCluster> compiled_;
+
+    /** Execution order of units: cluster index (>= 0) or ~node for
+     * library/compute nodes (< 0). */
+    std::vector<std::int64_t> unit_order_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_RUNTIME_SESSION_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Analytical kernel timing model.
+ *
+ * A backend describes the *work* of one generated kernel (traffic,
+ * instructions, launch geometry, barriers); the model prices it on a
+ * GpuSpec. The pricing captures the effects the paper's evaluation turns
+ * on:
+ *   - DRAM traffic at a bandwidth that degrades with poor occupancy and
+ *     tiny blocks (the Fig. 6 pathologies),
+ *   - fp32 instruction throughput scaled by SM efficiency (redundant
+ *     recomputation makes fused-but-naive kernels compute-bound),
+ *   - per-block scheduling cost (the 750k-blocks small-block issue),
+ *   - in-kernel global barrier cost (Table 6) and kernel launch overhead.
+ */
+#ifndef ASTITCH_SIM_COST_MODEL_H
+#define ASTITCH_SIM_COST_MODEL_H
+
+#include <string>
+
+#include "sim/gpu_spec.h"
+#include "sim/launch_dims.h"
+#include "sim/occupancy.h"
+#include "sim/perf_counters.h"
+
+namespace astitch {
+
+/** DRAM transaction (sector) size in bytes. */
+inline constexpr std::int64_t kDramTransactionBytes = 32;
+
+/**
+ * Device-side work of one generated kernel, as computed by a code
+ * generator from its kernel plan.
+ */
+struct KernelWorkDesc
+{
+    std::string name;
+    KernelCategory category = KernelCategory::MemoryIntensive;
+
+    LaunchDims launch;
+    int regs_per_thread = 32;
+    std::int64_t smem_per_block = 0;
+
+    /** Off-chip traffic in bytes (already includes redundant reloads). */
+    double bytes_read = 0.0;
+    double bytes_written = 0.0;
+
+    /**
+     * Average coalescing efficiency in (0, 1]: 1 for fully coalesced
+     * row-major access, lower for column/strided patterns. Divides the
+     * useful bytes per transaction.
+     */
+    double read_coalescing = 1.0;
+    double write_coalescing = 1.0;
+
+    /** fp32 instructions (already includes recompute redundancy). */
+    double fp_instructions = 0.0;
+
+    /** Global atomics issued (column-reduce / split-reduce paths). */
+    double atomic_operations = 0.0;
+
+    /** Block-wide __syncthreads-level barrier phases in the kernel. */
+    int num_block_barriers = 0;
+
+    /** In-kernel device-wide barriers (Global stitching scheme). */
+    int num_global_barriers = 0;
+
+    /**
+     * Extra CPU-side dispatch cost on top of the driver launch latency
+     * (framework op scheduling — large for the TF executor, zero for
+     * compiled executables).
+     */
+    double extra_launch_overhead_us = 0.0;
+};
+
+/** Priced launch: everything KernelRecord needs. */
+class CostModel
+{
+  public:
+    explicit CostModel(GpuSpec spec);
+
+    const GpuSpec &spec() const { return spec_; }
+
+    /**
+     * Price one kernel. fatal()s if a kernel with in-kernel global
+     * barriers launches more blocks than one wave can hold (the deadlock
+     * constraint of Sec 3.2.3).
+     */
+    KernelRecord priceKernel(const KernelWorkDesc &desc) const;
+
+    /** Price a library (compute-intensive) GEMM: [m,k] x [k,n], batched. */
+    KernelRecord priceMatmul(const std::string &name, std::int64_t batch,
+                             std::int64_t m, std::int64_t n, std::int64_t k,
+                             int dtype_bytes,
+                             double extra_launch_overhead_us = 0.0) const;
+
+    /** Price a cudaMemcpy/Memset activity of @p bytes. */
+    KernelRecord priceMemcpy(const std::string &name, double bytes) const;
+
+    /** Cost in us of one in-kernel global barrier at a grid size. */
+    double globalBarrierUs(std::int64_t resident_blocks) const;
+
+    /**
+     * Effective DRAM bandwidth (GB/s) under a given achieved occupancy,
+     * SM efficiency and block size.
+     */
+    double effectiveBandwidth(double occupancy, double sm_efficiency,
+                              int block_size) const;
+
+  private:
+    GpuSpec spec_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_SIM_COST_MODEL_H

@@ -1,0 +1,57 @@
+#include "sim/gpu_spec.h"
+
+namespace astitch {
+
+GpuSpec
+GpuSpec::v100()
+{
+    GpuSpec spec;
+    spec.name = "V100-SXM2-16GB";
+    spec.num_sms = 80;
+    spec.max_threads_per_sm = 2048;
+    spec.max_blocks_per_sm = 32;
+    spec.regs_per_sm = 65536;
+    spec.smem_per_sm_bytes = 96 * 1024;
+    spec.smem_per_block_bytes = 48 * 1024;
+    spec.sm_clock_ghz = 1.38;
+    spec.fp32_lanes_per_sm = 64;
+    spec.mem_bandwidth_gbps = 900.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::t4()
+{
+    GpuSpec spec;
+    spec.name = "T4";
+    spec.num_sms = 40;
+    spec.max_threads_per_sm = 1024;
+    spec.max_blocks_per_sm = 16;
+    spec.regs_per_sm = 65536;
+    spec.smem_per_sm_bytes = 64 * 1024;
+    spec.smem_per_block_bytes = 48 * 1024;
+    spec.sm_clock_ghz = 1.59;
+    spec.fp32_lanes_per_sm = 64;
+    spec.mem_bandwidth_gbps = 320.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::a100()
+{
+    GpuSpec spec;
+    spec.name = "A100-SXM4-40GB";
+    spec.num_sms = 108;
+    spec.max_threads_per_sm = 2048;
+    spec.max_blocks_per_sm = 32;
+    spec.regs_per_sm = 65536;
+    spec.smem_per_sm_bytes = 164 * 1024;
+    spec.smem_per_block_bytes = 48 * 1024;
+    spec.sm_clock_ghz = 1.41;
+    spec.fp32_lanes_per_sm = 64;
+    spec.mem_bandwidth_gbps = 1555.0;
+    spec.matmul_throughput_multiplier = 8.0; // TF32 tensor cores
+    return spec;
+}
+
+} // namespace astitch

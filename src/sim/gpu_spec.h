@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SIMT device descriptions.
+ *
+ * The analytical GPU model: everything the compiler and cost model need to
+ * know about the device — SM counts, per-SM thread/block/register/shared-
+ * memory budgets (the occupancy inputs), memory bandwidth, issue rates and
+ * the fixed overheads (kernel launch, in-kernel global barrier) that the
+ * paper's evaluation quantifies (Table 6, Fig. 13).
+ *
+ * Presets mirror the devices used in the paper: V100 (main evaluation),
+ * T4 (inference / AMP, Fig. 12) and A100 (Sec 1's bandwidth-ratio trend).
+ */
+#ifndef ASTITCH_SIM_GPU_SPEC_H
+#define ASTITCH_SIM_GPU_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace astitch {
+
+/** Static description of a SIMT accelerator. */
+struct GpuSpec
+{
+    std::string name;
+
+    // --- Execution geometry ---------------------------------------------
+    int num_sms = 80;
+    int warp_size = 32;
+    int max_threads_per_sm = 2048;
+    int max_blocks_per_sm = 32;
+    int max_threads_per_block = 1024;
+
+    // --- Per-SM resources --------------------------------------------------
+    std::int64_t regs_per_sm = 65536;
+    int max_regs_per_thread = 255;
+    std::int64_t smem_per_sm_bytes = 96 * 1024;
+    std::int64_t smem_per_block_bytes = 48 * 1024;
+
+    // --- Rates ----------------------------------------------------------
+    double sm_clock_ghz = 1.38;
+    int fp32_lanes_per_sm = 64;
+    double mem_bandwidth_gbps = 900.0; ///< GB/s peak DRAM bandwidth
+
+    /**
+     * Library-GEMM throughput relative to the fp32 SIMT lanes (tensor
+     * cores; e.g. A100 TF32 — the compute:bandwidth shift that raises
+     * the memory-intensive time share to 76.7% in the paper's intro).
+     */
+    double matmul_throughput_multiplier = 1.0;
+
+    // --- Fixed overheads (microseconds) -----------------------------------
+    double kernel_launch_us = 4.0;  ///< driver-side launch latency
+    double kernel_fixed_us = 1.2;   ///< minimum device-side kernel time
+    double memcpy_call_us = 3.0;    ///< one cudaMemcpy/Memset dispatch
+
+    /**
+     * In-kernel global barrier cost: base + slope * resident_blocks.
+     * Calibrated to Table 6 (2.53us @ 20 blocks .. 2.72us @ 160 blocks).
+     */
+    double global_barrier_base_us = 2.50;
+    double global_barrier_per_block_us = 0.00136;
+
+    /** Occupancy needed to saturate DRAM bandwidth (empirical ~40%). */
+    double bw_saturation_occupancy = 0.40;
+
+    /** Peak fp32 instruction throughput (inst/s). */
+    double fp32InstThroughput() const
+    {
+        return static_cast<double>(num_sms) * fp32_lanes_per_sm *
+               sm_clock_ghz * 1e9;
+    }
+
+    /** Max warps resident on one SM. */
+    int maxWarpsPerSm() const { return max_threads_per_sm / warp_size; }
+
+    // --- Presets -----------------------------------------------------------
+    static GpuSpec v100();
+    static GpuSpec t4();
+    static GpuSpec a100();
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_SIM_GPU_SPEC_H

@@ -1,0 +1,40 @@
+#include "sim/kernel_sim.h"
+
+namespace astitch {
+
+KernelSim::KernelSim(GpuSpec spec) : cost_model_(std::move(spec)) {}
+
+const KernelRecord &
+KernelSim::launch(const KernelWorkDesc &desc)
+{
+    counters_.add(cost_model_.priceKernel(desc));
+    return counters_.kernels.back();
+}
+
+const KernelRecord &
+KernelSim::launchMatmul(const std::string &name, std::int64_t batch,
+                        std::int64_t m, std::int64_t n, std::int64_t k,
+                        int dtype_bytes, double extra_launch_overhead_us)
+{
+    counters_.add(cost_model_.priceMatmul(name, batch, m, n, k,
+                                          dtype_bytes,
+                                          extra_launch_overhead_us));
+    return counters_.kernels.back();
+}
+
+const KernelRecord &
+KernelSim::memcpy(const std::string &name, double bytes)
+{
+    counters_.add(cost_model_.priceMemcpy(name, bytes));
+    return counters_.kernels.back();
+}
+
+PerfCounters
+KernelSim::takeCounters()
+{
+    PerfCounters out = std::move(counters_);
+    counters_ = PerfCounters{};
+    return out;
+}
+
+} // namespace astitch

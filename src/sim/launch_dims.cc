@@ -1,0 +1,13 @@
+#include "sim/launch_dims.h"
+
+#include "support/strings.h"
+
+namespace astitch {
+
+std::string
+LaunchDims::toString() const
+{
+    return strCat("<<<", grid, ", ", block, ">>>");
+}
+
+} // namespace astitch

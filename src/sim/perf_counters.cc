@@ -1,0 +1,138 @@
+#include "sim/perf_counters.h"
+
+#include <algorithm>
+
+namespace astitch {
+
+int
+PerfCounters::kernelCount(KernelCategory category) const
+{
+    int count = 0;
+    for (const auto &k : kernels) {
+        if (k.category == category)
+            ++count;
+    }
+    return count;
+}
+
+double
+PerfCounters::deviceTime(KernelCategory category) const
+{
+    double total = 0.0;
+    for (const auto &k : kernels) {
+        if (k.category == category)
+            total += k.time_us;
+    }
+    return total;
+}
+
+double
+PerfCounters::totalOverhead() const
+{
+    double total = 0.0;
+    for (const auto &k : kernels)
+        total += k.launch_overhead_us;
+    return total;
+}
+
+std::int64_t
+PerfCounters::dramReadTransactions() const
+{
+    std::int64_t total = 0;
+    for (const auto &k : kernels) {
+        if (k.category == KernelCategory::MemoryIntensive)
+            total += k.dram_read_transactions;
+    }
+    return total;
+}
+
+std::int64_t
+PerfCounters::dramWriteTransactions() const
+{
+    std::int64_t total = 0;
+    for (const auto &k : kernels) {
+        if (k.category == KernelCategory::MemoryIntensive)
+            total += k.dram_write_transactions;
+    }
+    return total;
+}
+
+double
+PerfCounters::instFp32() const
+{
+    double total = 0.0;
+    for (const auto &k : kernels) {
+        if (k.category == KernelCategory::MemoryIntensive)
+            total += k.inst_fp32;
+    }
+    return total;
+}
+
+std::vector<KernelRecord>
+PerfCounters::memoryKernelsByTime() const
+{
+    std::vector<KernelRecord> mem;
+    for (const auto &k : kernels) {
+        if (k.category == KernelCategory::MemoryIntensive)
+            mem.push_back(k);
+    }
+    std::stable_sort(mem.begin(), mem.end(),
+                     [](const KernelRecord &a, const KernelRecord &b) {
+                         return a.time_us > b.time_us;
+                     });
+    return mem;
+}
+
+namespace {
+
+/**
+ * Time-weighted average of a metric over the head of the by-time-sorted
+ * memory-intensive kernels covering @p fraction of their total time.
+ */
+double
+weightedTopAverage(const std::vector<KernelRecord> &sorted, double fraction,
+                   double KernelRecord::*metric)
+{
+    double total_time = 0.0;
+    for (const auto &k : sorted)
+        total_time += k.time_us;
+    if (total_time <= 0.0)
+        return 0.0;
+    const double budget = total_time * fraction;
+    double acc_time = 0.0;
+    double acc_metric = 0.0;
+    for (const auto &k : sorted) {
+        if (acc_time >= budget)
+            break;
+        acc_time += k.time_us;
+        acc_metric += (k.*metric) * k.time_us;
+    }
+    return acc_time > 0.0 ? acc_metric / acc_time : 0.0;
+}
+
+} // namespace
+
+double
+PerfCounters::avgOccupancyTop(double time_fraction) const
+{
+    return weightedTopAverage(memoryKernelsByTime(), time_fraction,
+                              &KernelRecord::achieved_occupancy);
+}
+
+double
+PerfCounters::avgSmEfficiencyTop(double time_fraction) const
+{
+    return weightedTopAverage(memoryKernelsByTime(), time_fraction,
+                              &KernelRecord::sm_efficiency);
+}
+
+double
+PerfCounters::endToEndUs() const
+{
+    double total = totalOverhead();
+    for (const auto &k : kernels)
+        total += k.time_us;
+    return total;
+}
+
+} // namespace astitch

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * nvprof-analog performance counters.
+ *
+ * One KernelRecord per simulated kernel launch; PerfCounters aggregates a
+ * whole run. Metric names follow the paper/nvprof: achieved_occupancy,
+ * sm_efficiency, dram_read_transactions, dram_write_transactions,
+ * inst_fp_32.
+ */
+#ifndef ASTITCH_SIM_PERF_COUNTERS_H
+#define ASTITCH_SIM_PERF_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/launch_dims.h"
+
+namespace astitch {
+
+/** Category a kernel belongs to, for the Fig. 13 breakdown. */
+enum class KernelCategory {
+    MemoryIntensive, ///< fused/stitched element-wise + reduce kernels
+    ComputeIntensive, ///< library GEMM-family kernels
+    Memcpy,          ///< cudaMemcpy / cudaMemset activities
+};
+
+/** Result of simulating one kernel launch. */
+struct KernelRecord
+{
+    std::string name;
+    KernelCategory category = KernelCategory::MemoryIntensive;
+    LaunchDims launch;
+
+    double time_us = 0.0;            ///< device-side execution time
+    double launch_overhead_us = 0.0; ///< CPU-side dispatch cost
+
+    double achieved_occupancy = 0.0;
+    double sm_efficiency = 0.0;
+
+    std::int64_t dram_read_transactions = 0;
+    std::int64_t dram_write_transactions = 0;
+    double inst_fp32 = 0.0;
+
+    int num_global_barriers = 0;
+    int regs_per_thread = 0;
+    std::int64_t smem_per_block = 0;
+};
+
+/** Aggregated counters for a full model execution. */
+struct PerfCounters
+{
+    std::vector<KernelRecord> kernels;
+
+    void add(KernelRecord record) { kernels.push_back(std::move(record)); }
+
+    /** Count of kernels in a category. */
+    int kernelCount(KernelCategory category) const;
+
+    /** Sum of device time in a category (us). */
+    double deviceTime(KernelCategory category) const;
+
+    /** Sum of launch/dispatch overheads across all kernels (us). */
+    double totalOverhead() const;
+
+    /** Total dram transactions over memory-intensive kernels. */
+    std::int64_t dramReadTransactions() const;
+    std::int64_t dramWriteTransactions() const;
+
+    /** Total fp32 instructions over memory-intensive kernels. */
+    double instFp32() const;
+
+    /**
+     * Time-weighted average achieved occupancy / sm_efficiency over the
+     * memory-intensive kernels that make up the top @p time_fraction of
+     * memory-intensive device time (the paper's "top 80%" metric,
+     * Fig. 14).
+     */
+    double avgOccupancyTop(double time_fraction) const;
+    double avgSmEfficiencyTop(double time_fraction) const;
+
+    /**
+     * Memory-intensive kernel records sorted by descending device time
+     * (the Fig. 15/16 trend series).
+     */
+    std::vector<KernelRecord> memoryKernelsByTime() const;
+
+    /** End-to-end time: device time of everything + all overheads. */
+    double endToEndUs() const;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_SIM_PERF_COUNTERS_H

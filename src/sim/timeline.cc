@@ -1,0 +1,19 @@
+#include "sim/timeline.h"
+
+namespace astitch {
+
+TimelineBreakdown
+breakdownOf(const PerfCounters &counters)
+{
+    TimelineBreakdown breakdown;
+    breakdown.mem_us =
+        counters.deviceTime(KernelCategory::MemoryIntensive);
+    breakdown.compute_us =
+        counters.deviceTime(KernelCategory::ComputeIntensive);
+    breakdown.overhead_us =
+        counters.totalOverhead() +
+        counters.deviceTime(KernelCategory::Memcpy);
+    return breakdown;
+}
+
+} // namespace astitch

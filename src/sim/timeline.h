@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Execution-time breakdown (the Fig. 13 decomposition).
+ */
+#ifndef ASTITCH_SIM_TIMELINE_H
+#define ASTITCH_SIM_TIMELINE_H
+
+#include "sim/perf_counters.h"
+
+namespace astitch {
+
+/**
+ * The paper's three-way split of an execution: memory-intensive device
+ * time (MEM), compute-intensive device time, and non-computation overhead
+ * (OVERHEAD: launches, framework scheduling, memcpy dispatch).
+ */
+struct TimelineBreakdown
+{
+    double mem_us = 0.0;
+    double compute_us = 0.0;
+    double overhead_us = 0.0;
+
+    double totalUs() const { return mem_us + compute_us + overhead_us; }
+};
+
+/** Derive the breakdown from a run's counters. */
+TimelineBreakdown breakdownOf(const PerfCounters &counters);
+
+} // namespace astitch
+
+#endif // ASTITCH_SIM_TIMELINE_H

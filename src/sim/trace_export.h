@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Profiler-output export: chrome://tracing JSON and CSV.
+ *
+ * Serializes a run's PerfCounters the way nvprof/nsys exports do, so
+ * simulated timelines can be inspected in the Chrome trace viewer and
+ * counters post-processed in a spreadsheet.
+ */
+#ifndef ASTITCH_SIM_TRACE_EXPORT_H
+#define ASTITCH_SIM_TRACE_EXPORT_H
+
+#include <string>
+
+#include "sim/perf_counters.h"
+
+namespace astitch {
+
+/**
+ * Chrome trace-event JSON: CPU dispatch slices on tid 0, device kernel
+ * slices on tid 1, serialized back-to-back in issue order.
+ */
+std::string toChromeTrace(const PerfCounters &counters);
+
+/**
+ * One CSV row per kernel: name, category, grid, block, time_us,
+ * overhead_us, occupancy, sm_efficiency, dram read/write transactions,
+ * fp32 instructions.
+ */
+std::string toCsv(const PerfCounters &counters);
+
+} // namespace astitch
+
+#endif // ASTITCH_SIM_TRACE_EXPORT_H

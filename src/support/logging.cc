@@ -1,0 +1,48 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace astitch {
+
+namespace {
+std::atomic<bool> verbose_enabled{false};
+} // namespace
+
+void
+setVerboseLogging(bool enabled)
+{
+    verbose_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+verboseLogging()
+{
+    return verbose_enabled.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+throwFatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+throwPanic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+void
+logLine(const char *level, const std::string &msg)
+{
+    if (std::strcmp(level, "info") == 0 && !verboseLogging())
+        return;
+    std::fprintf(stderr, "[astitch %s] %s\n", level, msg.c_str());
+}
+
+} // namespace detail
+} // namespace astitch

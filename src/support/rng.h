@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload generators and tests must be reproducible across runs and
+ * platforms, so we ship a small xoshiro256** implementation instead of
+ * relying on the unspecified distributions of <random>.
+ */
+#ifndef ASTITCH_SUPPORT_RNG_H
+#define ASTITCH_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace astitch {
+
+/** Deterministic xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Uniform float in [lo, hi). */
+    float uniformFloat(float lo, float hi);
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool bernoulli(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_SUPPORT_RNG_H

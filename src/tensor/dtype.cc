@@ -1,0 +1,39 @@
+#include "tensor/dtype.h"
+
+#include "support/logging.h"
+
+namespace astitch {
+
+int
+dtypeSizeBytes(DType dtype)
+{
+    switch (dtype) {
+      case DType::F32:
+        return 4;
+      case DType::F16:
+        return 2;
+      case DType::I32:
+        return 4;
+      case DType::Pred:
+        return 1;
+    }
+    panic("unknown dtype ", static_cast<int>(dtype));
+}
+
+std::string
+dtypeName(DType dtype)
+{
+    switch (dtype) {
+      case DType::F32:
+        return "f32";
+      case DType::F16:
+        return "f16";
+      case DType::I32:
+        return "i32";
+      case DType::Pred:
+        return "pred";
+    }
+    panic("unknown dtype ", static_cast<int>(dtype));
+}
+
+} // namespace astitch

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Element data types.
+ *
+ * All host-side tensor storage is float (the functional oracle only needs
+ * value semantics); the dtype's role in this reproduction is its *byte
+ * width*, which drives the memory-traffic model — e.g. the AMP experiment
+ * (Fig. 12) halves off-chip traffic by switching F32 -> F16.
+ */
+#ifndef ASTITCH_TENSOR_DTYPE_H
+#define ASTITCH_TENSOR_DTYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace astitch {
+
+/** Supported element types. */
+enum class DType : std::uint8_t {
+    F32,  ///< 32-bit IEEE float (default).
+    F16,  ///< 16-bit float (AMP / mixed precision).
+    I32,  ///< 32-bit signed integer (indices, masks).
+    Pred, ///< boolean predicate, 1 byte.
+};
+
+/** Byte width of one element of @p dtype. */
+int dtypeSizeBytes(DType dtype);
+
+/** Human-readable name ("f32", "f16", ...). */
+std::string dtypeName(DType dtype);
+
+} // namespace astitch
+
+#endif // ASTITCH_TENSOR_DTYPE_H

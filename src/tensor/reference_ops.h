@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reference (CPU, scalar) implementations of every operator.
+ *
+ * These are the semantic ground truth: the evaluator in compiler/ lowers
+ * each graph node onto one of these, and every backend's compiled output
+ * is validated against them. They favor clarity over speed.
+ */
+#ifndef ASTITCH_TENSOR_REFERENCE_OPS_H
+#define ASTITCH_TENSOR_REFERENCE_OPS_H
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace astitch {
+namespace ref {
+
+/** Apply a scalar function elementwise. */
+Tensor elementwiseUnary(const Tensor &input,
+                        const std::function<float(float)> &fn);
+
+/**
+ * Apply a scalar function elementwise with numpy broadcasting between the
+ * two operands.
+ */
+Tensor elementwiseBinary(const Tensor &lhs, const Tensor &rhs,
+                         const std::function<float(float, float)> &fn);
+
+/** select(pred, on_true, on_false), all broadcast together. */
+Tensor select(const Tensor &pred, const Tensor &on_true,
+              const Tensor &on_false);
+
+/** Materialize a broadcast of @p input to @p target shape. */
+Tensor broadcastTo(const Tensor &input, const Shape &target);
+
+/** Kind of reduction. */
+enum class ReduceKind { Sum, Max, Min, Mean };
+
+/** Reduce @p dims of @p input (no keepdims). */
+Tensor reduce(const Tensor &input, const std::vector<int> &dims,
+              ReduceKind kind);
+
+/** Permute dimensions. @p perm must be a permutation of [0, rank). */
+Tensor transpose(const Tensor &input, const std::vector<int> &perm);
+
+/** Reshape without moving data. Element counts must match. */
+Tensor reshape(const Tensor &input, const Shape &target);
+
+/** Concatenate along @p dim. All other dims must match. */
+Tensor concat(const std::vector<Tensor> &inputs, int dim);
+
+/** Rows [start, start+size) along dim 0. */
+Tensor slice(const Tensor &input, std::int64_t start, std::int64_t size);
+
+/** Zero-pad to @p target (per-dim >= input; data anchored at 0). */
+Tensor pad(const Tensor &input, const Shape &target);
+
+/** Embedding lookup: out[i,:] = table[indices[i],:]. */
+Tensor gather(const Tensor &table, const Tensor &indices);
+
+/** 2-D matrix multiply [m,k] x [k,n] -> [m,n]. */
+Tensor matmul(const Tensor &lhs, const Tensor &rhs);
+
+/** Batched matmul [b,m,k] x [b,k,n] -> [b,m,n]. */
+Tensor batchMatmul(const Tensor &lhs, const Tensor &rhs);
+
+} // namespace ref
+} // namespace astitch
+
+#endif // ASTITCH_TENSOR_REFERENCE_OPS_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Host tensors used by the functional oracle.
+ *
+ * Storage is always float regardless of DType: the evaluator only needs
+ * value semantics, while byte widths are consumed by the cost model. This
+ * keeps the interpreter simple and exact across backends.
+ */
+#ifndef ASTITCH_TENSOR_TENSOR_H
+#define ASTITCH_TENSOR_TENSOR_H
+
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace astitch {
+
+/** A dense host tensor (row-major float storage). */
+class Tensor
+{
+  public:
+    Tensor() = default;
+    Tensor(Shape shape, DType dtype = DType::F32);
+    Tensor(Shape shape, std::vector<float> data, DType dtype = DType::F32);
+
+    const Shape &shape() const { return shape_; }
+    DType dtype() const { return dtype_; }
+    std::int64_t numElements() const { return shape_.numElements(); }
+    std::int64_t sizeBytes() const
+    {
+        return numElements() * dtypeSizeBytes(dtype_);
+    }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    float at(std::int64_t i) const;
+    void set(std::int64_t i, float v);
+
+    /** Element at a multi-index. */
+    float at(const std::vector<std::int64_t> &index) const;
+
+    /** A tensor filled with a constant. */
+    static Tensor full(Shape shape, float value, DType dtype = DType::F32);
+
+    /** A scalar tensor. */
+    static Tensor scalar(float value, DType dtype = DType::F32);
+
+    /** [0, 1, 2, ...] ramp — handy for deterministic tests. */
+    static Tensor iota(Shape shape, DType dtype = DType::F32);
+
+    /** True if all elements are within @p atol + rtol*|b| of @p other. */
+    bool allClose(const Tensor &other, double rtol = 1e-5,
+                  double atol = 1e-6) const;
+
+  private:
+    Shape shape_;
+    DType dtype_ = DType::F32;
+    std::vector<float> data_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_TENSOR_TENSOR_H

@@ -1,0 +1,80 @@
+#include "workloads/asr.h"
+
+#include "workloads/common.h"
+
+namespace astitch {
+namespace workloads {
+
+AsrConfig
+AsrConfig::inference()
+{
+    return AsrConfig{};
+}
+
+AsrConfig
+AsrConfig::tiny()
+{
+    AsrConfig c;
+    c.frames = 8;
+    c.feat = 4;
+    c.hidden = 8;
+    c.heads = 2;
+    c.encoder_layers = 1;
+    c.decoder_steps = 2;
+    c.vocab = 16;
+    return c;
+}
+
+Graph
+buildAsr(const AsrConfig &config)
+{
+    Graph graph("asr");
+    GraphBuilder b(graph, config.dtype);
+
+    // ---- Conv front-end (im2col matmuls + ReLU). ----
+    NodeId x = b.parameter({config.frames, config.feat}, "spectrogram");
+    x = conv3x3AsMatmul(b, x, config.frames, config.feat, config.hidden);
+    x = conv3x3AsMatmul(b, x, config.frames, config.hidden, config.hidden);
+
+    // ---- Attention encoder (batch 1, seq = frames). ----
+    for (int layer = 0; layer < config.encoder_layers; ++layer) {
+        x = attentionBlock(b, x, 1, config.frames, config.hidden,
+                           config.heads);
+        x = feedForward(b, x, config.hidden, 2 * config.hidden);
+    }
+
+    // ---- LSTM decoder with per-step attention context. ----
+    NodeId h = b.parameter({1, config.hidden}, "decoder_h0");
+    NodeId c = b.parameter({1, config.hidden}, "decoder_c0");
+    NodeId wctx = b.parameter({config.hidden, config.hidden});
+    for (int t = 0; t < config.decoder_steps; ++t) {
+        // Additive attention over encoder states.
+        NodeId query = b.matmul(h, wctx); // [1, hidden]
+        NodeId energies = b.reduceSum(
+            b.tanh(b.add(x, b.broadcastTo(query,
+                                          {config.frames,
+                                           config.hidden}))),
+            {1});
+        NodeId weights = b.softmax(
+            b.reshape(energies, {1, config.frames}));
+        NodeId context = b.matmul(weights, x); // [1, hidden]
+        NodeId c_next = kInvalidNodeId;
+        h = lstmCell(b, context, h, c, config.hidden, config.hidden,
+                     &c_next);
+        c = c_next;
+    }
+
+    // ---- CTC-style head over all frames. ----
+    NodeId wv = b.parameter({config.hidden, config.vocab});
+    NodeId logits = b.matmul(x, wv); // [frames, vocab]
+    NodeId ctc = logSoftmax(b, logits);
+    b.output(ctc);
+
+    // Decoder classification of the last step.
+    NodeId wd = b.parameter({config.hidden, config.vocab});
+    b.output(logSoftmax(b, b.matmul(h, wd)));
+    return graph;
+}
+
+} // namespace workloads
+} // namespace astitch

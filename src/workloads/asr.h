@@ -1,0 +1,37 @@
+/**
+ * @file
+ * ASR workload (ESPnet-style speech recognition, Table 2: batch 1).
+ * Convolutional front-end (as im2col matmuls), attention encoder, LSTM
+ * decoder and a CTC-style log-softmax head.
+ */
+#ifndef ASTITCH_WORKLOADS_ASR_H
+#define ASTITCH_WORKLOADS_ASR_H
+
+#include "graph/graph.h"
+
+namespace astitch {
+namespace workloads {
+
+/** ASR shape/scale configuration. */
+struct AsrConfig
+{
+    int frames = 1000;   ///< input spectrogram frames (~10s of audio)
+    int feat = 80;       ///< filterbank features per frame
+    int hidden = 256;
+    int heads = 4;
+    int encoder_layers = 2;
+    int decoder_steps = 8;
+    int vocab = 5000;
+    DType dtype = DType::F32;
+
+    static AsrConfig inference();
+    static AsrConfig tiny();
+};
+
+/** Build the ASR computation graph. */
+Graph buildAsr(const AsrConfig &config = AsrConfig::inference());
+
+} // namespace workloads
+} // namespace astitch
+
+#endif // ASTITCH_WORKLOADS_ASR_H

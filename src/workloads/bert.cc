@@ -1,0 +1,71 @@
+#include "workloads/bert.h"
+
+#include "workloads/common.h"
+
+namespace astitch {
+namespace workloads {
+
+BertConfig
+BertConfig::inference()
+{
+    return BertConfig{};
+}
+
+BertConfig
+BertConfig::training()
+{
+    BertConfig c;
+    c.batch = 12;
+    c.seq = 128;
+    c.layers = 4;
+    c.is_training = true;
+    return c;
+}
+
+BertConfig
+BertConfig::tiny()
+{
+    BertConfig c;
+    c.batch = 2;
+    c.seq = 4;
+    c.hidden = 8;
+    c.heads = 2;
+    c.ffn = 16;
+    c.layers = 2;
+    return c;
+}
+
+Graph
+buildBert(const BertConfig &config)
+{
+    Graph graph("bert");
+    GraphBuilder b(graph, config.dtype);
+
+    const int n = config.batch * config.seq;
+    NodeId x = b.parameter({n, config.hidden}, "embeddings");
+
+    // Embedding post-processing: scale + layernorm, as in the real model.
+    NodeId gamma = b.parameter({config.hidden});
+    NodeId beta = b.parameter({config.hidden});
+    x = b.layerNorm(x, gamma, beta);
+
+    for (int layer = 0; layer < config.layers; ++layer) {
+        x = attentionBlock(b, x, config.batch, config.seq, config.hidden,
+                           config.heads);
+        x = feedForward(b, x, config.hidden, config.ffn);
+    }
+
+    // Pooler: first-token projection + tanh.
+    NodeId wp = b.parameter({config.hidden, config.hidden});
+    NodeId pooled = b.tanh(b.matmul(x, wp));
+
+    if (config.is_training) {
+        appendTrainingTail(b, pooled);
+    } else {
+        b.output(pooled);
+    }
+    return graph;
+}
+
+} // namespace workloads
+} // namespace astitch

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * BERT encoder workload (NLP, Table 2: infer batch 200, train batch 12).
+ */
+#ifndef ASTITCH_WORKLOADS_BERT_H
+#define ASTITCH_WORKLOADS_BERT_H
+
+#include "graph/graph.h"
+
+namespace astitch {
+namespace workloads {
+
+/** BERT shape/scale configuration. */
+struct BertConfig
+{
+    int batch = 200;
+    int seq = 64;
+    int hidden = 256;
+    int heads = 4;
+    int ffn = 1024;
+    int layers = 4;
+    bool is_training = false;
+    DType dtype = DType::F32;
+
+    /** Production inference configuration (Table 2). */
+    static BertConfig inference();
+
+    /** Production training configuration (Table 2). */
+    static BertConfig training();
+
+    /** Small shapes for functional tests. */
+    static BertConfig tiny();
+};
+
+/** Build the BERT computation graph. */
+Graph buildBert(const BertConfig &config = BertConfig::inference());
+
+} // namespace workloads
+} // namespace astitch
+
+#endif // ASTITCH_WORKLOADS_BERT_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CRNN workload (scene-text recognition, Table 2: batch 1). Conv stack
+ * (im2col matmuls), bidirectional LSTM over time steps and a per-frame
+ * classification head — a large population of *small* memory-intensive
+ * ops, making it the most overhead-bound model (the paper's ablation
+ * case study, Table 4 / Fig. 15).
+ */
+#ifndef ASTITCH_WORKLOADS_CRNN_H
+#define ASTITCH_WORKLOADS_CRNN_H
+
+#include "graph/graph.h"
+
+namespace astitch {
+namespace workloads {
+
+/** CRNN shape/scale configuration. */
+struct CrnnConfig
+{
+    int time_steps = 32;  ///< horizontal positions after the conv stack
+    int conv_rows = 65536; ///< flattened conv activations per layer
+    int conv_dim = 64;
+    int hidden = 128;
+    int classes = 37;     ///< charset size
+    DType dtype = DType::F32;
+
+    static CrnnConfig inference();
+    static CrnnConfig tiny();
+};
+
+/** Build the CRNN computation graph. */
+Graph buildCrnn(const CrnnConfig &config = CrnnConfig::inference());
+
+} // namespace workloads
+} // namespace astitch
+
+#endif // ASTITCH_WORKLOADS_CRNN_H

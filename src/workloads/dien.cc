@@ -1,0 +1,123 @@
+#include "workloads/dien.h"
+
+#include <cstdint>
+
+#include "workloads/common.h"
+
+namespace astitch {
+namespace workloads {
+
+DienConfig
+DienConfig::inference()
+{
+    return DienConfig{};
+}
+
+DienConfig
+DienConfig::training()
+{
+    DienConfig c;
+    c.is_training = true;
+    return c;
+}
+
+DienConfig
+DienConfig::tiny()
+{
+    DienConfig c;
+    c.batch = 2;
+    c.gru_steps = 2;
+    c.hidden = 8;
+    c.embed = 4;
+    c.interest_rows = 16;
+    return c;
+}
+
+Graph
+buildDien(const DienConfig &config)
+{
+    Graph graph("dien");
+    GraphBuilder b(graph, config.dtype);
+
+    // ---- Interest extraction: behavior embeddings are gathered from
+    // the item table (an uncoalesced indirect lookup), forming the very
+    // tall, very narrow tensor of the production <750000,32> case. ----
+    const std::int64_t table_rows = 4096;
+    NodeId item_table =
+        b.parameter({table_rows, config.embed}, "item_embeddings");
+    NodeId behavior_ids = [&] {
+        // Deterministic id stream baked as a constant, as a frozen
+        // input pipeline would provide.
+        Tensor ids(Shape{config.interest_rows}, DType::I32);
+        std::uint64_t state = 0x5eedULL;
+        for (auto &v : ids.data()) {
+            state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+            v = static_cast<float>((state >> 33) % table_rows);
+        }
+        return b.constant(std::move(ids), "behavior_ids");
+    }();
+    NodeId behaviors = b.gather(item_table, behavior_ids);
+    NodeId target_item = b.parameter({config.embed}, "target_item");
+
+    const Shape bshape{config.interest_rows, config.embed};
+    NodeId interact =
+        b.mul(behaviors, b.broadcastTo(target_item, bshape));
+    // PReLU-style activation: max(x,0) + alpha*min(x,0).
+    NodeId alpha = b.constantScalar(0.1f);
+    NodeId zero = b.constantScalar(0.0f);
+    NodeId act = b.add(b.maximum(interact, zero),
+                       b.mul(alpha, b.minimum(interact, zero)));
+    // Row-reduce <interest_rows, embed> -> <interest_rows>: Fig. 6-(a).
+    NodeId scores = b.reduceSum(act, {1});
+
+    // Attention MLP over every behavior row (the compute-intensive half
+    // of DIEN's attention unit).
+    NodeId w_att1 = b.parameter({config.embed, 2 * config.embed});
+    NodeId hidden1 = b.matmul(act, w_att1);
+    NodeId act1 = b.add(b.maximum(hidden1, zero),
+                        b.mul(alpha, b.minimum(hidden1, zero)));
+    NodeId w_att2 = b.parameter({2 * config.embed, 1});
+    NodeId att = b.reshape(b.matmul(act1, w_att2),
+                           {config.interest_rows});
+    NodeId gated = b.sigmoid(b.add(scores, att));
+
+    // Attention-weighted pooling of behaviors into one interest vector:
+    // a column-reduce over the tall dimension.
+    NodeId weighted =
+        b.mul(behaviors,
+              b.broadcastTo(b.reshape(gated, {config.interest_rows, 1}),
+                            bshape));
+    NodeId interest = b.reduceSum(weighted, {0});
+
+    // ---- Interest evolution: GRU over the batch. ----
+    NodeId x = b.parameter({config.batch, config.embed}, "user_state");
+    NodeId h = b.broadcastTo(b.reshape(interest, {1, config.embed}),
+                             {config.batch, config.embed});
+    // Lift to hidden width.
+    NodeId wi = b.parameter({config.embed, config.hidden});
+    h = b.tanh(b.matmul(h, wi));
+    NodeId xt = b.tanh(b.matmul(x, wi));
+    for (int t = 0; t < config.gru_steps; ++t)
+        h = gruCell(b, xt, h, config.hidden, config.hidden);
+
+    // ---- Prediction MLP with PReLU chains. ----
+    NodeId w1 = b.parameter({config.hidden, config.hidden});
+    NodeId z = b.matmul(h, w1);
+    NodeId zp = b.add(b.maximum(z, zero),
+                      b.mul(alpha, b.minimum(z, zero)));
+    NodeId w2 = b.parameter({config.hidden, 2});
+    NodeId logits = b.matmul(zp, w2);
+    NodeId probs = b.softmax(logits);
+
+    if (config.is_training) {
+        NodeId labels = b.parameter({config.batch, 2}, "labels");
+        NodeId nll = b.neg(b.mul(labels, b.log(probs)));
+        appendTrainingTail(b, b.reduceSum(nll, {1}));
+    } else {
+        b.output(probs);
+    }
+    return graph;
+}
+
+} // namespace workloads
+} // namespace astitch

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * DIEN recommendation workload (Table 2: batch 256 for both modes),
+ * including the <750000,32> behavior-attention row-reduce whose naive
+ * mapping triggers the small-block-size pathology (Fig. 6-(a)).
+ */
+#ifndef ASTITCH_WORKLOADS_DIEN_H
+#define ASTITCH_WORKLOADS_DIEN_H
+
+#include "graph/graph.h"
+
+namespace astitch {
+namespace workloads {
+
+/** DIEN shape/scale configuration. */
+struct DienConfig
+{
+    int batch = 256;
+    int gru_steps = 10;
+    int hidden = 128;
+    int embed = 32;
+
+    /** Rows of the behavior-attention tensor (production: 750000). */
+    std::int64_t interest_rows = 750000;
+
+    bool is_training = false;
+    DType dtype = DType::F32;
+
+    static DienConfig inference();
+    static DienConfig training();
+    static DienConfig tiny();
+};
+
+/** Build the DIEN computation graph. */
+Graph buildDien(const DienConfig &config = DienConfig::inference());
+
+} // namespace workloads
+} // namespace astitch
+
+#endif // ASTITCH_WORKLOADS_DIEN_H

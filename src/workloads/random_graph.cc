@@ -1,0 +1,120 @@
+#include "workloads/random_graph.h"
+
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "support/rng.h"
+
+namespace astitch {
+namespace workloads {
+
+Graph
+buildRandomGraph(const RandomGraphConfig &config)
+{
+    Graph graph("random");
+    GraphBuilder b(graph);
+    Rng rng(config.seed);
+
+    auto rand_dim = [&] {
+        return rng.uniformInt(config.min_dim, config.max_dim);
+    };
+
+    // Pool of live values to draw operands from.
+    std::vector<NodeId> pool;
+    for (int i = 0; i < 4; ++i)
+        pool.push_back(b.parameter({rand_dim(), rand_dim()}));
+
+    auto pick = [&] {
+        return pool[static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    };
+
+    while (graph.numNodes() < config.num_nodes) {
+        const double roll = rng.uniformDouble();
+        const NodeId a = pick();
+        const Shape &sa = b.shapeOf(a);
+
+        if (roll < config.matmul_probability && sa.rank() == 2) {
+            NodeId w = b.parameter({sa.dim(1), rand_dim()});
+            pool.push_back(b.matmul(a, w));
+        } else if (roll < config.matmul_probability +
+                              config.reduce_probability &&
+                   sa.rank() == 2) {
+            // Reduce, optionally re-broadcast against the source (the
+            // pattern-(1) shape XLA refuses to fuse).
+            NodeId r = rng.bernoulli(0.5) ? b.reduceSum(a, {1})
+                                          : b.reduceMax(a, {1});
+            if (rng.bernoulli(config.broadcast_probability)) {
+                NodeId col = b.reshape(r, {sa.dim(0), 1});
+                pool.push_back(b.add(a, b.broadcastTo(col, sa)));
+            } else {
+                pool.push_back(r);
+            }
+        } else if (roll < config.matmul_probability +
+                              config.reduce_probability +
+                              config.heavy_probability) {
+            // Heavy element-wise, optionally followed by broadcast
+            // (pattern (2), the Fig. 5 shape).
+            NodeId h;
+            switch (rng.uniformInt(0, 3)) {
+              case 0:
+                h = b.tanh(a);
+                break;
+              case 1:
+                h = b.exp(b.minimum(a, b.constantScalar(4.0f)));
+                break;
+              case 2:
+                h = b.power(a, 2.0);
+                break;
+              default:
+                h = b.sigmoid(a);
+                break;
+            }
+            if (sa.rank() == 2 &&
+                rng.bernoulli(config.broadcast_probability)) {
+                NodeId r = b.reduceMean(h, {1});
+                NodeId col = b.reshape(r, {sa.dim(0), 1});
+                NodeId wide = b.broadcastTo(col, sa);
+                pool.push_back(b.add(wide, a));
+            } else {
+                pool.push_back(h);
+            }
+        } else {
+            // Light element-wise: binary with a shape-compatible peer,
+            // else unary.
+            NodeId peer = pick();
+            if (b.shapeOf(peer) == sa) {
+                switch (rng.uniformInt(0, 2)) {
+                  case 0:
+                    pool.push_back(b.add(a, peer));
+                    break;
+                  case 1:
+                    pool.push_back(b.mul(a, peer));
+                    break;
+                  default:
+                    pool.push_back(b.maximum(a, peer));
+                    break;
+                }
+            } else {
+                pool.push_back(rng.bernoulli(0.5) ? b.neg(a) : b.abs(a));
+            }
+        }
+
+        // Keep the pool bounded and biased toward recent values.
+        if (pool.size() > 64)
+            pool.erase(pool.begin(),
+                       pool.begin() + static_cast<std::ptrdiff_t>(16));
+    }
+
+    // Every dead end becomes a graph output so each cluster has roots.
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        if (graph.users(id).empty() &&
+            graph.node(id).kind() != OpKind::Parameter) {
+            graph.markOutput(id);
+        }
+    }
+    return graph;
+}
+
+} // namespace workloads
+} // namespace astitch

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic random memory-intensive graph generator.
+ *
+ * Used for the optimization-overhead study (Sec 6.4.1: graphs of 5,000 to
+ * 10,000 nodes) and for property tests that sweep compiler invariants
+ * over many random topologies.
+ */
+#ifndef ASTITCH_WORKLOADS_RANDOM_GRAPH_H
+#define ASTITCH_WORKLOADS_RANDOM_GRAPH_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace astitch {
+namespace workloads {
+
+/** Parameters of the random graph generator. */
+struct RandomGraphConfig
+{
+    int num_nodes = 5000;
+    std::uint64_t seed = 1;
+
+    /** Probability a new op is a reduce (vs element-wise). */
+    double reduce_probability = 0.10;
+
+    /** Probability a new op is heavy element-wise. */
+    double heavy_probability = 0.15;
+
+    /** Probability a heavy/reduce result gets re-broadcast. */
+    double broadcast_probability = 0.5;
+
+    /** Probability a new op is a compute-intensive divider. */
+    double matmul_probability = 0.02;
+
+    /** Rows/cols bounds for generated 2-D tensors. */
+    std::int64_t min_dim = 2;
+    std::int64_t max_dim = 64;
+};
+
+/** Build a random DAG of memory-intensive ops. */
+Graph buildRandomGraph(const RandomGraphConfig &config = {});
+
+} // namespace workloads
+} // namespace astitch
+
+#endif // ASTITCH_WORKLOADS_RANDOM_GRAPH_H

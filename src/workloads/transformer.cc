@@ -1,0 +1,76 @@
+#include "workloads/transformer.h"
+
+#include "workloads/common.h"
+
+namespace astitch {
+namespace workloads {
+
+TransformerConfig
+TransformerConfig::inference()
+{
+    return TransformerConfig{};
+}
+
+TransformerConfig
+TransformerConfig::training()
+{
+    TransformerConfig c;
+    c.batch = 64;  // 64 x 64 tokens = the paper's 4096-token batches
+    c.seq = 64;
+    c.layers = 6;
+    c.is_training = true;
+    return c;
+}
+
+TransformerConfig
+TransformerConfig::tiny()
+{
+    TransformerConfig c;
+    c.batch = 1;
+    c.seq = 4;
+    c.hidden = 8;
+    c.heads = 2;
+    c.ffn = 16;
+    c.layers = 2;
+    c.vocab = 32;
+    return c;
+}
+
+Graph
+buildTransformer(const TransformerConfig &config)
+{
+    Graph graph("transformer");
+    GraphBuilder b(graph, config.dtype);
+
+    const int n = config.batch * config.seq;
+    NodeId x = b.parameter({n, config.hidden}, "token_embeddings");
+    NodeId pos = b.parameter({n, config.hidden}, "position_embeddings");
+    x = b.add(x, pos);
+
+    for (int layer = 0; layer < config.layers; ++layer) {
+        x = attentionBlock(b, x, config.batch, config.seq, config.hidden,
+                           config.heads);
+        x = feedForward(b, x, config.hidden, config.ffn);
+    }
+
+    // Output projection to the vocabulary + log-softmax. For the
+    // production inference shape this is the <64,30000> row-reduce of
+    // Fig. 6-(b).
+    NodeId wv = b.parameter({config.hidden, config.vocab});
+    NodeId logits = b.matmul(x, wv);
+    NodeId log_probs = logSoftmax(b, logits);
+
+    if (config.is_training) {
+        // Cross-entropy-style loss over the log-probs plus gradients.
+        NodeId target = b.parameter({n, config.vocab}, "targets");
+        NodeId weighted = b.mul(b.neg(log_probs), target);
+        NodeId per_token = b.reduceSum(weighted, {1});
+        appendTrainingTail(b, per_token);
+    } else {
+        b.output(log_probs);
+    }
+    return graph;
+}
+
+} // namespace workloads
+} // namespace astitch

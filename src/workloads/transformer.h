@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Transformer seq2seq workload (NLP, Table 2: infer batch 1, train 4096
+ * tokens), including the <64,30000> vocabulary log-softmax whose naive
+ * row-reduce mapping triggers the small-block-count pathology
+ * (Fig. 6-(b)).
+ */
+#ifndef ASTITCH_WORKLOADS_TRANSFORMER_H
+#define ASTITCH_WORKLOADS_TRANSFORMER_H
+
+#include "graph/graph.h"
+
+namespace astitch {
+namespace workloads {
+
+/** Transformer shape/scale configuration. */
+struct TransformerConfig
+{
+    int batch = 1;
+    int seq = 64;
+    int hidden = 256;
+    int heads = 4;
+    int ffn = 1024;
+    int layers = 6;
+    int vocab = 30000;
+    bool is_training = false;
+    DType dtype = DType::F32;
+
+    static TransformerConfig inference();
+    static TransformerConfig training();
+    static TransformerConfig tiny();
+};
+
+/** Build the Transformer computation graph. */
+Graph buildTransformer(
+    const TransformerConfig &config = TransformerConfig::inference());
+
+} // namespace workloads
+} // namespace astitch
+
+#endif // ASTITCH_WORKLOADS_TRANSFORMER_H

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Autodiff tests: every gradient rule is verified against central
+ * finite differences, plus structural and end-to-end checks.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "compiler/evaluator.h"
+#include "core/astitch_backend.h"
+#include "opt/autodiff.h"
+#include "runtime/session.h"
+#include "support/logging.h"
+#include "workloads/common.h"
+
+namespace astitch {
+namespace {
+
+/**
+ * Check d(loss)/d(param) against central differences for every element
+ * of @p param, on the graph produced by @p build (which must return the
+ * scalar loss node).
+ */
+void
+checkGradient(const std::function<NodeId(GraphBuilder &, NodeId)> &build,
+              const Shape &param_shape, double tolerance = 2e-2,
+              float step = 1e-2f)
+{
+    Graph g("grad_check");
+    GraphBuilder b(g);
+    NodeId param = b.parameter(param_shape, "theta");
+    NodeId loss = build(b, param);
+    g.markOutput(loss);
+    const auto grads = buildGradients(b, loss, {param});
+    g.markOutput(grads[0]);
+
+    TensorMap feeds = workloads::makeRandomFeeds(g, 31);
+    // Keep values away from kinks/singularities.
+    for (auto &v : feeds.at(param).data())
+        v = 0.4f + 0.1f * v;
+
+    Evaluator ev(g);
+    const auto outs = ev.run(feeds);
+    const Tensor &analytic = outs[1];
+
+    for (std::int64_t i = 0; i < feeds.at(param).numElements(); ++i) {
+        TensorMap plus = feeds;
+        TensorMap minus = feeds;
+        plus.at(param).set(i, plus.at(param).at(i) + step);
+        minus.at(param).set(i, minus.at(param).at(i) - step);
+        const double numeric =
+            (ev.run(plus)[0].at(0) - ev.run(minus)[0].at(0)) /
+            (2.0 * step);
+        EXPECT_NEAR(analytic.at(i), numeric,
+                    tolerance * (1.0 + std::abs(numeric)))
+            << "element " << i;
+    }
+}
+
+TEST(GradCheck, ElementwiseChain)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId y = b.tanh(b.mul(x, b.constantScalar(2.0f)));
+            return b.reduceSum(b.mul(y, y), {0});
+        },
+        Shape{5});
+}
+
+TEST(GradCheck, HeavyUnaries)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId y = b.add(
+                b.exp(b.neg(x)),
+                b.add(b.log(x), b.add(b.sqrt(x), b.rsqrt(x))));
+            y = b.add(y, b.add(b.sigmoid(x), b.erf(x)));
+            return b.reduceSum(y, {0});
+        },
+        Shape{4});
+}
+
+TEST(GradCheck, PowerAndAbs)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            return b.reduceSum(b.add(b.power(x, 3.0), b.abs(x)), {0});
+        },
+        Shape{4});
+}
+
+TEST(GradCheck, BinaryWithBroadcast)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            // x[3,1] broadcasts against a constant [3,4].
+            NodeId c = b.constant(Tensor::iota({3, 4}));
+            NodeId y = b.mul(b.add(x, c), b.sub(x, c));
+            return b.reduceSum(y, {0, 1});
+        },
+        Shape{3, 1});
+}
+
+TEST(GradCheck, DivMaximumMinimumSelect)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId c = b.constant(Tensor::full({4}, 0.7f));
+            NodeId y = b.div(c, x);
+            y = b.add(y, b.maximum(x, c));
+            y = b.add(y, b.minimum(x, c));
+            y = b.add(y, b.select(b.compareGT(x, c), b.mul(x, x), c));
+            return b.reduceSum(y, {0});
+        },
+        Shape{4});
+}
+
+TEST(GradCheck, ReduceSumMeanMax)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId s = b.reduceSum(x, {1});
+            NodeId m = b.reduceMean(x, {1});
+            NodeId mx = b.reduceMax(x, {1});
+            return b.reduceSum(b.add(b.mul(s, m), mx), {0});
+        },
+        Shape{3, 4});
+}
+
+TEST(GradCheck, SoftmaxAndLayerNorm)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId probs = b.softmax(x);
+            NodeId gamma = b.constant(Tensor::full({4}, 1.2f));
+            NodeId beta = b.constant(Tensor::full({4}, 0.1f));
+            NodeId normed = b.layerNorm(probs, gamma, beta);
+            return b.reduceSum(b.mul(normed, normed), {0, 1});
+        },
+        // rsqrt over the tiny softmax variance is steep: a small step
+        // keeps the central-difference truncation error in tolerance.
+        Shape{2, 4}, 5e-2, 1e-3f);
+}
+
+TEST(GradCheck, MatmulBothSides)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId w = b.constant(Tensor::iota({3, 2}));
+            NodeId y = b.matmul(x, w); // [2,3]x[3,2]
+            NodeId z = b.matmul(w, x); // [3,2]x[2,3]
+            return b.add(b.reduceSum(b.mul(y, y), {0, 1}),
+                         b.reduceSum(z, {0, 1}));
+        },
+        Shape{2, 3});
+}
+
+TEST(GradCheck, BatchMatmul)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId w = b.constant(Tensor::iota({2, 3, 2}));
+            NodeId y = b.batchMatmul(x, w); // [2,2,3]x[2,3,2]
+            return b.reduceSum(b.mul(y, y), {0, 1, 2});
+        },
+        Shape{2, 2, 3});
+}
+
+TEST(GradCheck, Conv3x3BothSides)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId w = b.constant(Tensor::iota({18, 2}));
+            NodeId y = b.conv3x3(x, w); // x[3,2], w[18,2]
+            return b.reduceSum(b.mul(y, y), {0, 1});
+        },
+        Shape{3, 2}, 5e-2);
+    // Weight side.
+    checkGradient(
+        [](GraphBuilder &b, NodeId w) {
+            NodeId x = b.constant(Tensor::iota({3, 2}));
+            NodeId y = b.conv3x3(x, w);
+            return b.reduceSum(y, {0, 1});
+        },
+        Shape{18, 2}, 5e-2);
+}
+
+TEST(GradCheck, DataMovement)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId t = b.transpose(b.reshape(x, {2, 6}), {1, 0});
+            NodeId s = b.slice(t, 1, 3); // rows 1..3 of [6,2]
+            NodeId wide =
+                b.broadcastTo(b.reshape(s, {3, 2, 1}), {3, 2, 4});
+            return b.reduceSum(wide, {0, 1, 2});
+        },
+        Shape{3, 4});
+}
+
+TEST(GradCheck, ConcatDim0)
+{
+    checkGradient(
+        [](GraphBuilder &b, NodeId x) {
+            NodeId c = b.constant(Tensor::iota({2, 3}));
+            NodeId cat = b.concat({b.mul(x, x), c, x}, 0);
+            return b.reduceSum(b.mul(cat, cat), {0, 1});
+        },
+        Shape{2, 3});
+}
+
+// ---------------------------------------------------------------------
+// Structural / API behaviour
+// ---------------------------------------------------------------------
+
+TEST(Autodiff, NonScalarLossIsFatal)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId y = b.tanh(x);
+    EXPECT_THROW(buildGradients(b, y, {x}), FatalError);
+}
+
+TEST(Autodiff, IndependentInputGetsZeroGradient)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({3});
+    NodeId unused = b.parameter({2});
+    NodeId loss = b.reduceSum(b.mul(x, x), {0});
+    const auto grads = buildGradients(b, loss, {unused});
+    Evaluator ev(g);
+    g.markOutput(grads[0]);
+    TensorMap feeds = workloads::makeRandomFeeds(g);
+    const auto out = ev.run(feeds);
+    for (float v : out[0].data())
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Autodiff, GatherTableGradientIsFatal)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId table = b.parameter({8, 2});
+    NodeId ids = b.constant(Tensor(Shape{3}, {0, 1, 2}));
+    NodeId loss =
+        b.reduceSum(b.gather(table, ids), {0, 1});
+    EXPECT_THROW(buildGradients(b, loss, {table}), FatalError);
+}
+
+TEST(Autodiff, ParameterGradientsSkipGatherTables)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId table = b.parameter({8, 2});
+    NodeId ids = b.constant(Tensor(Shape{3}, {0, 1, 2}));
+    NodeId w = b.parameter({3, 2});
+    NodeId loss = b.reduceSum(
+        b.mul(b.gather(table, ids), w), {0, 1});
+    const auto grads = buildParameterGradients(b, loss);
+    EXPECT_EQ(grads.count(table), 0u);
+    EXPECT_EQ(grads.count(w), 1u);
+}
+
+TEST(Autodiff, GradientGraphCompilesUnderEveryScheme)
+{
+    // The backward graph is itself a memory-intensive graph the
+    // compilers must handle; verify value equivalence through AStitch.
+    Graph g("train_step");
+    GraphBuilder b(g);
+    NodeId x = b.parameter({8, 16});
+    NodeId w = b.parameter({16, 16});
+    NodeId h = b.softmax(b.matmul(x, w));
+    NodeId loss = b.reduceMean(b.mul(h, h), {0, 1});
+    g.markOutput(loss);
+    for (const auto &[param, grad] : buildParameterGradients(b, loss))
+        g.markOutput(grad);
+
+    const TensorMap feeds = workloads::makeRandomFeeds(g);
+    const auto expected = Evaluator(g).run(feeds);
+    Session session(g, std::make_unique<AStitchBackend>());
+    const auto report = session.run(feeds);
+    ASSERT_EQ(report.outputs.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_TRUE(report.outputs[i].allClose(expected[i], 1e-4, 1e-5))
+            << "output " << i;
+    }
+}
+
+TEST(Autodiff, SgdLoopConvergesThroughCompiledKernels)
+{
+    // A miniature version of examples/training_loop.cpp as a test: the
+    // loss of an MLP regression must drop by 5x over 40 SGD steps when
+    // every iteration runs through the AStitch-compiled plans.
+    Graph graph("sgd");
+    GraphBuilder b(graph);
+    const int batch = 16, in_dim = 4, hidden = 8;
+    NodeId x = b.parameter({batch, in_dim}, "x");
+    NodeId target = b.parameter({batch, 1}, "target");
+    NodeId w1 = b.parameter({in_dim, hidden}, "w1");
+    NodeId w2 = b.parameter({hidden, 1}, "w2");
+    NodeId h = b.tanh(b.matmul(x, w1));
+    NodeId err = b.sub(b.matmul(h, w2), target);
+    NodeId loss = b.reduceMean(b.mul(err, err), {0, 1});
+    graph.markOutput(loss);
+    const std::vector<NodeId> params{w1, w2};
+    for (NodeId g : buildGradients(b, loss, params))
+        graph.markOutput(g);
+
+    TensorMap feeds = workloads::makeRandomFeeds(graph, 5);
+    // target = mean of inputs.
+    for (int i = 0; i < batch; ++i) {
+        float sum = 0.0f;
+        for (int j = 0; j < in_dim; ++j)
+            sum += feeds.at(x).at(i * in_dim + j);
+        feeds.at(target).set(i, sum / in_dim);
+    }
+
+    Session session(graph, std::make_unique<AStitchBackend>());
+    float first_loss = 0.0f, last_loss = 0.0f;
+    for (int step = 0; step < 40; ++step) {
+        const RunReport report = session.run(feeds);
+        last_loss = report.outputs[0].at(0);
+        if (step == 0)
+            first_loss = last_loss;
+        for (std::size_t p = 0; p < params.size(); ++p) {
+            Tensor &theta = feeds.at(params[p]);
+            const Tensor &grad = report.outputs[1 + p];
+            for (std::int64_t i = 0; i < theta.numElements(); ++i)
+                theta.set(i, theta.at(i) - 0.2f * grad.at(i));
+        }
+    }
+    EXPECT_LT(last_loss, 0.2f * first_loss)
+        << "loss did not converge: " << first_loss << " -> "
+        << last_loss;
+}
+
+} // namespace
+} // namespace astitch

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Per-backend behaviour tests: dispatch overheads, duplication caps,
+ * Ansor-vs-TVM mapping quality, CUDA-graph capture, memcpy modelling.
+ */
+#include <gtest/gtest.h>
+
+#include "backends/tf/cuda_graph_backend.h"
+#include "backends/trt/trt_backend.h"
+#include "backends/tvm/tvm_backend.h"
+#include "backends/xla/xla_backend.h"
+#include "compiler/loop_fusion.h"
+#include "core/astitch_backend.h"
+#include "runtime/session.h"
+#include "test_graphs.h"
+#include "workloads/common.h"
+
+namespace astitch {
+namespace {
+
+const GpuSpec kV100 = GpuSpec::v100();
+
+TEST(BackendNames, AreDistinct)
+{
+    EXPECT_EQ(TfBackend().name(), "tensorflow");
+    EXPECT_EQ(CudaGraphBackend().name(), "tf-cudagraph");
+    EXPECT_EQ(XlaBackend().name(), "xla");
+    EXPECT_EQ(TvmBackend().name(), "tvm");
+    EXPECT_EQ(TvmBackend(true).name(), "ansor");
+    EXPECT_EQ(TrtBackend().name(), "tensorrt");
+    EXPECT_EQ(AStitchBackend().name(), "astitch");
+}
+
+TEST(CudaGraph, SameKernelsLowerOverheadThanTf)
+{
+    Graph g = testing::buildSoftmax(512, 256);
+    Session tf(g, std::make_unique<TfBackend>());
+    Session cg(g, std::make_unique<CudaGraphBackend>());
+    const auto tf_report = tf.profile();
+    const auto cg_report = cg.profile();
+    // Identical kernel population, captured dispatch.
+    EXPECT_EQ(cg_report.memKernelCount(), tf_report.memKernelCount());
+    EXPECT_NEAR(cg_report.breakdown.mem_us, tf_report.breakdown.mem_us,
+                1e-6);
+    EXPECT_LT(cg_report.breakdown.overhead_us,
+              0.5 * tf_report.breakdown.overhead_us);
+    EXPECT_LT(cg_report.end_to_end_us, tf_report.end_to_end_us);
+}
+
+TEST(CudaGraph, StillLosesToAStitchOnTraffic)
+{
+    // The Sec 7 argument: capture removes dispatch, not memory traffic.
+    Graph g = testing::buildSoftmax(8192, 512);
+    Session cg(g, std::make_unique<CudaGraphBackend>());
+    Session as(g, std::make_unique<AStitchBackend>());
+    const auto cg_report = cg.profile();
+    const auto as_report = as.profile();
+    EXPECT_GT(cg_report.breakdown.mem_us, as_report.breakdown.mem_us);
+    EXPECT_LT(as_report.end_to_end_us, cg_report.end_to_end_us);
+}
+
+TEST(Ansor, SameFusionScopeAsTvmBetterMapping)
+{
+    // The DIEN reduce: Ansor keeps TVM's kernel count but lifts the
+    // occupancy of the reduce kernel.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({750000, 32});
+    g.markOutput(b.reduceSum(b.mul(x, x), {1}));
+    Session tvm(g, std::make_unique<TvmBackend>());
+    Session ansor(g, std::make_unique<TvmBackend>(true));
+    const auto tvm_report = tvm.profile();
+    const auto ansor_report = ansor.profile();
+    EXPECT_EQ(ansor_report.memKernelCount(), tvm_report.memKernelCount());
+    EXPECT_GT(ansor_report.counters.avgOccupancyTop(1.0),
+              tvm_report.counters.avgOccupancyTop(1.0));
+    EXPECT_LT(ansor_report.end_to_end_us, tvm_report.end_to_end_us);
+}
+
+TEST(LoopFusion, DuplicationCapMakesWideFanoutProducersRoots)
+{
+    // A producer feeding many reduce kernels: with a tiny cap it
+    // materializes instead of being inlined everywhere.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({16, 64});
+    NodeId shared = b.tanh(x);
+    for (int i = 0; i < 6; ++i)
+        g.markOutput(b.reduceSum(b.mul(shared, b.constantScalar(
+                                                   1.0f + i)),
+                                 {1}));
+    const Cluster cluster = findMemoryIntensiveClusters(g)[0];
+
+    LoopFusionRules loose;
+    loose.max_duplication = 64;
+    const auto many =
+        compileClusterLoopFusion(g, cluster, kV100, loose);
+    LoopFusionRules tight;
+    tight.max_duplication = 2;
+    const auto few = compileClusterLoopFusion(g, cluster, kV100, tight);
+
+    auto kernels_with = [&](const CompiledCluster &c, NodeId n) {
+        int count = 0;
+        for (const auto &k : c.kernels)
+            count += k.containsNode(n);
+        return count;
+    };
+    EXPECT_EQ(kernels_with(many, shared), 6);
+    EXPECT_EQ(kernels_with(few, shared), 1);
+    // Materializing adds one kernel for the shared producer.
+    EXPECT_EQ(few.kernels.size(), many.kernels.size() + 1);
+}
+
+TEST(LoopFusion, TiledColumnReduceImprovesCoalescing)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({2048, 128});
+    g.markOutput(b.reduceSum(x, {0}));
+    const Cluster cluster = findMemoryIntensiveClusters(g)[0];
+
+    LoopFusionRules plain;
+    const auto naive = compileClusterLoopFusion(g, cluster, kV100, plain);
+    LoopFusionRules tiled;
+    tiled.tiled_column_reduce = true;
+    const auto smart = compileClusterLoopFusion(g, cluster, kV100, tiled);
+
+    EXPECT_LT(naive.kernels[0].read_coalescing, 1.0);
+    EXPECT_DOUBLE_EQ(smart.kernels[0].read_coalescing, 1.0);
+    EXPECT_LT(smart.kernels[0].atomic_operations,
+              naive.kernels[0].atomic_operations);
+}
+
+TEST(Memcpy, TfIssuesMoreActivitiesThanCompiledBackends)
+{
+    Graph g = workloads::inferenceWorkloads()[3].build(); // Transformer
+    Session tf(g, std::make_unique<TfBackend>());
+    Session xla(g, std::make_unique<XlaBackend>());
+    Session as(g, std::make_unique<AStitchBackend>());
+    const int tf_cpy = tf.profile().cpyCount();
+    const int xla_cpy = xla.profile().cpyCount();
+    const int as_cpy = as.profile().cpyCount();
+    EXPECT_GT(tf_cpy, xla_cpy);
+    EXPECT_GT(xla_cpy, as_cpy);
+}
+
+TEST(Trt, MoreKernelsThanXlaOnBroadcastHeavyGraphs)
+{
+    // TRT cuts at every one-to-many dependency, so broadcast-rich
+    // models fragment harder than under XLA — the Fig. 11a ordering.
+    Graph g = workloads::inferenceWorkloads()[2].build(); // BERT
+    Session xla(g, std::make_unique<XlaBackend>());
+    Session trt(g, std::make_unique<TrtBackend>());
+    EXPECT_GE(trt.profile().memKernelCount(),
+              xla.profile().memKernelCount());
+}
+
+TEST(FrameworkOverhead, AppliesToComputeKernelsToo)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({64, 64});
+    NodeId w = b.parameter({64, 64});
+    b.output(b.tanh(b.matmul(x, w)));
+    Session tf(g, std::make_unique<TfBackend>());
+    Session xla(g, std::make_unique<XlaBackend>());
+    double tf_compute_overhead = 0, xla_compute_overhead = 0;
+    for (const auto &k : tf.profile().counters.kernels) {
+        if (k.category == KernelCategory::ComputeIntensive)
+            tf_compute_overhead = k.launch_overhead_us;
+    }
+    for (const auto &k : xla.profile().counters.kernels) {
+        if (k.category == KernelCategory::ComputeIntensive)
+            xla_compute_overhead = k.launch_overhead_us;
+    }
+    EXPECT_GT(tf_compute_overhead, xla_compute_overhead);
+}
+
+TEST(AStitchOptions, SmemBudgetDemotesWithoutBreakingCompilation)
+{
+    // Two chained softmaxes: the wide intermediate between them is a
+    // regional buffer that a tight budget must demote.
+    Graph g("softmax_chain");
+    {
+        GraphBuilder b(g);
+        NodeId x = b.parameter({2048, 1024});
+        g.markOutput(b.softmax(b.softmax(x)));
+    }
+    const Cluster cluster = findMemoryIntensiveClusters(g)[0];
+    AStitchOptions tight;
+    tight.smem_budget_per_block = 5000; // reduce slab + a little
+    StitchDiagnostics diag;
+    const auto compiled =
+        compileStitchOp(g, cluster, kV100, tight, &diag);
+    EXPECT_GT(diag.memory.num_demoted, 0);
+    EXPECT_LE(diag.memory.smem_per_block, 5000);
+    // The demoted element-wise buffers rematerialize (recompute per
+    // consuming group) rather than spill; the plan stays valid.
+    EXPECT_FALSE(diag.memory.rematerialized.empty());
+    EXPECT_EQ(compiled.kernels.size(), 1u);
+}
+
+TEST(AStitch, ElementwiseOnlyClusterNeedsNoBarriers)
+{
+    Graph g = testing::buildElementwiseChain(4096, 8);
+    Session session(g, std::make_unique<AStitchBackend>());
+    const auto &compiled = session.compiled();
+    ASSERT_EQ(compiled.size(), 1u);
+    const KernelPlan &k = compiled[0].kernels[0];
+    EXPECT_EQ(k.num_global_barriers, 0);
+    EXPECT_EQ(k.smem_per_block, 0);
+}
+
+} // namespace
+} // namespace astitch

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for stitch-scope identification: memory-intensive cluster
+ * discovery, frontier computation, acyclicity and remote stitching.
+ */
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+
+#include "compiler/clustering.h"
+#include "graph/graph_builder.h"
+#include "graph/traversal.h"
+#include "test_graphs.h"
+
+namespace astitch {
+namespace {
+
+TEST(Clustering, SingleChainIsOneCluster)
+{
+    Graph g = testing::buildElementwiseChain(64, 3);
+    const auto clusters = findMemoryIntensiveClusters(g);
+    ASSERT_EQ(clusters.size(), 1u);
+    // Constants and parameters are inputs, not members.
+    for (NodeId n : clusters[0].nodes)
+        EXPECT_FALSE(isSource(g.node(n).kind()));
+}
+
+TEST(Clustering, ComputeOpsDivideClusters)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({8, 8});
+    NodeId pre = b.tanh(x);                    // cluster 1
+    NodeId w = b.parameter({8, 8});
+    NodeId mm = b.matmul(pre, w);
+    NodeId post = b.sigmoid(mm);               // cluster 2
+    g.markOutput(post);
+    const auto clusters = findMemoryIntensiveClusters(g);
+    ASSERT_EQ(clusters.size(), 2u);
+    EXPECT_TRUE(clusters[0].contains(pre));
+    EXPECT_TRUE(clusters[1].contains(post));
+}
+
+TEST(Clustering, FrontiersAreComputed)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({8});
+    NodeId y = b.parameter({8});
+    NodeId s = b.add(x, y);
+    NodeId t = b.tanh(s);
+    g.markOutput(t);
+    const auto clusters = findMemoryIntensiveClusters(g);
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_EQ(clusters[0].inputs, (std::vector<NodeId>{x, y}));
+    EXPECT_EQ(clusters[0].outputs, (std::vector<NodeId>{t}));
+}
+
+TEST(Clustering, InternalMultiUseIsNotAnOutput)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({8});
+    NodeId a = b.neg(x);
+    NodeId c = b.add(a, b.abs(a)); // `a` used twice, both internal
+    g.markOutput(c);
+    const auto clusters = findMemoryIntensiveClusters(g);
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_EQ(clusters[0].outputs, (std::vector<NodeId>{c}));
+}
+
+TEST(Clustering, CyclicComponentIsSplit)
+{
+    // a -> matmul -> c with a direct a -> c edge: the undirected
+    // component {a, c} would deadlock against the matmul; it must split.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId p = b.parameter({8, 8});
+    NodeId a = b.neg(p);
+    NodeId w = b.parameter({8, 8});
+    NodeId mm = b.matmul(a, w);
+    NodeId c = b.add(a, mm);
+    g.markOutput(c);
+
+    const auto clusters = findMemoryIntensiveClusters(g);
+    ASSERT_EQ(clusters.size(), 2u);
+    for (const Cluster &cluster : clusters) {
+        // No cluster may both feed and consume the matmul.
+        const bool feeds = cluster.contains(a);
+        const bool consumes = cluster.contains(c);
+        EXPECT_FALSE(feeds && consumes);
+    }
+}
+
+TEST(Clustering, DeepCyclicChainSplitsEverywhere)
+{
+    // mem -> matmul -> mem -> matmul -> mem with skip connections.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4, 4});
+    NodeId m1 = b.neg(x);
+    NodeId w = b.parameter({4, 4});
+    NodeId mm1 = b.matmul(m1, w);
+    NodeId m2 = b.add(m1, mm1);
+    NodeId mm2 = b.matmul(m2, w);
+    NodeId m3 = b.add(m2, mm2);
+    g.markOutput(m3);
+    const auto clusters = findMemoryIntensiveClusters(g);
+    EXPECT_EQ(clusters.size(), 3u);
+    // Each split must keep the unit DAG acyclic: no cluster contains two
+    // nodes with a compute op between them.
+    for (const Cluster &c : clusters) {
+        EXPECT_FALSE(c.contains(m1) && c.contains(m2));
+        EXPECT_FALSE(c.contains(m2) && c.contains(m3));
+    }
+}
+
+TEST(RemoteStitch, MergesIndependentClusters)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({8});
+    NodeId y = b.parameter({8});
+    NodeId c1 = b.tanh(x);
+    NodeId c2 = b.sigmoid(y);
+    g.markOutput(c1);
+    g.markOutput(c2);
+    auto clusters = findMemoryIntensiveClusters(g);
+    ASSERT_EQ(clusters.size(), 2u);
+    clusters = remoteStitch(g, std::move(clusters));
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_TRUE(clusters[0].contains(c1));
+    EXPECT_TRUE(clusters[0].contains(c2));
+}
+
+TEST(RemoteStitch, RespectsDependencies)
+{
+    // cluster1 -> matmul -> cluster2: cannot merge.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({8, 8});
+    NodeId c1 = b.tanh(x);
+    NodeId w = b.parameter({8, 8});
+    NodeId mm = b.matmul(c1, w);
+    NodeId c2 = b.sigmoid(mm);
+    g.markOutput(c2);
+    auto clusters = findMemoryIntensiveClusters(g);
+    ASSERT_EQ(clusters.size(), 2u);
+    clusters = remoteStitch(g, std::move(clusters));
+    EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(RemoteStitch, MixedMergeKeepsDagAcyclic)
+{
+    // Three clusters: c1 -> mm -> c2, c3 independent. c3 can merge with
+    // either but c1/c2 stay apart.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({8, 8});
+    NodeId c1 = b.tanh(x);
+    NodeId w = b.parameter({8, 8});
+    NodeId c2 = b.sigmoid(b.matmul(c1, w));
+    NodeId c3 = b.abs(b.parameter({16}));
+    g.markOutput(c2);
+    g.markOutput(c3);
+    auto clusters =
+        remoteStitch(g, findMemoryIntensiveClusters(g));
+    EXPECT_EQ(clusters.size(), 2u);
+    // c1 and c2 must be in different clusters.
+    int c1_cluster = -1, c2_cluster = -1;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+        if (clusters[i].contains(c1))
+            c1_cluster = static_cast<int>(i);
+        if (clusters[i].contains(c2))
+            c2_cluster = static_cast<int>(i);
+    }
+    EXPECT_NE(c1_cluster, c2_cluster);
+}
+
+TEST(RemoteStitch, HonorsSizeBound)
+{
+    Graph g;
+    GraphBuilder b(g);
+    for (int i = 0; i < 4; ++i)
+        g.markOutput(b.tanh(b.parameter({8})));
+    auto clusters = findMemoryIntensiveClusters(g);
+    ASSERT_EQ(clusters.size(), 4u);
+    auto merged = remoteStitch(g, clusters, /*max_cluster_nodes=*/2);
+    EXPECT_EQ(merged.size(), 2u);
+    for (const Cluster &c : merged)
+        EXPECT_LE(c.nodes.size(), 2u);
+}
+
+TEST(RemoteStitch, Fig7StaysOneCluster)
+{
+    auto f = testing::buildFig7();
+    auto clusters = findMemoryIntensiveClusters(f.graph);
+    ASSERT_EQ(clusters.size(), 1u);
+    auto merged = remoteStitch(f.graph, clusters);
+    EXPECT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].nodes, clusters[0].nodes);
+}
+
+} // namespace
+} // namespace astitch

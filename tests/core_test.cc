@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Unit tests for the AStitch core: dominant analysis, adaptive thread
+ * mapping, schedule propagation, locality check, memory planner, launch
+ * configuration and the stitch code generator.
+ */
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+
+#include <set>
+
+#include "core/astitch_backend.h"
+#include "test_graphs.h"
+
+namespace astitch {
+namespace {
+
+const GpuSpec kV100 = GpuSpec::v100();
+
+Cluster
+soleCluster(const Graph &g)
+{
+    auto clusters = findMemoryIntensiveClusters(g);
+    EXPECT_EQ(clusters.size(), 1u);
+    return clusters[0];
+}
+
+// ---------------------------------------------------------------------
+// Dominant analysis
+// ---------------------------------------------------------------------
+
+TEST(DominantAnalysis, Fig7CandidatesIncludeBothPatterns)
+{
+    auto f = testing::buildFig7();
+    const auto analysis =
+        analyzeDominants(f.graph, soleCluster(f.graph), true);
+    const std::set<NodeId> candidates(analysis.candidates.begin(),
+                                      analysis.candidates.end());
+    EXPECT_TRUE(candidates.count(f.reduce1));
+    EXPECT_TRUE(candidates.count(f.reduce2));
+    EXPECT_TRUE(candidates.count(f.power1)) << "heavy ew + broadcast";
+    EXPECT_TRUE(candidates.count(f.multiply1)) << "cluster output";
+}
+
+TEST(DominantAnalysis, ReducesAnchorSeparateGroups)
+{
+    auto f = testing::buildFig7();
+    const auto analysis =
+        analyzeDominants(f.graph, soleCluster(f.graph), true);
+    EXPECT_EQ(analysis.groups.size(), 2u);
+    std::set<NodeId> dominants;
+    for (const auto &g : analysis.groups)
+        dominants.insert(g.dominant);
+    EXPECT_TRUE(dominants.count(f.reduce1));
+    EXPECT_TRUE(dominants.count(f.reduce2));
+}
+
+TEST(DominantAnalysis, NonReduceCandidatesBecomeSubDominants)
+{
+    auto f = testing::buildFig7();
+    const auto analysis =
+        analyzeDominants(f.graph, soleCluster(f.graph), true);
+    EXPECT_TRUE(analysis.isSchemeBoundary(f.power1));
+    EXPECT_TRUE(analysis.isSchemeBoundary(f.multiply1));
+    // power1/multiply1 are sub-dominants, never final dominants.
+    for (const auto &g : analysis.groups) {
+        EXPECT_NE(g.dominant, f.power1);
+        EXPECT_NE(g.dominant, f.multiply1);
+    }
+}
+
+TEST(DominantAnalysis, MergedGroupsPartitionTheCluster)
+{
+    auto f = testing::buildFig7();
+    const Cluster cluster = soleCluster(f.graph);
+    const auto analysis = analyzeDominants(f.graph, cluster, true);
+    std::set<NodeId> seen;
+    for (const auto &g : analysis.groups) {
+        for (NodeId n : g.members) {
+            EXPECT_TRUE(seen.insert(n).second)
+                << "node in two groups under merging";
+        }
+    }
+    EXPECT_EQ(seen.size(), cluster.nodes.size());
+}
+
+TEST(DominantAnalysis, UnmergedDuplicatesSharedRegions)
+{
+    auto f = testing::buildFig7();
+    const Cluster cluster = soleCluster(f.graph);
+    const auto merged = analyzeDominants(f.graph, cluster, true);
+    const auto unmerged = analyzeDominants(f.graph, cluster, false);
+    EXPECT_GT(unmerged.groups.size(), merged.groups.size());
+    // Some node must now belong to more than one group.
+    bool duplicated = false;
+    for (const auto &[node, groups] : unmerged.groups_of_node)
+        duplicated |= groups.size() > 1;
+    EXPECT_TRUE(duplicated);
+}
+
+TEST(DominantAnalysis, PureElementwiseClusterHasOneGroup)
+{
+    Graph g = testing::buildElementwiseChain(256, 4);
+    const auto analysis = analyzeDominants(g, soleCluster(g), true);
+    EXPECT_EQ(analysis.groups.size(), 1u);
+    EXPECT_FALSE(
+        isReduce(g.node(analysis.groups[0].dominant).kind()));
+}
+
+TEST(DominantAnalysis, SoftmaxHasTwoReduceGroups)
+{
+    Graph g = testing::buildSoftmax(8, 64);
+    const auto analysis = analyzeDominants(g, soleCluster(g), true);
+    int reduce_groups = 0;
+    for (const auto &grp : analysis.groups)
+        reduce_groups += isReduce(g.node(grp.dominant).kind());
+    EXPECT_EQ(reduce_groups, 2);
+}
+
+// ---------------------------------------------------------------------
+// Adaptive thread mapping (Sec 3.3)
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveMapping, HorizontalPackingFixesTinyRows)
+{
+    // Fig. 8-(a): <750000,32> packs 32 rows into 1024-thread blocks and
+    // vertically packs the grid into one wave.
+    const AdaptiveMapping m = adaptiveRowReduce(kV100, 750000, 32);
+    EXPECT_EQ(m.launch.block, 1024);
+    EXPECT_EQ(m.rows_per_block, 32);
+    EXPECT_FALSE(m.uses_atomics);
+    const std::int64_t bpw = blocksPerWaveFor(kV100, 1024, 8 * 1024);
+    EXPECT_LE(m.launch.grid, bpw);
+    EXPECT_GT(m.tasks_per_block, 1);
+}
+
+TEST(AdaptiveMapping, TaskSplittingFixesSmallBlockCount)
+{
+    // Fig. 8-(b): <64,30000> splits each row across blocks with atomics.
+    const AdaptiveMapping m = adaptiveRowReduce(kV100, 64, 30000);
+    EXPECT_GT(m.split_factor, 1);
+    EXPECT_TRUE(m.uses_atomics);
+    EXPECT_GT(m.launch.grid, 64);
+    EXPECT_EQ(m.launch.grid, 64 * m.split_factor);
+}
+
+TEST(AdaptiveMapping, RegularShapesNeedNoTricks)
+{
+    const AdaptiveMapping m = adaptiveRowReduce(kV100, 4096, 1024);
+    EXPECT_EQ(m.split_factor, 1);
+    EXPECT_FALSE(m.uses_atomics);
+    EXPECT_EQ(m.launch.block, 1024);
+}
+
+TEST(AdaptiveMapping, ElementwiseGridCappedToWave)
+{
+    const AdaptiveMapping m = adaptiveElementwise(kV100, 100'000'000);
+    const std::int64_t bpw = blocksPerWaveFor(kV100, 256, 0);
+    EXPECT_LE(m.launch.grid, bpw);
+    EXPECT_GT(m.tasks_per_block, 1);
+}
+
+TEST(AdaptiveMapping, ColumnReduceUsesAtomics)
+{
+    const AdaptiveMapping m = adaptiveColumnReduce(kV100, 1024, 64);
+    EXPECT_TRUE(m.uses_atomics);
+}
+
+TEST(AdaptiveMapping, DegenerateReduceIsFatal)
+{
+    EXPECT_THROW(adaptiveRowReduce(kV100, 0, 32), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Schedule propagation + locality
+// ---------------------------------------------------------------------
+
+TEST(SchedulePropagation, ReduceGroupsGetReduceMappings)
+{
+    auto f = testing::buildFig7();
+    const Cluster cluster = soleCluster(f.graph);
+    const auto analysis = analyzeDominants(f.graph, cluster, true);
+    const auto schedules =
+        computeGroupSchedules(f.graph, cluster, analysis, kV100, true);
+    ASSERT_EQ(schedules.size(), analysis.groups.size());
+    for (std::size_t g = 0; g < schedules.size(); ++g) {
+        EXPECT_EQ(schedules[g].is_reduce_group,
+                  isReduce(f.graph.node(analysis.groups[g].dominant)
+                               .kind()));
+    }
+}
+
+TEST(SchedulePropagation, ElementwiseGroupAdoptsProducerMapping)
+{
+    // reduce feeding an elementwise output group: the consumer group
+    // proactively adapts to the producer's launch.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({512, 256});
+    NodeId r = b.reduceSum(x, {1});
+    NodeId out = b.mul(b.tanh(r), b.constantScalar(2.0f));
+    g.markOutput(out);
+    const Cluster cluster = soleCluster(g);
+    const auto analysis = analyzeDominants(g, cluster, true);
+    const auto schedules =
+        computeGroupSchedules(g, cluster, analysis, kV100, true);
+    // All ops claimed by the reduce group here: just assert no crash and
+    // reduce mapping present.
+    bool has_reduce_group = false;
+    for (const auto &s : schedules)
+        has_reduce_group |= s.is_reduce_group;
+    EXPECT_TRUE(has_reduce_group);
+}
+
+TEST(LocalityCheck, SameScheduleYieldsRegional)
+{
+    // Softmax: both reduces share the same row partitioning, so the
+    // reduce outputs can live in shared memory.
+    Graph g = testing::buildSoftmax(4096, 256);
+    const Cluster cluster = soleCluster(g);
+    const auto analysis = analyzeDominants(g, cluster, true);
+    const auto schedules =
+        computeGroupSchedules(g, cluster, analysis, kV100, true);
+    const auto schemes =
+        finalizeSchemes(g, cluster, analysis, schedules);
+    int regional = 0;
+    for (const auto &[node, scheme] : schemes)
+        regional += scheme == StitchScheme::Regional;
+    EXPECT_GE(regional, 2);
+}
+
+TEST(LocalityCheck, SplitReduceFallsToGlobal)
+{
+    // <64,30000> forces task splitting -> atomics -> Global scheme.
+    Graph g = testing::buildSoftmax(64, 30000);
+    const Cluster cluster = soleCluster(g);
+    const auto analysis = analyzeDominants(g, cluster, true);
+    const auto schedules =
+        computeGroupSchedules(g, cluster, analysis, kV100, true);
+    const auto schemes =
+        finalizeSchemes(g, cluster, analysis, schedules);
+    int global = 0;
+    for (const auto &[node, scheme] : schemes)
+        global += scheme == StitchScheme::Global;
+    EXPECT_GE(global, 1);
+}
+
+// ---------------------------------------------------------------------
+// Memory planner (Sec 4.4)
+// ---------------------------------------------------------------------
+
+TEST(MemoryPlanner, RegionalBuffersFitDefaultBudget)
+{
+    Graph g = testing::buildSoftmax(4096, 256);
+    const Cluster cluster = soleCluster(g);
+    const auto analysis = analyzeDominants(g, cluster, true);
+    const auto schedules =
+        computeGroupSchedules(g, cluster, analysis, kV100, true);
+    auto schemes = finalizeSchemes(g, cluster, analysis, schedules);
+    const MemoryPlan plan = planMemory(g, cluster, analysis, schedules,
+                                       schemes, kV100);
+    EXPECT_LE(plan.smem_per_block, kV100.smem_per_block_bytes);
+    EXPECT_EQ(plan.num_demoted, 0);
+}
+
+TEST(MemoryPlanner, TightBudgetDemotesRegionalToGlobal)
+{
+    Graph g = testing::buildSoftmax(4096, 256);
+    const Cluster cluster = soleCluster(g);
+    const auto analysis = analyzeDominants(g, cluster, true);
+    const auto schedules =
+        computeGroupSchedules(g, cluster, analysis, kV100, true);
+    auto schemes = finalizeSchemes(g, cluster, analysis, schedules);
+    const std::int64_t scratch_only = 1024 * 4 + 4;
+    const MemoryPlan plan = planMemory(g, cluster, analysis, schedules,
+                                       schemes, kV100, scratch_only);
+    EXPECT_GT(plan.num_demoted, 0);
+    EXPECT_LE(plan.smem_per_block, scratch_only);
+    // Demoted reduce buffers show up as global scratch.
+    EXPECT_GT(plan.global_scratch_bytes, 0);
+}
+
+TEST(MemoryPlanner, ImpossibleBudgetIsFatal)
+{
+    Graph g = testing::buildSoftmax(64, 256);
+    const Cluster cluster = soleCluster(g);
+    const auto analysis = analyzeDominants(g, cluster, true);
+    const auto schedules =
+        computeGroupSchedules(g, cluster, analysis, kV100, true);
+    auto schemes = finalizeSchemes(g, cluster, analysis, schedules);
+    EXPECT_THROW(planMemory(g, cluster, analysis, schedules, schemes,
+                            kV100, 16),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Launch configuration (Sec 4.5)
+// ---------------------------------------------------------------------
+
+TEST(LaunchConfig, RelaxesRegistersWhenSmemBound)
+{
+    // 256-thread blocks with 48KB smem: residency is smem-bound at
+    // 2 blocks/SM (threads would allow 8), so the register bound relaxes
+    // from the assumed 32 up to 128 without losing residency.
+    const LaunchConfig config =
+        configureLaunch(kV100, 100, 256, 48 * 1024, true);
+    EXPECT_EQ(config.regs_per_thread, 128);
+    EXPECT_EQ(config.blocks_per_wave, 160);
+}
+
+TEST(LaunchConfig, ThreadBoundConfigsCannotRelax)
+{
+    // Full 1024-thread blocks fill the SM at 2 blocks: every register in
+    // the file is already budgeted (65536 / 2048 = 32 per thread).
+    const LaunchConfig config =
+        configureLaunch(kV100, 100, 1024, 16 * 1024, true);
+    EXPECT_EQ(config.regs_per_thread, 32);
+}
+
+TEST(LaunchConfig, KeepsAssumedRegsWhenRegisterBound)
+{
+    // No smem: 2 blocks of 1024 threads need regs <= 32 per thread to
+    // keep both resident.
+    const LaunchConfig config =
+        configureLaunch(kV100, 100, 1024, 0, true);
+    EXPECT_EQ(config.regs_per_thread, 32);
+}
+
+TEST(LaunchConfig, GlobalBarrierCapsGridToOneWave)
+{
+    const LaunchConfig config =
+        configureLaunch(kV100, 10000, 1024, 0, true);
+    EXPECT_LE(config.launch.grid, config.blocks_per_wave);
+    EXPECT_GT(config.grid_packing, 1);
+
+    const LaunchConfig uncapped =
+        configureLaunch(kV100, 10000, 1024, 0, false);
+    EXPECT_EQ(uncapped.launch.grid, 10000);
+}
+
+// ---------------------------------------------------------------------
+// Stitch codegen end-to-end
+// ---------------------------------------------------------------------
+
+TEST(StitchCodegen, Fig7CompilesToOneKernel)
+{
+    auto f = testing::buildFig7();
+    StitchDiagnostics diag;
+    const auto compiled = compileStitchOp(
+        f.graph, soleCluster(f.graph), kV100, AStitchOptions{}, &diag);
+    ASSERT_EQ(compiled.kernels.size(), 1u);
+    const KernelPlan &k = compiled.kernels[0];
+    // Every cluster node scheduled exactly once.
+    EXPECT_EQ(k.ops.size(), soleCluster(f.graph).nodes.size());
+    // The output is written to framework memory.
+    bool found_output = false;
+    for (const auto &op : k.ops) {
+        if (op.node == f.multiply1) {
+            EXPECT_EQ(op.out_space, BufferSpace::Output);
+            found_output = true;
+        }
+        EXPECT_DOUBLE_EQ(op.recompute_factor, 1.0)
+            << "hierarchical reuse forbids recomputation";
+    }
+    EXPECT_TRUE(found_output);
+}
+
+TEST(StitchCodegen, SchemesMatchPaperStory)
+{
+    // reduce.1's consumers share its partitioning -> Regional; power.1
+    // crosses into the other group -> Regional only if partitionings
+    // align, and at least one boundary must be buffered on-chip or in
+    // global scratch.
+    auto f = testing::buildFig7();
+    StitchDiagnostics diag;
+    compileStitchOp(f.graph, soleCluster(f.graph), kV100,
+                    AStitchOptions{}, &diag);
+    ASSERT_TRUE(diag.memory.schemes.count(f.reduce1));
+    ASSERT_TRUE(diag.memory.schemes.count(f.power1));
+    EXPECT_EQ(diag.memory.schemes.at(f.reduce1), StitchScheme::Regional);
+}
+
+TEST(StitchCodegen, GlobalBarrierLegality)
+{
+    // Any stitched kernel with global barriers must fit one wave — the
+    // cost model would refuse it otherwise, so pricing must succeed.
+    Graph g = testing::buildSoftmax(64, 30000);
+    const auto compiled = compileStitchOp(
+        g, soleCluster(g), kV100, AStitchOptions{});
+    ASSERT_EQ(compiled.kernels.size(), 1u);
+    const CostModel model(kV100);
+    EXPECT_NO_THROW(model.priceKernel(workDescFor(g, compiled.kernels[0])));
+}
+
+TEST(StitchCodegen, InputLoadFactorReflectsGroupCount)
+{
+    auto f = testing::buildFig7();
+    const Cluster cluster = soleCluster(f.graph);
+    const auto merged =
+        compileStitchOp(f.graph, cluster, kV100, AStitchOptions{});
+    AStitchOptions no_merge = AStitchBackend::withoutMerging();
+    const auto unmerged =
+        compileStitchOp(f.graph, cluster, kV100, no_merge);
+    double merged_reads =
+        workDescFor(f.graph, merged.kernels[0]).bytes_read;
+    double unmerged_reads =
+        workDescFor(f.graph, unmerged.kernels[0]).bytes_read;
+    EXPECT_GE(unmerged_reads, merged_reads);
+}
+
+TEST(AStitchBackend, AblationNamesAndModes)
+{
+    EXPECT_EQ(AStitchBackend().name(), "astitch");
+    EXPECT_EQ(AStitchBackend(AStitchBackend::atmOnly()).name(),
+              "astitch-atm");
+    EXPECT_EQ(AStitchBackend(AStitchBackend::withoutMerging()).name(),
+              "astitch-hdm");
+    EXPECT_TRUE(AStitchBackend().wantsRemoteStitching());
+    EXPECT_FALSE(AStitchBackend(AStitchBackend::atmOnly())
+                     .wantsRemoteStitching());
+}
+
+TEST(AStitchBackend, AtmModeKeepsXlaScopesWithAdaptiveMapping)
+{
+    // ATM mode: multiple kernels (XLA scopes) but improved mapping on the
+    // DIEN shape.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({750000, 32});
+    NodeId r = b.reduceSum(b.mul(x, x), {1});
+    g.markOutput(r);
+    AStitchBackend atm(AStitchBackend::atmOnly());
+    const auto compiled =
+        atm.compileCluster(g, soleCluster(g), kV100);
+    ASSERT_GE(compiled.kernels.size(), 1u);
+    for (const auto &k : compiled.kernels) {
+        if (k.containsNode(r))
+            EXPECT_GE(k.launch.block, 256) << "adaptive mapping expected";
+    }
+}
+
+TEST(AStitchBackend, FullPipelineReducesKernelCountVsXla)
+{
+    auto f = testing::buildFig7();
+    AStitchBackend astitch;
+    const auto stitched =
+        astitch.compileCluster(f.graph, soleCluster(f.graph), kV100);
+    EXPECT_EQ(stitched.kernels.size(), 1u);
+}
+
+} // namespace
+} // namespace astitch

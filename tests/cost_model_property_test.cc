@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Property tests of the device model: monotonicity and consistency
+ * invariants of the cost model, occupancy analytics over launch grids,
+ * and conservation laws the counters must obey across backends.
+ */
+#include <gtest/gtest.h>
+
+#include "backends/tf/tf_backend.h"
+#include "backends/xla/xla_backend.h"
+#include "core/astitch_backend.h"
+#include "runtime/session.h"
+#include "test_graphs.h"
+#include "workloads/common.h"
+
+namespace astitch {
+namespace {
+
+const GpuSpec kV100 = GpuSpec::v100();
+
+KernelWorkDesc
+baseDesc()
+{
+    KernelWorkDesc desc;
+    desc.name = "k";
+    desc.launch = LaunchDims{2048, 256};
+    desc.bytes_read = 8e6;
+    desc.bytes_written = 2e6;
+    desc.fp_instructions = 2e6;
+    return desc;
+}
+
+// ---------------------------------------------------------------------
+// Cost-model monotonicity.
+// ---------------------------------------------------------------------
+
+class TrafficScale : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TrafficScale, TimeIsMonotoneInTraffic)
+{
+    const CostModel model(kV100);
+    KernelWorkDesc small = baseDesc();
+    KernelWorkDesc large = baseDesc();
+    large.bytes_read *= GetParam();
+    large.bytes_written *= GetParam();
+    EXPECT_GE(model.priceKernel(large).time_us,
+              model.priceKernel(small).time_us);
+}
+
+TEST_P(TrafficScale, TransactionsScaleLinearly)
+{
+    const CostModel model(kV100);
+    KernelWorkDesc small = baseDesc();
+    KernelWorkDesc large = baseDesc();
+    large.bytes_read *= GetParam();
+    const auto a = model.priceKernel(small);
+    const auto b = model.priceKernel(large);
+    EXPECT_NEAR(static_cast<double>(b.dram_read_transactions),
+                GetParam() * a.dram_read_transactions,
+                GetParam() + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TrafficScale,
+                         ::testing::Values(1.0, 2.0, 4.0, 10.0, 64.0));
+
+TEST(CostModelProperties, InstructionsMonotone)
+{
+    const CostModel model(kV100);
+    double last = 0.0;
+    for (double insts : {1e5, 1e6, 1e7, 1e9}) {
+        KernelWorkDesc desc = baseDesc();
+        desc.fp_instructions = insts;
+        const double t = model.priceKernel(desc).time_us;
+        EXPECT_GE(t, last);
+        last = t;
+    }
+}
+
+TEST(CostModelProperties, BarrierCostMonotoneInBlocks)
+{
+    const CostModel model(kV100);
+    double last = 0.0;
+    for (int blocks = 10; blocks <= 160; blocks += 10) {
+        const double t = model.globalBarrierUs(blocks);
+        EXPECT_GT(t, last);
+        last = t;
+    }
+}
+
+TEST(CostModelProperties, CoalescingNeverHelpsBeyondOne)
+{
+    const CostModel model(kV100);
+    KernelWorkDesc perfect = baseDesc();
+    for (double c : {0.9, 0.5, 0.25, 0.1}) {
+        KernelWorkDesc worse = baseDesc();
+        worse.read_coalescing = c;
+        EXPECT_GT(model.priceKernel(worse).time_us,
+                  0.99 * model.priceKernel(perfect).time_us);
+        EXPECT_GT(model.priceKernel(worse).dram_read_transactions,
+                  model.priceKernel(perfect).dram_read_transactions);
+    }
+}
+
+TEST(CostModelProperties, BetterOccupancyNeverSlowsMemoryBoundKernels)
+{
+    // Same traffic at increasing block sizes (better occupancy/pipe
+    // utilization) must not get slower.
+    const CostModel model(kV100);
+    double last = 1e18;
+    for (int block : {32, 64, 128, 256}) {
+        KernelWorkDesc desc = baseDesc();
+        desc.launch = LaunchDims{2048 * 256 / block, block};
+        const double t = model.priceKernel(desc).time_us;
+        EXPECT_LE(t, last * 1.0001);
+        last = t;
+    }
+}
+
+TEST(CostModelProperties, A100BeatsV100OnTraffic)
+{
+    KernelWorkDesc desc = baseDesc();
+    const double v100 = CostModel(kV100).priceKernel(desc).time_us;
+    const double a100 =
+        CostModel(GpuSpec::a100()).priceKernel(desc).time_us;
+    EXPECT_LT(a100, v100);
+}
+
+TEST(CostModelProperties, MatmulBatchLinearity)
+{
+    const CostModel model(kV100);
+    const double one =
+        model.priceMatmul("m", 1, 1024, 1024, 1024, 4).time_us;
+    const double eight =
+        model.priceMatmul("m", 8, 1024, 1024, 1024, 4).time_us;
+    EXPECT_NEAR(eight, 8.0 * one, 0.05 * eight);
+}
+
+TEST(CostModelProperties, Fp16HalvesMatmulMemoryBoundTime)
+{
+    // A skinny GEMM is bandwidth-bound: halving dtype width helps.
+    const CostModel model(kV100);
+    const double fp32 =
+        model.priceMatmul("m", 1, 8192, 8, 8192, 4).time_us;
+    const double fp16 =
+        model.priceMatmul("m", 1, 8192, 8, 8192, 2).time_us;
+    EXPECT_LT(fp16, 0.75 * fp32);
+}
+
+// ---------------------------------------------------------------------
+// Occupancy analytics across grid sizes.
+// ---------------------------------------------------------------------
+
+class GridSweep : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(GridSweep, AnalyticsStayInUnitRange)
+{
+    const std::int64_t grid = GetParam();
+    for (int block : {64, 256, 1024}) {
+        const Occupancy occ = computeOccupancy(kV100, block, 32, 0);
+        const LaunchDims launch{grid, block};
+        const double a = achievedOccupancy(kV100, launch, occ);
+        const double e = smEfficiency(kV100, launch, occ);
+        EXPECT_GT(a, 0.0);
+        EXPECT_LE(a, 1.0);
+        EXPECT_GT(e, 0.0);
+        EXPECT_LE(e, 1.0);
+        // Achieved occupancy never exceeds theoretical.
+        EXPECT_LE(a, occ.theoretical + 1e-12);
+    }
+}
+
+TEST_P(GridSweep, EfficiencyIsOneOnExactWaves)
+{
+    const Occupancy occ = computeOccupancy(kV100, 256, 32, 0);
+    const std::int64_t bpw = occ.blocksPerWave(kV100);
+    const LaunchDims launch{GetParam() * bpw, 256};
+    EXPECT_DOUBLE_EQ(smEfficiency(kV100, launch, occ), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, GridSweep,
+                         ::testing::Values(1, 2, 7, 80, 159, 160, 161,
+                                           1000, 750000));
+
+// ---------------------------------------------------------------------
+// Counter conservation laws across backends.
+// ---------------------------------------------------------------------
+
+TEST(CounterLaws, EndToEndEqualsBreakdownTotal)
+{
+    for (const auto &spec : workloads::inferenceWorkloads()) {
+        const Graph g = spec.build();
+        for (int which = 0; which < 2; ++which) {
+            std::unique_ptr<Backend> backend;
+            if (which == 0)
+                backend = std::make_unique<XlaBackend>();
+            else
+                backend = std::make_unique<AStitchBackend>();
+            Session session(g, std::move(backend));
+            const RunReport r = session.profile();
+            EXPECT_NEAR(r.end_to_end_us, r.breakdown.totalUs(),
+                        1e-6 * r.end_to_end_us)
+                << spec.name;
+        }
+    }
+}
+
+TEST(CounterLaws, ComputeTimeIsBackendInvariant)
+{
+    // Library kernels are identical across backends; only their
+    // dispatch overhead may differ.
+    const Graph g = workloads::inferenceWorkloads()[2].build(); // BERT
+    Session xla(g, std::make_unique<XlaBackend>());
+    Session as(g, std::make_unique<AStitchBackend>());
+    EXPECT_NEAR(xla.profile().breakdown.compute_us,
+                as.profile().breakdown.compute_us, 1e-6);
+}
+
+TEST(CounterLaws, OutputWritesAreABaselineFloor)
+{
+    // Every backend must at least write the cluster outputs; TF (which
+    // writes every intermediate) bounds everyone from above on writes.
+    Graph g = testing::buildSoftmax(1024, 512);
+    Session tf(g, std::make_unique<TfBackend>());
+    Session xla(g, std::make_unique<XlaBackend>());
+    Session as(g, std::make_unique<AStitchBackend>());
+    const auto tf_w = tf.profile().counters.dramWriteTransactions();
+    const auto xla_w = xla.profile().counters.dramWriteTransactions();
+    const auto as_w = as.profile().counters.dramWriteTransactions();
+    // Output tensor: 1024x512 floats = 64K transactions.
+    const std::int64_t floor = 1024 * 512 * 4 / 32;
+    EXPECT_GE(as_w, floor);
+    EXPECT_LE(as_w, xla_w);
+    EXPECT_LE(xla_w, tf_w);
+}
+
+TEST(CounterLaws, DeterministicAcrossRuns)
+{
+    const Graph g = workloads::inferenceWorkloads()[4].build(); // DIEN
+    Session session(g, std::make_unique<AStitchBackend>());
+    const RunReport a = session.profile();
+    const RunReport b = session.profile();
+    EXPECT_DOUBLE_EQ(a.end_to_end_us, b.end_to_end_us);
+    EXPECT_EQ(a.counters.dramReadTransactions(),
+              b.counters.dramReadTransactions());
+    EXPECT_DOUBLE_EQ(a.counters.instFp32(), b.counters.instFp32());
+}
+
+TEST(CounterLaws, KernelRecordsCarryLaunchGeometry)
+{
+    Graph g = testing::buildSoftmax(512, 256);
+    Session session(g, std::make_unique<AStitchBackend>());
+    for (const auto &k : session.profile().counters.kernels) {
+        if (k.category == KernelCategory::Memcpy)
+            continue;
+        EXPECT_GE(k.launch.grid, 1);
+        EXPECT_GE(k.launch.block, 1);
+        EXPECT_GT(k.time_us, 0.0);
+        EXPECT_GE(k.launch_overhead_us, 0.0);
+    }
+}
+
+} // namespace
+} // namespace astitch

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Structural tests of the CUDA source emitter: the emitted kernel must
+ * reflect the plan it was generated from — launch bounds, shared arena,
+ * barrier counts, buffering per stitching scheme.
+ */
+#include <gtest/gtest.h>
+
+#include "core/cuda_emitter.h"
+#include "support/strings.h"
+#include "test_graphs.h"
+
+namespace astitch {
+namespace {
+
+const GpuSpec kV100 = GpuSpec::v100();
+
+Cluster
+soleCluster(const Graph &g)
+{
+    auto clusters = findMemoryIntensiveClusters(g);
+    EXPECT_EQ(clusters.size(), 1u);
+    return clusters[0];
+}
+
+int
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    int count = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+TEST(CudaEmitter, EmitsAGlobalKernelWithLaunchBounds)
+{
+    auto f = testing::buildFig7();
+    const CudaEmission emission =
+        emitStitchKernelCuda(f.graph, soleCluster(f.graph), kV100);
+    EXPECT_NE(emission.source.find("__global__ void"),
+              std::string::npos);
+    EXPECT_NE(emission.source.find("__launch_bounds__(1024"),
+              std::string::npos);
+    EXPECT_NE(emission.source.find(emission.kernel_name),
+              std::string::npos);
+}
+
+TEST(CudaEmitter, SharedArenaMatchesMemoryPlanner)
+{
+    auto f = testing::buildFig7();
+    const Cluster cluster = soleCluster(f.graph);
+    StitchDiagnostics diag;
+    compileStitchOp(f.graph, cluster, kV100, AStitchOptions{}, &diag);
+    const CudaEmission emission =
+        emitStitchKernelCuda(f.graph, cluster, kV100);
+    EXPECT_NE(emission.source.find(
+                  strCat("__shared__ float smem[",
+                         (diag.memory.smem_per_block + 3) / 4, "]")),
+              std::string::npos);
+}
+
+TEST(CudaEmitter, EveryClusterOpAppears)
+{
+    auto f = testing::buildFig7();
+    const Cluster cluster = soleCluster(f.graph);
+    const CudaEmission emission =
+        emitStitchKernelCuda(f.graph, cluster, kV100);
+    // Each non-source op produces a value definition or reduce comment.
+    for (NodeId id : cluster.nodes) {
+        const std::string name = f.graph.node(id).name();
+        std::string mangled = name;
+        for (char &c : mangled) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        EXPECT_NE(emission.source.find("v_" + mangled),
+                  std::string::npos)
+            << name << " missing from emission";
+    }
+}
+
+TEST(CudaEmitter, GridBarrierCountMatchesPlan)
+{
+    // The <64,30000> softmax stitches with split reduces -> global
+    // scheme boundaries -> grid barriers.
+    Graph g = testing::buildSoftmax(64, 30000);
+    const Cluster cluster = soleCluster(g);
+    StitchDiagnostics diag;
+    const auto compiled =
+        compileStitchOp(g, cluster, kV100, AStitchOptions{}, &diag);
+    const CudaEmission emission = emitStitchKernelCuda(g, cluster, kV100);
+    const int barriers = compiled.kernels[0].num_global_barriers;
+    ASSERT_GT(barriers, 0);
+    EXPECT_EQ(countOccurrences(emission.source,
+                               "grid_barrier(barrier_state"),
+              barriers);
+    // The helper is defined exactly once.
+    EXPECT_EQ(countOccurrences(emission.source,
+                               "__device__ void"),
+              1);
+}
+
+TEST(CudaEmitter, NoBarrierHelperWhenAllRegional)
+{
+    // A same-schedule softmax keeps everything regional: no grid
+    // barriers, no helper, no barrier_state parameter.
+    Graph g = testing::buildSoftmax(4096, 256);
+    const CudaEmission emission =
+        emitStitchKernelCuda(g, soleCluster(g), kV100);
+    EXPECT_EQ(emission.source.find("grid_barrier"), std::string::npos);
+    EXPECT_EQ(emission.source.find("barrier_state"), std::string::npos);
+}
+
+TEST(CudaEmitter, RegionalBoundariesSyncthreads)
+{
+    Graph g = testing::buildSoftmax(4096, 256);
+    const CudaEmission emission =
+        emitStitchKernelCuda(g, soleCluster(g), kV100);
+    EXPECT_GE(countOccurrences(emission.source,
+                               "__syncthreads(); // regional boundary"),
+              2); // both reduce outputs are regional
+}
+
+TEST(CudaEmitter, SignatureListsInputsAndOutputs)
+{
+    auto f = testing::buildFig7();
+    const Cluster cluster = soleCluster(f.graph);
+    const CudaEmission emission =
+        emitStitchKernelCuda(f.graph, cluster, kV100);
+    EXPECT_EQ(countOccurrences(emission.source,
+                               "const float *__restrict__"),
+              static_cast<int>(cluster.inputs.size()));
+    EXPECT_EQ(countOccurrences(emission.source, "_out"),
+              2 * static_cast<int>(cluster.outputs.size()));
+}
+
+TEST(CudaEmitter, LaunchStubMatchesPlan)
+{
+    auto f = testing::buildFig7();
+    const Cluster cluster = soleCluster(f.graph);
+    StitchDiagnostics diag;
+    const auto compiled =
+        compileStitchOp(f.graph, cluster, kV100, AStitchOptions{}, &diag);
+    const CudaEmission emission =
+        emitStitchKernelCuda(f.graph, cluster, kV100);
+    const KernelPlan &plan = compiled.kernels[0];
+    EXPECT_NE(emission.launch_stub.find(strCat(
+                  "<<<", plan.launch.grid, ", ", plan.launch.block)),
+              std::string::npos);
+    EXPECT_NE(emission.launch_stub.find(strCat(
+                  "-maxrregcount=", plan.regs_per_thread)),
+              std::string::npos);
+}
+
+TEST(CudaEmitter, VerticalPackingLoopAppears)
+{
+    // The DIEN reduce packs 147 logical tasks per block.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({750000, 32});
+    g.markOutput(b.reduceSum(b.mul(x, x), {1}));
+    const CudaEmission emission =
+        emitStitchKernelCuda(g, soleCluster(g), kV100);
+    EXPECT_NE(emission.source.find("vertical packing x"),
+              std::string::npos);
+    EXPECT_NE(emission.source.find("task += gridDim.x"),
+              std::string::npos);
+}
+
+TEST(CudaEmitter, ReduceLowersToColumnLoopAndBlockReduce)
+{
+    Graph g = testing::buildSoftmax(128, 512);
+    const CudaEmission emission =
+        emitStitchKernelCuda(g, soleCluster(g), kV100);
+    EXPECT_GE(countOccurrences(emission.source, "blockReduce("), 2);
+    EXPECT_GE(countOccurrences(emission.source, "c += blockDim.x"), 2);
+    // Max-reduce initializes with -INFINITY, sum with 0.
+    EXPECT_NE(emission.source.find("-INFINITY"), std::string::npos);
+}
+
+} // namespace
+} // namespace astitch

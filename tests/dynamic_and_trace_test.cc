@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for dynamic-shape sessions (shape bucketing) and the trace/CSV
+ * exports.
+ */
+#include <gtest/gtest.h>
+
+#include "backends/xla/xla_backend.h"
+#include "core/astitch_backend.h"
+#include "runtime/dynamic_session.h"
+#include "sim/trace_export.h"
+#include "support/logging.h"
+#include "support/strings.h"
+#include "test_graphs.h"
+
+namespace astitch {
+namespace {
+
+GraphTemplate
+softmaxTemplate()
+{
+    return [](const std::vector<std::int64_t> &dims) {
+        return testing::buildSoftmax(dims.at(0), dims.at(1));
+    };
+}
+
+BackendFactory
+astitchFactory()
+{
+    return [] { return std::make_unique<AStitchBackend>(); };
+}
+
+TEST(DynamicSession, CompilesOncePerShapeSignature)
+{
+    DynamicSession session(softmaxTemplate(), astitchFactory());
+    session.profile({64, 128});
+    session.profile({64, 128});
+    EXPECT_EQ(session.numCompiledBuckets(), 1);
+    session.profile({128, 128});
+    EXPECT_EQ(session.numCompiledBuckets(), 2);
+}
+
+TEST(DynamicSession, ShapesChangePlansAndTimes)
+{
+    DynamicSession session(softmaxTemplate(), astitchFactory());
+    const RunReport small = session.profile({64, 64});
+    const RunReport large = session.profile({8192, 1024});
+    EXPECT_GT(large.end_to_end_us, small.end_to_end_us);
+}
+
+TEST(DynamicSession, PowerOfTwoBucketingBoundsCompilations)
+{
+    DynamicSessionOptions options;
+    options.bucket_to_power_of_two = true;
+    DynamicSession session(softmaxTemplate(), astitchFactory(),
+                           options);
+    // 65..128 rows all land in the 128 bucket.
+    for (std::int64_t rows : {65, 100, 128, 127})
+        session.profile({rows, 256});
+    EXPECT_EQ(session.numCompiledBuckets(), 1);
+    EXPECT_EQ(session.bucketFor({100, 256}),
+              (std::vector<std::int64_t>{128, 256}));
+    session.profile({129, 256});
+    EXPECT_EQ(session.numCompiledBuckets(), 2);
+}
+
+TEST(DynamicSession, ExactModeKeepsExactDims)
+{
+    DynamicSession session(softmaxTemplate(), astitchFactory());
+    EXPECT_EQ(session.bucketFor({100, 3}),
+              (std::vector<std::int64_t>{100, 3}));
+}
+
+TEST(DynamicSession, RequiresTemplateAndFactory)
+{
+    EXPECT_THROW(DynamicSession(nullptr, astitchFactory()), FatalError);
+    EXPECT_THROW(DynamicSession(softmaxTemplate(), nullptr), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Trace / CSV export
+// ---------------------------------------------------------------------
+
+PerfCounters
+sampleCounters()
+{
+    Graph g = testing::buildSoftmax(256, 512);
+    Session session(g, std::make_unique<XlaBackend>());
+    return session.profile().counters;
+}
+
+TEST(TraceExport, ChromeTraceHasOneSlicePairPerKernel)
+{
+    const PerfCounters counters = sampleCounters();
+    const std::string json = toChromeTrace(counters);
+    EXPECT_TRUE(strStartsWith(json, "{\"traceEvents\":["));
+    int dispatch = 0, device = 0;
+    std::size_t pos = 0;
+    while ((pos = json.find("\"tid\":0", pos)) != std::string::npos) {
+        ++dispatch;
+        pos += 7;
+    }
+    pos = 0;
+    while ((pos = json.find("\"tid\":1,\"ts\"", pos)) !=
+           std::string::npos) {
+        ++device;
+        pos += 7;
+    }
+    EXPECT_EQ(dispatch, static_cast<int>(counters.kernels.size()));
+    EXPECT_EQ(device, static_cast<int>(counters.kernels.size()));
+}
+
+TEST(TraceExport, DeviceSlicesAreSerialized)
+{
+    // ts values on tid 1 must be non-decreasing (single stream).
+    const std::string json = toChromeTrace(sampleCounters());
+    double last_ts = -1.0;
+    std::size_t pos = 0;
+    while ((pos = json.find("\"tid\":1,\"ts\":", pos)) !=
+           std::string::npos) {
+        pos += 14;
+        const double ts = std::stod(json.substr(pos, 20));
+        EXPECT_GE(ts, last_ts);
+        last_ts = ts;
+    }
+    EXPECT_GT(last_ts, 0.0);
+}
+
+TEST(TraceExport, CsvHasHeaderAndOneRowPerKernel)
+{
+    const PerfCounters counters = sampleCounters();
+    const std::string csv = toCsv(counters);
+    const auto lines = strSplit(csv, '\n');
+    // header + kernels + trailing empty line
+    EXPECT_EQ(lines.size(), counters.kernels.size() + 2);
+    EXPECT_TRUE(strStartsWith(lines[0], "name,category,grid,block"));
+    EXPECT_NE(lines[1].find("fusion_"), std::string::npos);
+}
+
+TEST(TraceExport, CsvColumnsParse)
+{
+    const std::string csv = toCsv(sampleCounters());
+    const auto lines = strSplit(csv, '\n');
+    const auto cols = strSplit(lines[1], ',');
+    ASSERT_EQ(cols.size(), 11u);
+    EXPECT_GT(std::stod(cols[4]), 0.0); // time_us
+    EXPECT_GE(std::stoll(cols[8]), 0);  // dram_read_txn
+}
+
+TEST(TraceExport, EmptyCountersProduceValidDocuments)
+{
+    PerfCounters empty;
+    EXPECT_EQ(toChromeTrace(empty), "{\"traceEvents\":[]}");
+    const auto lines = strSplit(toCsv(empty), '\n');
+    EXPECT_EQ(lines.size(), 2u); // header + trailing empty
+}
+
+} // namespace
+} // namespace astitch

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the reference interpreter (the correctness oracle) and
+ * the plan executor's strictness.
+ */
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+
+#include <cmath>
+
+#include "compiler/plan_executor.h"
+#include "test_graphs.h"
+
+namespace astitch {
+namespace {
+
+TEST(Evaluator, ConstantAndChain)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({3});
+    NodeId y = b.add(b.mul(x, b.constantScalar(2.0f)),
+                     b.constantScalar(1.0f));
+    g.markOutput(y);
+
+    Evaluator ev(g);
+    TensorMap feeds{{x, Tensor(Shape{3}, {1, 2, 3})}};
+    const auto outs = ev.run(feeds);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_FLOAT_EQ(outs[0].at(0), 3.0f);
+    EXPECT_FLOAT_EQ(outs[0].at(2), 7.0f);
+}
+
+TEST(Evaluator, MissingFeedIsFatal)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({3});
+    g.markOutput(b.neg(x));
+    Evaluator ev(g);
+    EXPECT_THROW(ev.run({}), FatalError);
+}
+
+TEST(Evaluator, WrongFeedShapeIsFatal)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({3});
+    g.markOutput(b.neg(x));
+    Evaluator ev(g);
+    TensorMap feeds{{x, Tensor::full({4}, 1.0f)}};
+    EXPECT_THROW(ev.run(feeds), FatalError);
+}
+
+TEST(Evaluator, SoftmaxRowsSumToOne)
+{
+    Graph g = testing::buildSoftmax(4, 16);
+    Evaluator ev(g);
+    TensorMap feeds{
+        {g.parameters()[0], Tensor::iota({4, 16})}};
+    const auto outs = ev.run(feeds);
+    ASSERT_EQ(outs.size(), 1u);
+    for (int r = 0; r < 4; ++r) {
+        float sum = 0.0f;
+        for (int c = 0; c < 16; ++c)
+            sum += outs[0].at({r, c});
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Evaluator, PowerUsesExponentAttr)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({2});
+    g.markOutput(b.power(x, 3.0));
+    Evaluator ev(g);
+    TensorMap feeds{{x, Tensor(Shape{2}, {2.0f, -2.0f})}};
+    const auto outs = ev.run(feeds);
+    EXPECT_FLOAT_EQ(outs[0].at(0), 8.0f);
+    EXPECT_FLOAT_EQ(outs[0].at(1), -8.0f);
+}
+
+TEST(Evaluator, SharedOperandUsedTwiceSurvivesLivenessFreeing)
+{
+    // y = a + a must not free `a` after the first operand visit.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({2});
+    NodeId a = b.neg(x);
+    NodeId y = b.add(a, a);
+    g.markOutput(y);
+    Evaluator ev(g);
+    TensorMap feeds{{x, Tensor(Shape{2}, {1.0f, 2.0f})}};
+    const auto outs = ev.run(feeds);
+    EXPECT_FLOAT_EQ(outs[0].at(0), -2.0f);
+    EXPECT_FLOAT_EQ(outs[0].at(1), -4.0f);
+}
+
+TEST(Evaluator, RunAllExposesIntermediates)
+{
+    auto f = testing::buildFig5(2, 4);
+    Evaluator ev(f.graph);
+    TensorMap feeds{
+        {f.vec, Tensor(Shape{2, 1}, {3.0f, 4.0f})},
+        {f.wide, Tensor::full({2, 4}, 1.0f)},
+    };
+    const auto all = ev.runAll(feeds);
+    EXPECT_FLOAT_EQ(all.at(f.power).at(0), 9.0f);
+    EXPECT_FLOAT_EQ(all.at(f.add).at({1, 3}), 17.0f);
+}
+
+TEST(Evaluator, Fig7MatchesManualComputation)
+{
+    auto f = testing::buildFig7(2, 4);
+    Evaluator ev(f.graph);
+    Tensor p1(Shape{2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+    Tensor p2(Shape{2, 1}, {1.0f, 2.0f});
+    const auto all =
+        ev.runAll({{f.param1, p1}, {f.param2, p2}});
+
+    // add.1 = 2*p1; reduce.1 row sums = {20, 52}.
+    EXPECT_FLOAT_EQ(all.at(f.reduce1).at(0), 20.0f);
+    EXPECT_FLOAT_EQ(all.at(f.reduce1).at(1), 52.0f);
+    // divide.1 row 0 = {2,4,6,8}/20.
+    EXPECT_NEAR(all.at(f.divide1).at({0, 3}), 8.0f / 20.0f, 1e-6f);
+    // power.1 = {1, 4}; reduce.2 row r = sum(divide.1[r,:]) + 4*p2^2.
+    EXPECT_NEAR(all.at(f.reduce2).at(0), 1.0f + 4.0f, 1e-5f);
+    EXPECT_NEAR(all.at(f.reduce2).at(1), 1.0f + 16.0f, 1e-5f);
+    // multiply.1 = reduce.2 * power.1.
+    EXPECT_NEAR(all.at(f.multiply1).at(1), 17.0f * 4.0f, 1e-4f);
+}
+
+TEST(PlanExecutor, RejectsUnmaterializedInput)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({2});
+    NodeId y = b.neg(x);
+    g.markOutput(y);
+
+    CompiledCluster compiled;
+    KernelPlan plan;
+    plan.name = "k";
+    plan.inputs.push_back(KernelInput{x, 1.0});
+    plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output});
+    plan.outputs.push_back(y);
+    compiled.kernels.push_back(plan);
+
+    TensorMap env; // x missing
+    EXPECT_THROW(executeCompiledCluster(g, compiled, env), FatalError);
+
+    env.emplace(x, Tensor::full({2}, 2.0f));
+    EXPECT_NO_THROW(executeCompiledCluster(g, compiled, env));
+    EXPECT_FLOAT_EQ(env.at(y).at(0), -2.0f);
+}
+
+TEST(PlanExecutor, RejectsOpScheduledBeforeOperand)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({2});
+    NodeId a = b.neg(x);
+    NodeId c = b.abs(a);
+    g.markOutput(c);
+
+    CompiledCluster compiled;
+    KernelPlan plan;
+    plan.name = "k";
+    plan.inputs.push_back(KernelInput{x, 1.0});
+    // Wrong order: c before a.
+    plan.ops.push_back(ScheduledOp{c, 1.0, BufferSpace::Output});
+    plan.ops.push_back(ScheduledOp{a, 1.0, BufferSpace::Register});
+    plan.outputs.push_back(c);
+    compiled.kernels.push_back(plan);
+
+    TensorMap env{{x, Tensor::full({2}, 1.0f)}};
+    EXPECT_THROW(executeCompiledCluster(g, compiled, env), FatalError);
+}
+
+TEST(PlanExecutor, RegisterValuesDoNotCrossKernels)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({2});
+    NodeId a = b.neg(x);
+    NodeId c = b.abs(a);
+    g.markOutput(c);
+
+    CompiledCluster compiled;
+    KernelPlan k1;
+    k1.name = "k1";
+    k1.inputs.push_back(KernelInput{x, 1.0});
+    // `a` stays in registers: never materialized.
+    k1.ops.push_back(ScheduledOp{a, 1.0, BufferSpace::Register});
+    KernelPlan k2;
+    k2.name = "k2";
+    k2.inputs.push_back(KernelInput{a, 1.0});
+    k2.ops.push_back(ScheduledOp{c, 1.0, BufferSpace::Output});
+    k2.outputs.push_back(c);
+    compiled.kernels.push_back(k1);
+    compiled.kernels.push_back(k2);
+
+    TensorMap env{{x, Tensor::full({2}, 1.0f)}};
+    EXPECT_THROW(executeCompiledCluster(g, compiled, env), FatalError);
+}
+
+TEST(PlanExecutor, UndeclaredOutputIsFatal)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({2});
+    NodeId y = b.neg(x);
+    g.markOutput(y);
+
+    CompiledCluster compiled;
+    KernelPlan plan;
+    plan.name = "k";
+    plan.inputs.push_back(KernelInput{x, 1.0});
+    plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output});
+    // outputs list intentionally left empty.
+    compiled.kernels.push_back(plan);
+
+    TensorMap env{{x, Tensor::full({2}, 1.0f)}};
+    EXPECT_THROW(executeCompiledCluster(g, compiled, env), FatalError);
+}
+
+} // namespace
+} // namespace astitch

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the JIT cache: fingerprint sensitivity, LRU behaviour and
+ * cross-session reuse.
+ */
+#include <gtest/gtest.h>
+
+#include "backends/xla/xla_backend.h"
+#include "core/astitch_backend.h"
+#include "runtime/jit_cache.h"
+#include "runtime/session.h"
+#include "test_graphs.h"
+#include "workloads/common.h"
+
+namespace astitch {
+namespace {
+
+TEST(Fingerprint, StableForIdenticalGraphs)
+{
+    Graph a = testing::buildSoftmax(8, 16);
+    Graph b = testing::buildSoftmax(8, 16);
+    EXPECT_EQ(graphFingerprint(a), graphFingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToShapes)
+{
+    Graph a = testing::buildSoftmax(8, 16);
+    Graph b = testing::buildSoftmax(8, 32);
+    EXPECT_NE(graphFingerprint(a), graphFingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToOpKind)
+{
+    Graph a, b;
+    {
+        GraphBuilder ba(a);
+        a.markOutput(ba.tanh(ba.parameter({4})));
+        GraphBuilder bb(b);
+        b.markOutput(bb.exp(bb.parameter({4})));
+    }
+    EXPECT_NE(graphFingerprint(a), graphFingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToAttrs)
+{
+    Graph a, b;
+    {
+        GraphBuilder ba(a);
+        a.markOutput(ba.power(ba.parameter({4}), 2.0));
+        GraphBuilder bb(b);
+        b.markOutput(bb.power(bb.parameter({4}), 3.0));
+    }
+    EXPECT_NE(graphFingerprint(a), graphFingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToConstantValues)
+{
+    Graph a, b;
+    {
+        GraphBuilder ba(a);
+        a.markOutput(ba.mul(ba.parameter({4}), ba.constantScalar(2.0f)));
+        GraphBuilder bb(b);
+        b.markOutput(bb.mul(bb.parameter({4}), bb.constantScalar(3.0f)));
+    }
+    EXPECT_NE(graphFingerprint(a), graphFingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToOutputMarking)
+{
+    Graph a, b;
+    {
+        GraphBuilder ba(a);
+        NodeId n = ba.tanh(ba.parameter({4}));
+        a.markOutput(n);
+        GraphBuilder bb(b);
+        NodeId m = bb.tanh(bb.parameter({4}));
+        b.markOutput(bb.graph().node(m).id());
+        b.markOutput(bb.graph().parameters()[0]);
+    }
+    EXPECT_NE(graphFingerprint(a), graphFingerprint(b));
+}
+
+TEST(JitCache, HitAfterInsert)
+{
+    JitCache cache(4);
+    EXPECT_EQ(cache.lookup("k"), nullptr);
+    EXPECT_EQ(cache.misses(), 1);
+    cache.insert("k", JitCacheEntry{});
+    EXPECT_NE(cache.lookup("k"), nullptr);
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(JitCache, LruEviction)
+{
+    JitCache cache(2);
+    cache.insert("a", JitCacheEntry{});
+    cache.insert("b", JitCacheEntry{});
+    // Touch "a" so "b" becomes the eviction victim.
+    EXPECT_NE(cache.lookup("a"), nullptr);
+    cache.insert("c", JitCacheEntry{});
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_NE(cache.lookup("a"), nullptr);
+    EXPECT_EQ(cache.lookup("b"), nullptr);
+    EXPECT_NE(cache.lookup("c"), nullptr);
+}
+
+TEST(JitCache, ReinsertRefreshes)
+{
+    JitCache cache(2);
+    JitCacheEntry entry;
+    entry.clusters.resize(1);
+    cache.insert("a", JitCacheEntry{});
+    cache.insert("a", std::move(entry));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.lookup("a")->clusters.size(), 1u);
+}
+
+TEST(JitCache, KeySeparatesBackendAndDevice)
+{
+    Graph g = testing::buildSoftmax(8, 16);
+    const std::string k1 =
+        JitCache::makeKey(g, "xla", GpuSpec::v100());
+    const std::string k2 =
+        JitCache::makeKey(g, "astitch", GpuSpec::v100());
+    const std::string k3 = JitCache::makeKey(g, "xla", GpuSpec::t4());
+    EXPECT_NE(k1, k2);
+    EXPECT_NE(k1, k3);
+}
+
+TEST(JitCache, SessionReusesCompilationAcrossSessions)
+{
+    JitCache::global().clear();
+    Graph g = testing::buildSoftmax(256, 512);
+    SessionOptions options;
+    options.use_jit_cache = true;
+
+    Session first(g, std::make_unique<AStitchBackend>(), options);
+    first.compile();
+    EXPECT_EQ(JitCache::global().misses(), 1);
+    EXPECT_EQ(JitCache::global().size(), 1u);
+
+    Session second(g, std::make_unique<AStitchBackend>(), options);
+    second.compile();
+    EXPECT_EQ(JitCache::global().hits(), 1);
+
+    // Cached compilation behaves identically.
+    const auto a = first.profile();
+    const auto b = second.profile();
+    EXPECT_EQ(a.memKernelCount(), b.memKernelCount());
+    EXPECT_DOUBLE_EQ(a.end_to_end_us, b.end_to_end_us);
+    JitCache::global().clear();
+}
+
+TEST(JitCache, CachedRunStillProducesCorrectValues)
+{
+    JitCache::global().clear();
+    auto f = testing::buildFig7(4, 8);
+    const TensorMap feeds{
+        {f.param1, Tensor::iota({4, 8})},
+        {f.param2, Tensor(Shape{4, 1}, {1, 2, 3, 4})},
+    };
+    const auto expected = Evaluator(f.graph).run(feeds);
+    SessionOptions options;
+    options.use_jit_cache = true;
+    for (int round = 0; round < 2; ++round) {
+        Session session(f.graph, std::make_unique<AStitchBackend>(),
+                        options);
+        const auto report = session.run(feeds);
+        ASSERT_EQ(report.outputs.size(), 1u);
+        EXPECT_TRUE(report.outputs[0].allClose(expected[0]));
+    }
+    EXPECT_EQ(JitCache::global().hits(), 1);
+    JitCache::global().clear();
+}
+
+} // namespace
+} // namespace astitch

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests of the baseline fusion policies: XLA skips the two hostile
+ * patterns, TVM fuses pattern (2) with recomputation (Fig. 5), TensorRT
+ * only fuses one-to-one chains, TF stays op-per-kernel.
+ */
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+
+#include "backends/tf/tf_backend.h"
+#include "backends/trt/trt_backend.h"
+#include "backends/tvm/tvm_backend.h"
+#include "backends/xla/xla_backend.h"
+#include "compiler/thread_mapping.h"
+#include "test_graphs.h"
+
+namespace astitch {
+namespace {
+
+const GpuSpec kV100 = GpuSpec::v100();
+
+CompiledCluster
+compileWith(Backend &&backend, const Graph &g)
+{
+    auto clusters = findMemoryIntensiveClusters(g);
+    EXPECT_EQ(clusters.size(), 1u);
+    return backend.compileCluster(g, clusters[0], kV100);
+}
+
+double
+totalRecompute(const Graph &g, const CompiledCluster &compiled,
+               NodeId node)
+{
+    double total = 0.0;
+    for (const KernelPlan &k : compiled.kernels) {
+        for (const ScheduledOp &op : k.ops) {
+            if (op.node == node)
+                total += op.recompute_factor;
+        }
+    }
+    (void)g;
+    return total;
+}
+
+TEST(TfBackend, OneKernelPerOp)
+{
+    auto f = testing::buildFig5();
+    const auto compiled = compileWith(TfBackend(), f.graph);
+    EXPECT_EQ(compiled.kernels.size(),
+              findMemoryIntensiveClusters(f.graph)[0].nodes.size());
+    for (const KernelPlan &k : compiled.kernels) {
+        EXPECT_EQ(k.ops.size(), 1u);
+        EXPECT_GT(k.extra_launch_overhead_us, 0.0);
+        EXPECT_EQ(k.ops[0].out_space, BufferSpace::Output);
+    }
+}
+
+TEST(XlaBackend, ElementwiseChainFusesToOneKernel)
+{
+    Graph g = testing::buildElementwiseChain(1024, 6);
+    const auto compiled = compileWith(XlaBackend(), g);
+    EXPECT_EQ(compiled.kernels.size(), 1u);
+}
+
+TEST(XlaBackend, SkipsHeavyBroadcastFusion)
+{
+    // Pattern (2): power is its own kernel root under XLA, so its
+    // recompute factor stays 1 (no Fig. 5 redundancy) but an extra
+    // kernel appears.
+    auto f = testing::buildFig5(2, 128);
+    const auto compiled = compileWith(XlaBackend(), f.graph);
+    EXPECT_EQ(compiled.kernels.size(), 2u);
+    EXPECT_DOUBLE_EQ(totalRecompute(f.graph, compiled, f.power), 1.0);
+}
+
+TEST(TvmBackend, FusesHeavyBroadcastWithRedundancy)
+{
+    // Fig. 5: TVM folds power into the add kernel, recomputing it per
+    // consumer element: factor == broadcast fan-out (128).
+    auto f = testing::buildFig5(2, 128);
+    const auto compiled = compileWith(TvmBackend(), f.graph);
+    EXPECT_EQ(compiled.kernels.size(), 1u);
+    EXPECT_DOUBLE_EQ(totalRecompute(f.graph, compiled, f.power), 128.0);
+}
+
+TEST(TvmBackend, RedundantWorkShowsInInstructionCount)
+{
+    auto f = testing::buildFig5(2, 128);
+    const auto tvm = compileWith(TvmBackend(), f.graph);
+    const auto xla = compileWith(XlaBackend(), f.graph);
+    double tvm_insts = 0.0, xla_insts = 0.0;
+    for (const auto &k : tvm.kernels)
+        tvm_insts += workDescFor(f.graph, k).fp_instructions;
+    for (const auto &k : xla.kernels)
+        xla_insts += workDescFor(f.graph, k).fp_instructions;
+    EXPECT_GT(tvm_insts, 2.0 * xla_insts);
+}
+
+TEST(BothBackends, ReduceIsAlwaysAKernelRoot)
+{
+    Graph g = testing::buildSoftmax(8, 64);
+    for (auto compiled : {compileWith(XlaBackend(), g),
+                          compileWith(TvmBackend(), g)}) {
+        for (const KernelPlan &k : compiled.kernels) {
+            for (const ScheduledOp &op : k.ops) {
+                if (isReduce(g.node(op.node).kind())) {
+                    EXPECT_EQ(op.out_space, BufferSpace::Output)
+                        << "reduce must be a fusion root";
+                }
+            }
+        }
+    }
+}
+
+TEST(XlaBackend, SoftmaxSplitsAtReduces)
+{
+    // Softmax = reduce_max root + reduce_sum root + final div root.
+    Graph g = testing::buildSoftmax(8, 64);
+    const auto compiled = compileWith(XlaBackend(), g);
+    EXPECT_EQ(compiled.kernels.size(), 3u);
+}
+
+TEST(XlaBackend, MultiConsumerProducerIsDuplicated)
+{
+    // Operator-level redundancy (Fig. 4's operator A): a producer feeding
+    // two kernels is inlined into both.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({8, 64});
+    NodeId a = b.mul(x, x); // shared producer
+    NodeId r1 = b.reduceSum(a, {1});
+    NodeId r2 = b.reduceMax(a, {1});
+    g.markOutput(r1);
+    g.markOutput(r2);
+    const auto compiled = compileWith(XlaBackend(), g);
+    EXPECT_EQ(compiled.kernels.size(), 2u);
+    int kernels_containing_a = 0;
+    for (const KernelPlan &k : compiled.kernels)
+        kernels_containing_a += k.containsNode(a);
+    EXPECT_EQ(kernels_containing_a, 2);
+}
+
+TEST(TrtBackend, NoDuplicationCutsAtMultiConsumer)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({64});
+    NodeId a = b.mul(x, x);
+    NodeId y1 = b.neg(a);
+    NodeId y2 = b.abs(a);
+    g.markOutput(y1);
+    g.markOutput(y2);
+    const auto compiled = compileWith(TrtBackend(), g);
+    // a materializes once; y1/y2 are separate kernels: 3 total.
+    EXPECT_EQ(compiled.kernels.size(), 3u);
+    EXPECT_DOUBLE_EQ(totalRecompute(g, compiled, a), 1.0);
+}
+
+TEST(NaiveMappings, ReproduceFig6Pathologies)
+{
+    // <750000,32>: one tiny block per row.
+    const LaunchDims small_block =
+        rowReduceMappingNaive(kV100, 750000, 32);
+    EXPECT_EQ(small_block.grid, 750000);
+    EXPECT_EQ(small_block.block, 32);
+
+    // <64,30000>: 64 big blocks, far below the 160-block wave.
+    const LaunchDims small_count =
+        rowReduceMappingNaive(kV100, 64, 30000);
+    EXPECT_EQ(small_count.grid, 64);
+    EXPECT_EQ(small_count.block, 1024);
+}
+
+TEST(AnalyzeReduce, RowVsColumn)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({100, 32});
+    NodeId row = b.reduceSum(x, {1});
+    NodeId col = b.reduceSum(x, {0});
+    const ReduceInfo ri = analyzeReduce(g, row);
+    EXPECT_TRUE(ri.is_row_reduce);
+    EXPECT_EQ(ri.rows, 100);
+    EXPECT_EQ(ri.cols, 32);
+    const ReduceInfo ci = analyzeReduce(g, col);
+    EXPECT_FALSE(ci.is_row_reduce);
+    EXPECT_EQ(ci.cols, 100);
+}
+
+TEST(AnalyzeReduce, FullReduceIsRowReduce)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({8, 8});
+    NodeId r = b.reduceSum(x, {0, 1});
+    const ReduceInfo info = analyzeReduce(g, r);
+    EXPECT_TRUE(info.is_row_reduce);
+    EXPECT_EQ(info.cols, 64);
+    EXPECT_EQ(info.rows, 1);
+}
+
+TEST(AnsorMode, ImprovesIrregularReduceMapping)
+{
+    // Ansor's tuned mapping must beat the naive 32-thread blocks on the
+    // DIEN shape.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({750000, 32});
+    NodeId r = b.reduceSum(x, {1});
+    g.markOutput(r);
+    auto clusters = findMemoryIntensiveClusters(g);
+    TvmBackend ansor(/*ansor_tuning=*/true);
+    const auto compiled = ansor.compileCluster(g, clusters[0], kV100);
+    ASSERT_EQ(compiled.kernels.size(), 1u);
+    EXPECT_GE(compiled.kernels[0].launch.block, 128);
+}
+
+TEST(ColumnReduce, EmitsAtomicsAndMemset)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({64, 128});
+    NodeId r = b.reduceSum(x, {0});
+    g.markOutput(r);
+    const auto compiled = compileWith(XlaBackend(), g);
+    ASSERT_EQ(compiled.kernels.size(), 1u);
+    EXPECT_GT(compiled.kernels[0].atomic_operations, 0.0);
+    EXPECT_GE(compiled.num_memcpy, 1);
+}
+
+TEST(WorkDesc, CountsInputAndOutputTraffic)
+{
+    Graph g = testing::buildElementwiseChain(1024, 2);
+    const auto compiled = compileWith(XlaBackend(), g);
+    ASSERT_EQ(compiled.kernels.size(), 1u);
+    const KernelWorkDesc desc =
+        workDescFor(g, compiled.kernels[0]);
+    // Reads the 1024-float parameter (constants are scalars), writes the
+    // 1024-float output.
+    EXPECT_GE(desc.bytes_read, 1024 * 4.0);
+    EXPECT_GE(desc.bytes_written, 1024 * 4.0);
+    EXPECT_LT(desc.bytes_written, 2 * 1024 * 4.0);
+}
+
+} // namespace
+} // namespace astitch

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Unit tests for the graph optimization passes (the non-fusion XLA
+ * optimizations AStitch retains), the rewriter, and the optimizer's
+ * integration with the Session.
+ */
+#include <gtest/gtest.h>
+
+#include "backends/xla/xla_backend.h"
+#include "core/astitch_backend.h"
+#include "opt/passes.h"
+#include "opt/rewriter.h"
+#include "runtime/session.h"
+#include "support/logging.h"
+#include "workloads/common.h"
+#include "workloads/random_graph.h"
+
+namespace astitch {
+namespace {
+
+int
+countKind(const Graph &g, OpKind kind)
+{
+    int count = 0;
+    for (NodeId id = 0; id < g.numNodes(); ++id)
+        count += g.node(id).kind() == kind;
+    return count;
+}
+
+// ---------------------------------------------------------------------
+// Rewriter
+// ---------------------------------------------------------------------
+
+TEST(Rewriter, CloneIsStructurallyIdentical)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId y = b.add(b.tanh(x), b.constantScalar(1.0f));
+    g.markOutput(y);
+
+    GraphRewriter rewriter(g);
+    Graph clone;
+    const auto mapping = rewriter.build(clone);
+    ASSERT_EQ(clone.numNodes(), g.numNodes());
+    for (NodeId id = 0; id < g.numNodes(); ++id) {
+        EXPECT_EQ(clone.node(mapping.at(id)).kind(), g.node(id).kind());
+        EXPECT_EQ(clone.node(mapping.at(id)).shape(), g.node(id).shape());
+    }
+    EXPECT_EQ(clone.outputs().size(), 1u);
+}
+
+TEST(Rewriter, ReplaceRedirectsUses)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId a = b.neg(x);
+    NodeId dup = b.neg(x);
+    NodeId sum = b.add(a, dup);
+    g.markOutput(sum);
+
+    GraphRewriter rewriter(g);
+    rewriter.replaceWith(dup, a);
+    Graph out;
+    const auto mapping = rewriter.build(out);
+    EXPECT_EQ(out.numNodes(), g.numNodes() - 1);
+    const Node &new_sum = out.node(mapping.at(sum));
+    EXPECT_EQ(new_sum.operands()[0], new_sum.operands()[1]);
+}
+
+TEST(Rewriter, DroppingAnOutputWithoutReplacementIsFatal)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId y = b.neg(x);
+    g.markOutput(y);
+    GraphRewriter rewriter(g);
+    rewriter.drop(y);
+    Graph out;
+    EXPECT_THROW(rewriter.build(out), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Individual passes
+// ---------------------------------------------------------------------
+
+TEST(Dce, RemovesUnreachableNodes)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId live = b.tanh(x);
+    b.mul(b.neg(x), b.constantScalar(2.0f)); // dead chain
+    g.markOutput(live);
+
+    DeadCodeElimination dce;
+    Graph out;
+    const int removed = dce.run(g, out);
+    EXPECT_EQ(removed, 3); // neg, constant, mul
+    EXPECT_EQ(out.numNodes(), 2);
+}
+
+TEST(Dce, KeepsUnusedParameters)
+{
+    Graph g;
+    GraphBuilder b(g);
+    b.parameter({4}, "unused");
+    NodeId x = b.parameter({4});
+    g.markOutput(b.neg(x));
+
+    DeadCodeElimination dce;
+    Graph out;
+    dce.run(g, out);
+    EXPECT_EQ(out.parameters().size(), 2u);
+}
+
+TEST(Cse, MergesIdenticalSubtrees)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId a = b.tanh(x);
+    NodeId c = b.tanh(x); // duplicate
+    g.markOutput(b.add(a, c));
+
+    CommonSubexpressionElimination cse;
+    Graph out;
+    EXPECT_EQ(cse.run(g, out), 1);
+    EXPECT_EQ(countKind(out, OpKind::Tanh), 1);
+}
+
+TEST(Cse, CollapsesChainsInOneSweep)
+{
+    // Two structurally-identical deep chains merge entirely.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId c1 = b.exp(b.neg(b.tanh(x)));
+    NodeId c2 = b.exp(b.neg(b.tanh(x)));
+    g.markOutput(b.add(c1, c2));
+
+    CommonSubexpressionElimination cse;
+    Graph out;
+    EXPECT_EQ(cse.run(g, out), 3);
+    EXPECT_EQ(countKind(out, OpKind::Exp), 1);
+    EXPECT_EQ(countKind(out, OpKind::Neg), 1);
+}
+
+TEST(Cse, DistinguishesDifferentAttrs)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4, 4});
+    NodeId r0 = b.reduceSum(x, {0});
+    NodeId r1 = b.reduceSum(x, {1});
+    g.markOutput(b.add(r0, r1));
+
+    CommonSubexpressionElimination cse;
+    Graph out;
+    EXPECT_EQ(cse.run(g, out), 0);
+}
+
+TEST(Cse, MergesEqualConstants)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId y = b.mul(b.add(x, b.constantScalar(0.5f)),
+                     b.constantScalar(0.5f));
+    g.markOutput(y);
+
+    CommonSubexpressionElimination cse;
+    Graph out;
+    EXPECT_EQ(cse.run(g, out), 1);
+    EXPECT_EQ(countKind(out, OpKind::Constant), 1);
+}
+
+TEST(ConstantFold, FoldsConstantSubtree)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId k = b.mul(b.constantScalar(3.0f), b.constantScalar(4.0f));
+    g.markOutput(b.mul(x, k));
+
+    ConstantFolding fold;
+    Graph out;
+    EXPECT_GT(fold.run(g, out), 0);
+    // The folded 12.0 constant feeds the surviving mul.
+    bool found = false;
+    for (NodeId id = 0; id < out.numNodes(); ++id) {
+        const Node &n = out.node(id);
+        if (n.kind() == OpKind::Constant &&
+            n.attrs().literal.numElements() == 1 &&
+            n.attrs().literal.at(0) == 12.0f) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(countKind(out, OpKind::Mul), 1);
+}
+
+TEST(ConstantFold, RespectsSizeLimit)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId big = b.constant(Tensor::full({1024}, 1.0f));
+    NodeId doubled = b.mul(big, b.constantScalar(2.0f));
+    g.markOutput(doubled);
+
+    ConstantFolding fold(/*max_elements=*/16);
+    Graph out;
+    EXPECT_EQ(fold.run(g, out), 0);
+    EXPECT_EQ(countKind(out, OpKind::Mul), 1);
+}
+
+TEST(ConstantFold, PreservesValues)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({3});
+    NodeId k = b.exp(b.constantScalar(1.0f));
+    NodeId y = b.add(x, b.broadcastTo(k, {3}));
+    g.markOutput(y);
+
+    const TensorMap feeds{{x, Tensor(Shape{3}, {1, 2, 3})}};
+    const auto before = Evaluator(g).run(feeds);
+
+    ConstantFolding fold;
+    Graph out;
+    fold.run(g, out);
+    TensorMap out_feeds{{out.parameters()[0], feeds.at(x)}};
+    const auto after = Evaluator(out).run(out_feeds);
+    EXPECT_TRUE(after[0].allClose(before[0]));
+}
+
+TEST(Algebraic, RemovesIdentities)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    NodeId y = b.add(x, b.constantScalar(0.0f));   // x + 0
+    y = b.mul(y, b.constantScalar(1.0f));          // * 1
+    y = b.div(y, b.constantScalar(1.0f));          // / 1
+    y = b.sub(y, b.constantScalar(0.0f));          // - 0
+    y = b.neg(b.neg(y));                           // neg(neg)
+    g.markOutput(y);
+
+    AlgebraicSimplification simplify;
+    Graph out;
+    // The four binary identities are replaced; the two negs survive:
+    // the inner is no identity itself, the outer is the graph output
+    // (outputs are part of the signature and never replaced).
+    EXPECT_EQ(simplify.run(g, out), 4);
+    DeadCodeElimination dce;
+    Graph cleaned;
+    dce.run(out, cleaned);
+    // param + inner neg + outer neg (output).
+    EXPECT_EQ(cleaned.numNodes(), 3);
+}
+
+TEST(Algebraic, PowerOfOneAndIdentityMovement)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4, 4});
+    NodeId y = b.power(x, 1.0);
+    y = b.reshape(y, {4, 4});      // same-shape reshape
+    y = b.broadcastTo(y, {4, 4});  // same-shape broadcast
+    y = b.transpose(y, {0, 1});    // identity perm
+    g.markOutput(y);
+
+    AlgebraicSimplification simplify;
+    Graph out;
+    // power/reshape/broadcast fold; the final transpose is the output
+    // node and survives as the (identity) result producer.
+    EXPECT_EQ(simplify.run(g, out), 3);
+    EXPECT_EQ(out.numNodes(), 2);
+    EXPECT_EQ(out.node(out.outputs()[0]).kind(), OpKind::Transpose);
+}
+
+TEST(Algebraic, DoesNotTouchRealWork)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    g.markOutput(b.mul(x, b.constantScalar(2.0f)));
+    AlgebraicSimplification simplify;
+    Graph out;
+    EXPECT_EQ(simplify.run(g, out), 0);
+}
+
+TEST(Algebraic, ShapeChangingIdentityIsKept)
+{
+    // x(scalar) + 0[broadcast 4] changes shape — must not be removed.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({});
+    NodeId zeros = b.constant(Tensor::full({4}, 0.0f));
+    g.markOutput(b.add(x, zeros));
+    AlgebraicSimplification simplify;
+    Graph out;
+    EXPECT_EQ(simplify.run(g, out), 0);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline + Session integration
+// ---------------------------------------------------------------------
+
+TEST(Pipeline, RunsToFixpoint)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({4});
+    // mul(x, 1*1) needs fold -> simplify -> dce to fully clean.
+    NodeId one = b.mul(b.constantScalar(1.0f), b.constantScalar(1.0f));
+    NodeId y = b.mul(x, b.broadcastTo(one, {4}));
+    b.tanh(b.constantScalar(5.0f)); // dead + foldable
+    g.markOutput(y);
+
+    PassPipeline pipeline = PassPipeline::standard();
+    Graph out = pipeline.run(g);
+    EXPECT_FALSE(pipeline.statistics().empty());
+    // Everything folds away except the parameter, the surviving output
+    // op and its (folded) constant operand.
+    EXPECT_LE(out.numNodes(), 3);
+    EXPECT_EQ(out.outputs().size(), 1u);
+}
+
+TEST(Pipeline, GeluConstantsGetDeduplicated)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({16});
+    NodeId y = b.gelu(b.gelu(x)); // two gelus share four constants
+    g.markOutput(y);
+    const int constants_before = countKind(g, OpKind::Constant);
+
+    PassPipeline pipeline = PassPipeline::standard();
+    Graph out = pipeline.run(g);
+    EXPECT_LT(countKind(out, OpKind::Constant), constants_before);
+}
+
+TEST(SessionOptimizer, ValuesUnchangedAcrossBackends)
+{
+    workloads::RandomGraphConfig config;
+    config.num_nodes = 120;
+    config.seed = 77;
+    config.max_dim = 12;
+    const Graph g = workloads::buildRandomGraph(config);
+    const TensorMap feeds = workloads::makeRandomFeeds(g);
+    const auto expected = Evaluator(g).run(feeds);
+
+    SessionOptions options;
+    options.enable_optimizer = true;
+    for (int which = 0; which < 2; ++which) {
+        std::unique_ptr<Backend> backend;
+        if (which == 0)
+            backend = std::make_unique<XlaBackend>();
+        else
+            backend = std::make_unique<AStitchBackend>();
+        Session session(g, std::move(backend), options);
+        const RunReport report = session.run(feeds);
+        ASSERT_EQ(report.outputs.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_TRUE(
+                report.outputs[i].allClose(expected[i], 1e-4, 1e-5))
+                << report.backend_name << " output " << i;
+        }
+    }
+}
+
+TEST(SessionOptimizer, ShrinksTheActiveGraph)
+{
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({64});
+    // Duplicate chains + dead code give the optimizer work.
+    NodeId a = b.exp(b.tanh(x));
+    NodeId c = b.exp(b.tanh(x));
+    b.neg(b.constantScalar(3.0f)); // dead
+    g.markOutput(b.add(a, c));
+
+    SessionOptions options;
+    options.enable_optimizer = true;
+    Session session(g, std::make_unique<XlaBackend>(), options);
+    session.compile();
+    EXPECT_LT(session.activeGraph().numNodes(), g.numNodes());
+}
+
+TEST(SessionOptimizer, OptimizerNeverSlowsExecution)
+{
+    const Graph g = workloads::buildRandomGraph(
+        workloads::RandomGraphConfig{300, 5, 0.1, 0.15, 0.5, 0.02, 2,
+                                     32});
+    SessionOptions plain;
+    SessionOptions optimized;
+    optimized.enable_optimizer = true;
+    Session s1(g, std::make_unique<AStitchBackend>(), plain);
+    Session s2(g, std::make_unique<AStitchBackend>(), optimized);
+    EXPECT_LE(s2.profile().end_to_end_us,
+              s1.profile().end_to_end_us * 1.05);
+}
+
+} // namespace
+} // namespace astitch

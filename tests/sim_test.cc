@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the GPU model: occupancy calculator, cost model,
+ * kernel simulator, counters and the timeline breakdown.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/kernel_sim.h"
+#include "sim/timeline.h"
+#include "support/logging.h"
+
+namespace astitch {
+namespace {
+
+TEST(GpuSpec, V100Geometry)
+{
+    const GpuSpec v100 = GpuSpec::v100();
+    EXPECT_EQ(v100.num_sms, 80);
+    EXPECT_EQ(v100.maxWarpsPerSm(), 64);
+    EXPECT_GT(v100.fp32InstThroughput(), 6e12);
+}
+
+TEST(Occupancy, V100Holds160FullBlocksPerWave)
+{
+    // The paper: "a V100 GPU can concurrently schedule 160 thread-blocks
+    // for the same block size [1024]" (Sec 2.3.2).
+    const GpuSpec v100 = GpuSpec::v100();
+    const Occupancy occ = computeOccupancy(v100, 1024, 32, 0);
+    EXPECT_EQ(occ.blocks_per_sm, 2);
+    EXPECT_EQ(occ.blocksPerWave(v100), 160);
+    EXPECT_DOUBLE_EQ(occ.theoretical, 1.0);
+}
+
+TEST(Occupancy, TinyBlocksLimitedByBlockSlots)
+{
+    // 32-thread blocks: at most 32 blocks/SM -> only half the warps.
+    const GpuSpec v100 = GpuSpec::v100();
+    const Occupancy occ = computeOccupancy(v100, 32, 32, 0);
+    EXPECT_EQ(occ.blocks_per_sm, 32);
+    EXPECT_EQ(occ.warps_per_sm, 32);
+    EXPECT_DOUBLE_EQ(occ.theoretical, 0.5);
+    EXPECT_EQ(occ.limiter, Occupancy::Limiter::Blocks);
+}
+
+TEST(Occupancy, RegistersLimitResidency)
+{
+    const GpuSpec v100 = GpuSpec::v100();
+    const Occupancy occ = computeOccupancy(v100, 1024, 64, 0);
+    // 64 regs x 1024 threads = 64K regs = the whole SM file: 1 block.
+    EXPECT_EQ(occ.blocks_per_sm, 1);
+    EXPECT_EQ(occ.limiter, Occupancy::Limiter::Registers);
+}
+
+TEST(Occupancy, SharedMemoryLimitsResidency)
+{
+    const GpuSpec v100 = GpuSpec::v100();
+    const Occupancy occ = computeOccupancy(v100, 256, 32, 48 * 1024);
+    EXPECT_EQ(occ.blocks_per_sm, 2); // 96KB / 48KB
+    EXPECT_EQ(occ.limiter, Occupancy::Limiter::SharedMemory);
+}
+
+TEST(Occupancy, ImpossibleConfigsReturnZero)
+{
+    const GpuSpec v100 = GpuSpec::v100();
+    EXPECT_EQ(computeOccupancy(v100, 2048, 32, 0).blocks_per_sm, 0);
+    EXPECT_EQ(computeOccupancy(v100, 256, 300, 0).blocks_per_sm, 0);
+    EXPECT_EQ(computeOccupancy(v100, 256, 32, 100 * 1024).blocks_per_sm,
+              0);
+}
+
+TEST(Occupancy, WarpGranularAllocation)
+{
+    // A 33-thread block allocates 2 warps.
+    const GpuSpec v100 = GpuSpec::v100();
+    const Occupancy occ = computeOccupancy(v100, 33, 32, 0);
+    EXPECT_EQ(occ.warps_per_sm, occ.blocks_per_sm * 2);
+}
+
+TEST(Occupancy, AchievedDropsForSmallGrids)
+{
+    // Fig. 6-(b): 64 blocks of 1024 threads on 80 SMs -> half-occupied
+    // SMs and idle SMs.
+    const GpuSpec v100 = GpuSpec::v100();
+    const Occupancy occ = computeOccupancy(v100, 1024, 32, 0);
+    const LaunchDims launch{64, 1024};
+    EXPECT_NEAR(achievedOccupancy(v100, launch, occ), 0.5, 1e-9);
+    EXPECT_NEAR(smEfficiency(v100, launch, occ), 64.0 / 80.0, 1e-9);
+}
+
+TEST(Occupancy, LargeGridsSaturate)
+{
+    const GpuSpec v100 = GpuSpec::v100();
+    const Occupancy occ = computeOccupancy(v100, 1024, 32, 0);
+    const LaunchDims launch{160000, 1024};
+    EXPECT_NEAR(achievedOccupancy(v100, launch, occ), 1.0, 1e-9);
+    EXPECT_GT(smEfficiency(v100, launch, occ), 0.999);
+}
+
+TEST(Occupancy, TailWaveReducesSmEfficiency)
+{
+    const GpuSpec v100 = GpuSpec::v100();
+    const Occupancy occ = computeOccupancy(v100, 1024, 32, 0);
+    // 161 blocks = one full wave + 1 tail block over 80 SMs.
+    const LaunchDims launch{161, 1024};
+    const double eff = smEfficiency(v100, launch, occ);
+    EXPECT_NEAR(eff, (80.0 + 1.0) / 160.0, 1e-9);
+}
+
+TEST(CostModel, GlobalBarrierMatchesTable6)
+{
+    // Table 6: 2.53us @ 20 blocks ... 2.72us @ 160 blocks.
+    const CostModel model(GpuSpec::v100());
+    EXPECT_NEAR(model.globalBarrierUs(20), 2.53, 0.02);
+    EXPECT_NEAR(model.globalBarrierUs(160), 2.72, 0.02);
+}
+
+TEST(CostModel, BandwidthDegradesWithLowOccupancy)
+{
+    const CostModel model(GpuSpec::v100());
+    const double good = model.effectiveBandwidth(0.8, 1.0, 256);
+    const double poor = model.effectiveBandwidth(0.1, 1.0, 256);
+    EXPECT_GT(good, 2.0 * poor);
+}
+
+TEST(CostModel, TinyBlocksDegradeBandwidth)
+{
+    const CostModel model(GpuSpec::v100());
+    const double big = model.effectiveBandwidth(0.5, 1.0, 256);
+    const double tiny = model.effectiveBandwidth(0.5, 1.0, 32);
+    EXPECT_GT(big, 2.0 * tiny);
+}
+
+KernelWorkDesc
+simpleDesc(double bytes, LaunchDims launch)
+{
+    KernelWorkDesc desc;
+    desc.name = "k";
+    desc.launch = launch;
+    desc.bytes_read = bytes;
+    desc.bytes_written = bytes / 4;
+    desc.fp_instructions = bytes / 4;
+    return desc;
+}
+
+TEST(CostModel, MoreTrafficTakesLonger)
+{
+    const CostModel model(GpuSpec::v100());
+    const auto small = model.priceKernel(
+        simpleDesc(1e6, LaunchDims{4096, 256}));
+    const auto large = model.priceKernel(
+        simpleDesc(64e6, LaunchDims{65536, 256}));
+    EXPECT_GT(large.time_us, 4.0 * small.time_us);
+}
+
+TEST(CostModel, TransactionsAreSectorSized)
+{
+    const CostModel model(GpuSpec::v100());
+    KernelWorkDesc desc = simpleDesc(3200.0, LaunchDims{1, 256});
+    const auto record = model.priceKernel(desc);
+    EXPECT_EQ(record.dram_read_transactions, 100);
+    EXPECT_EQ(record.dram_write_transactions, 25);
+}
+
+TEST(CostModel, PoorCoalescingMultipliesTransactions)
+{
+    const CostModel model(GpuSpec::v100());
+    KernelWorkDesc desc = simpleDesc(3200.0, LaunchDims{1, 256});
+    desc.read_coalescing = 0.25;
+    const auto record = model.priceKernel(desc);
+    EXPECT_EQ(record.dram_read_transactions, 400);
+}
+
+TEST(CostModel, GlobalBarrierGridBeyondWaveIsFatal)
+{
+    // Sec 3.2.3's deadlock constraint is enforced, not advisory.
+    const CostModel model(GpuSpec::v100());
+    KernelWorkDesc desc = simpleDesc(1e6, LaunchDims{161, 1024});
+    desc.num_global_barriers = 1;
+    EXPECT_THROW(model.priceKernel(desc), FatalError);
+    desc.launch.grid = 160;
+    EXPECT_NO_THROW(model.priceKernel(desc));
+}
+
+TEST(CostModel, OversizedBlockOrSmemIsFatal)
+{
+    const CostModel model(GpuSpec::v100());
+    KernelWorkDesc desc = simpleDesc(1e6, LaunchDims{16, 2048});
+    EXPECT_THROW(model.priceKernel(desc), FatalError);
+    desc.launch.block = 256;
+    desc.smem_per_block = 64 * 1024;
+    EXPECT_THROW(model.priceKernel(desc), FatalError);
+}
+
+TEST(CostModel, ExtraLaunchOverheadFlowsThrough)
+{
+    const CostModel model(GpuSpec::v100());
+    KernelWorkDesc desc = simpleDesc(1e6, LaunchDims{512, 256});
+    desc.extra_launch_overhead_us = 4.5;
+    const auto record = model.priceKernel(desc);
+    EXPECT_NEAR(record.launch_overhead_us,
+                model.spec().kernel_launch_us + 4.5, 1e-9);
+}
+
+TEST(CostModel, MatmulScalesWithFlops)
+{
+    const CostModel model(GpuSpec::v100());
+    const auto small = model.priceMatmul("mm", 1, 512, 512, 512, 4);
+    const auto large = model.priceMatmul("mm", 1, 2048, 2048, 2048, 4);
+    EXPECT_GT(large.time_us, 30.0 * small.time_us);
+    EXPECT_EQ(small.category, KernelCategory::ComputeIntensive);
+}
+
+TEST(KernelSim, AccumulatesCounters)
+{
+    KernelSim sim(GpuSpec::v100());
+    sim.launch(simpleDesc(1e6, LaunchDims{512, 256}));
+    sim.launchMatmul("mm", 1, 256, 256, 256, 4);
+    sim.memcpy("cpy", 1024.0);
+    const PerfCounters &counters = sim.counters();
+    EXPECT_EQ(counters.kernels.size(), 3u);
+    EXPECT_EQ(counters.kernelCount(KernelCategory::MemoryIntensive), 1);
+    EXPECT_EQ(counters.kernelCount(KernelCategory::ComputeIntensive), 1);
+    EXPECT_EQ(counters.kernelCount(KernelCategory::Memcpy), 1);
+    EXPECT_GT(counters.endToEndUs(), 0.0);
+}
+
+TEST(KernelSim, TakeCountersResets)
+{
+    KernelSim sim(GpuSpec::v100());
+    sim.launch(simpleDesc(1e6, LaunchDims{512, 256}));
+    const PerfCounters taken = sim.takeCounters();
+    EXPECT_EQ(taken.kernels.size(), 1u);
+    EXPECT_EQ(sim.counters().kernels.size(), 0u);
+}
+
+TEST(PerfCounters, TopFractionAverages)
+{
+    PerfCounters counters;
+    KernelRecord big;
+    big.category = KernelCategory::MemoryIntensive;
+    big.time_us = 90.0;
+    big.achieved_occupancy = 0.9;
+    big.sm_efficiency = 0.8;
+    KernelRecord small;
+    small.category = KernelCategory::MemoryIntensive;
+    small.time_us = 10.0;
+    small.achieved_occupancy = 0.1;
+    small.sm_efficiency = 0.1;
+    counters.add(big);
+    counters.add(small);
+    // Top 80% of time is covered by the big kernel alone.
+    EXPECT_NEAR(counters.avgOccupancyTop(0.8), 0.9, 1e-9);
+    // 100% blends both, weighted by time.
+    EXPECT_NEAR(counters.avgOccupancyTop(1.0),
+                (0.9 * 90 + 0.1 * 10) / 100.0, 1e-9);
+}
+
+TEST(PerfCounters, MemoryKernelsSortedByTime)
+{
+    PerfCounters counters;
+    for (double t : {5.0, 50.0, 20.0}) {
+        KernelRecord r;
+        r.category = KernelCategory::MemoryIntensive;
+        r.time_us = t;
+        counters.add(r);
+    }
+    const auto sorted = counters.memoryKernelsByTime();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_DOUBLE_EQ(sorted[0].time_us, 50.0);
+    EXPECT_DOUBLE_EQ(sorted[2].time_us, 5.0);
+}
+
+TEST(Timeline, BreakdownSplitsCategories)
+{
+    PerfCounters counters;
+    KernelRecord mem;
+    mem.category = KernelCategory::MemoryIntensive;
+    mem.time_us = 10.0;
+    mem.launch_overhead_us = 4.0;
+    KernelRecord compute;
+    compute.category = KernelCategory::ComputeIntensive;
+    compute.time_us = 30.0;
+    compute.launch_overhead_us = 4.0;
+    KernelRecord cpy;
+    cpy.category = KernelCategory::Memcpy;
+    cpy.time_us = 2.0;
+    cpy.launch_overhead_us = 3.0;
+    counters.add(mem);
+    counters.add(compute);
+    counters.add(cpy);
+    const TimelineBreakdown breakdown = breakdownOf(counters);
+    EXPECT_DOUBLE_EQ(breakdown.mem_us, 10.0);
+    EXPECT_DOUBLE_EQ(breakdown.compute_us, 30.0);
+    EXPECT_DOUBLE_EQ(breakdown.overhead_us, 4 + 4 + 3 + 2.0);
+    EXPECT_DOUBLE_EQ(breakdown.totalUs(), counters.endToEndUs());
+}
+
+} // namespace
+} // namespace astitch

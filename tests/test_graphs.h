@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared test graphs, including a rendition of the paper's Fig. 7-(a)
+ * memory-intensive subgraph and the Fig. 5 redundancy case.
+ */
+#ifndef ASTITCH_TESTS_TEST_GRAPHS_H
+#define ASTITCH_TESTS_TEST_GRAPHS_H
+
+#include "graph/graph_builder.h"
+
+namespace astitch {
+namespace testing {
+
+/** Node handles of the Fig. 7-(a)-style graph. */
+struct Fig7Graph
+{
+    Graph graph{"fig7"};
+    NodeId param1 = kInvalidNodeId;   // [rows, cols] input
+    NodeId param2 = kInvalidNodeId;   // [rows] vector input
+    NodeId add1 = kInvalidNodeId;
+    NodeId reduce1 = kInvalidNodeId;  // row-reduce, regional in the paper
+    NodeId divide1 = kInvalidNodeId;
+    NodeId power1 = kInvalidNodeId;   // heavy ew + broadcast, global
+    NodeId reduce2 = kInvalidNodeId;  // global
+    NodeId multiply1 = kInvalidNodeId; // output
+};
+
+/**
+ * Build the Fig. 7-(a)-style subgraph:
+ *
+ *   add.1 = param1 + param1
+ *   reduce.1 = row_sum(add.1)                   (reduce -> consumers)
+ *   divide.1 = add.1 / broadcast(reduce.1)
+ *   power.1 = pow(param2, 2)                    (heavy ew -> broadcast)
+ *   add.2   = divide.1 + broadcast(power.1)
+ *   reduce.2 = row_sum(add.2)
+ *   multiply.1 = reduce.2 * power.1             (graph output)
+ */
+inline Fig7Graph
+buildFig7(std::int64_t rows = 64, std::int64_t cols = 128)
+{
+    Fig7Graph f;
+    GraphBuilder b(f.graph);
+    const Shape wide{rows, cols};
+
+    f.param1 = b.parameter(wide, "param1");
+    f.param2 = b.parameter({rows, 1}, "param2");
+
+    f.add1 = b.add(f.param1, f.param1);
+    f.reduce1 = b.reduceSum(f.add1, {1});
+    NodeId r1_col = b.reshape(f.reduce1, {rows, 1});
+    f.divide1 = b.div(f.add1, b.broadcastTo(r1_col, wide));
+
+    f.power1 = b.power(f.param2, 2.0);
+    NodeId add2 = b.add(f.divide1, b.broadcastTo(f.power1, wide));
+    f.reduce2 = b.reduceSum(add2, {1});
+    f.multiply1 = b.mul(f.reduce2, b.reshape(f.power1, {rows}));
+    b.output(f.multiply1);
+    return f;
+}
+
+/** Fig. 5: power<r,1> -> broadcast<r,c> -> add<r,c>. */
+struct Fig5Graph
+{
+    Graph graph{"fig5"};
+    NodeId vec = kInvalidNodeId;
+    NodeId wide = kInvalidNodeId;
+    NodeId power = kInvalidNodeId;
+    NodeId add = kInvalidNodeId;
+};
+
+inline Fig5Graph
+buildFig5(std::int64_t rows = 2, std::int64_t cols = 128)
+{
+    Fig5Graph f;
+    GraphBuilder b(f.graph);
+    f.vec = b.parameter({rows, 1}, "vec");
+    f.wide = b.parameter({rows, cols}, "wide");
+    f.power = b.power(f.vec, 2.0);
+    NodeId bc = b.broadcastTo(f.power, {rows, cols});
+    f.add = b.add(bc, f.wide);
+    f.graph.markOutput(f.add);
+    return f;
+}
+
+/** A pure element-wise chain (single-kernel everywhere). */
+inline Graph
+buildElementwiseChain(std::int64_t n = 1024, int depth = 4)
+{
+    Graph graph("chain");
+    GraphBuilder b(graph);
+    NodeId x = b.parameter({n});
+    for (int i = 0; i < depth; ++i)
+        x = b.add(b.mul(x, b.constantScalar(1.5f)),
+                  b.constantScalar(0.25f));
+    graph.markOutput(x);
+    return graph;
+}
+
+/** Softmax over [rows, cols] (two reduces + broadcasts). */
+inline Graph
+buildSoftmax(std::int64_t rows, std::int64_t cols)
+{
+    Graph graph("softmax");
+    GraphBuilder b(graph);
+    NodeId x = b.parameter({rows, cols});
+    graph.markOutput(b.softmax(x));
+    return graph;
+}
+
+} // namespace testing
+} // namespace astitch
+
+#endif // ASTITCH_TESTS_TEST_GRAPHS_H

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Deep structural tests of the workload generators: per-model operator
+ * inventories, layer scaling, training-graph contents, interaction with
+ * the optimizer pipeline and cross-device compilation.
+ */
+#include <gtest/gtest.h>
+
+#include "backends/xla/xla_backend.h"
+#include "core/astitch_backend.h"
+#include "opt/passes.h"
+#include "runtime/session.h"
+#include "workloads/asr.h"
+#include "workloads/bert.h"
+#include "workloads/common.h"
+#include "workloads/crnn.h"
+#include "workloads/dien.h"
+#include "workloads/transformer.h"
+
+namespace astitch {
+namespace {
+
+using namespace workloads;
+
+int
+countKind(const Graph &g, OpKind kind)
+{
+    int count = 0;
+    for (NodeId id = 0; id < g.numNodes(); ++id)
+        count += g.node(id).kind() == kind;
+    return count;
+}
+
+TEST(BertStructure, ScalesLinearlyWithLayers)
+{
+    BertConfig two = BertConfig::tiny();
+    two.layers = 2;
+    BertConfig four = BertConfig::tiny();
+    four.layers = 4;
+    const Graph g2 = buildBert(two);
+    const Graph g4 = buildBert(four);
+    // Per-layer op population roughly doubles; the fixed head/embedding
+    // parts do not.
+    EXPECT_GT(g4.numNodes(), 1.6 * g2.numNodes());
+    EXPECT_LT(g4.numNodes(), 2.4 * g2.numNodes());
+}
+
+TEST(BertStructure, AttentionUsesBatchedMatmulsAndSoftmax)
+{
+    const Graph g = buildBert(BertConfig::tiny());
+    // Two batched matmuls (scores, context) per layer.
+    EXPECT_EQ(countKind(g, OpKind::BatchMatMul), 2 * 2);
+    // One transpose (k^T) per layer.
+    EXPECT_EQ(countKind(g, OpKind::Transpose), 2);
+}
+
+TEST(BertStructure, TrainingGraphContainsMatmulGradients)
+{
+    const Graph infer = buildBert(BertConfig::tiny());
+    BertConfig train_config = BertConfig::tiny();
+    train_config.is_training = true;
+    const Graph train = buildBert(train_config);
+    // Backward adds transposed-matmul pairs for every forward GEMM.
+    EXPECT_GT(countKind(train, OpKind::MatMul),
+              1.8 * countKind(infer, OpKind::MatMul));
+    EXPECT_GT(countKind(train, OpKind::Transpose),
+              countKind(infer, OpKind::Transpose));
+    // One gradient output per trainable parameter plus the loss.
+    EXPECT_EQ(train.outputs().size(), train.parameters().size() + 1);
+}
+
+TEST(TransformerStructure, VocabProjectionIsTheLargestMatmul)
+{
+    const Graph g =
+        buildTransformer(TransformerConfig::inference());
+    std::int64_t largest = 0;
+    for (NodeId id = 0; id < g.numNodes(); ++id) {
+        if (g.node(id).kind() == OpKind::MatMul)
+            largest = std::max(largest,
+                               g.node(id).shape().numElements());
+    }
+    EXPECT_EQ(largest, 64 * 30000);
+}
+
+TEST(TransformerStructure, TrainingTargetsFeedCrossEntropy)
+{
+    const Graph g =
+        buildTransformer(TransformerConfig::tiny());
+    (void)g;
+    TransformerConfig config = TransformerConfig::tiny();
+    config.is_training = true;
+    const Graph train = buildTransformer(config);
+    bool has_targets = false;
+    for (NodeId p : train.parameters())
+        has_targets |= train.node(p).name() == "targets";
+    EXPECT_TRUE(has_targets);
+}
+
+TEST(DienStructure, GruStepsScaleTheGraph)
+{
+    DienConfig two = DienConfig::tiny();
+    two.gru_steps = 2;
+    DienConfig six = DienConfig::tiny();
+    six.gru_steps = 6;
+    EXPECT_GT(buildDien(six).numNodes(), buildDien(two).numNodes() + 40);
+}
+
+TEST(DienStructure, InterestPipelineUsesSigmoidGating)
+{
+    const Graph g = buildDien(DienConfig::tiny());
+    EXPECT_GE(countKind(g, OpKind::Sigmoid), 1 + 2); // gate + GRU z,r
+    EXPECT_GE(countKind(g, OpKind::Gather), 1);
+}
+
+TEST(AsrStructure, DecoderStepsEmitAttentionReduces)
+{
+    AsrConfig two = AsrConfig::tiny();
+    two.decoder_steps = 2;
+    AsrConfig five = AsrConfig::tiny();
+    five.decoder_steps = 5;
+    const Graph g2 = buildAsr(two);
+    const Graph g5 = buildAsr(five);
+    auto reduces = [&](const Graph &g) {
+        int count = 0;
+        for (NodeId id = 0; id < g.numNodes(); ++id)
+            count += isReduce(g.node(id).kind());
+        return count;
+    };
+    // Each decoder step adds the additive-attention reduce + softmax.
+    EXPECT_GE(reduces(g5), reduces(g2) + 3 * 3);
+}
+
+TEST(CrnnStructure, PoolingPyramidShrinksRows)
+{
+    const Graph g = buildCrnn(CrnnConfig::inference());
+    // The conv stack starts at 65536 rows and pools to 4096.
+    bool saw_full = false, saw_pooled = false;
+    for (NodeId id = 0; id < g.numNodes(); ++id) {
+        const Shape &s = g.node(id).shape();
+        if (s.rank() == 2 && s.dim(0) == 65536)
+            saw_full = true;
+        if (s.rank() == 2 && s.dim(0) == 4096)
+            saw_pooled = true;
+    }
+    EXPECT_TRUE(saw_full);
+    EXPECT_TRUE(saw_pooled);
+}
+
+TEST(CrnnStructure, BidirectionalLstmDoublesStepKernels)
+{
+    CrnnConfig config = CrnnConfig::tiny();
+    const Graph g = buildCrnn(config);
+    // 4 gates x 2 matmuls per cell x 2 directions x steps.
+    EXPECT_GE(countKind(g, OpKind::MatMul),
+              4 * 2 * 2 * config.time_steps);
+}
+
+TEST(WorkloadsUnderOptimizer, PipelineShrinksEveryModel)
+{
+    for (const auto &spec : inferenceWorkloads()) {
+        const Graph g = spec.build();
+        PassPipeline pipeline = PassPipeline::standard();
+        const Graph out = pipeline.run(g);
+        EXPECT_LE(out.numNodes(), g.numNodes()) << spec.name;
+        // Constant dedup always finds something (gelu/eps constants).
+        EXPECT_LT(countKind(out, OpKind::Constant),
+                  countKind(g, OpKind::Constant) + 1)
+            << spec.name;
+        EXPECT_EQ(out.outputs().size(), g.outputs().size()) << spec.name;
+    }
+}
+
+TEST(WorkloadsUnderOptimizer, OptimizedTinyModelsStayCorrect)
+{
+    const std::vector<Graph> graphs = [] {
+        std::vector<Graph> gs;
+        gs.push_back(buildBert(BertConfig::tiny()));
+        gs.push_back(buildCrnn(CrnnConfig::tiny()));
+        gs.push_back(buildDien(DienConfig::tiny()));
+        return gs;
+    }();
+    for (const Graph &g : graphs) {
+        const TensorMap feeds = makeRandomFeeds(g);
+        const auto expected = Evaluator(g).run(feeds);
+        SessionOptions options;
+        options.enable_optimizer = true;
+        Session session(g, std::make_unique<AStitchBackend>(), options);
+        const auto report = session.run(feeds);
+        ASSERT_EQ(report.outputs.size(), expected.size()) << g.name();
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_TRUE(
+                report.outputs[i].allClose(expected[i], 1e-4, 1e-5))
+                << g.name() << " output " << i;
+        }
+    }
+}
+
+TEST(CrossDevice, EveryModelCompilesOnEveryGpu)
+{
+    for (const auto &spec : inferenceWorkloads()) {
+        const Graph g = spec.build();
+        for (const GpuSpec &gpu :
+             {GpuSpec::v100(), GpuSpec::t4(), GpuSpec::a100()}) {
+            SessionOptions options;
+            options.spec = gpu;
+            Session session(g, std::make_unique<AStitchBackend>(),
+                            options);
+            EXPECT_NO_THROW(session.profile())
+                << spec.name << " on " << gpu.name;
+        }
+    }
+}
+
+TEST(CrossDevice, WaveCapacityDiffersAcrossGpus)
+{
+    // The same stitched kernel obeys each device's wave bound.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId x = b.parameter({500000, 32});
+    g.markOutput(b.reduceSum(b.mul(x, x), {1}));
+    for (const GpuSpec &gpu : {GpuSpec::v100(), GpuSpec::t4()}) {
+        SessionOptions options;
+        options.spec = gpu;
+        Session session(g, std::make_unique<AStitchBackend>(), options);
+        for (const auto &compiled : session.compiled()) {
+            for (const auto &k : compiled.kernels) {
+                const Occupancy occ = computeOccupancy(
+                    gpu, k.launch.block, k.regs_per_thread,
+                    k.smem_per_block);
+                EXPECT_LE(k.launch.grid, occ.blocksPerWave(gpu))
+                    << gpu.name;
+            }
+        }
+    }
+}
+
+TEST(TrainingWorkloads, AllThreeCompileAndValidateUnderAStitch)
+{
+    for (const auto &spec : trainingWorkloads()) {
+        const Graph g = spec.build();
+        EXPECT_GT(g.outputs().size(), 10u) << spec.name
+                                           << " gradient outputs";
+        Session session(g, std::make_unique<AStitchBackend>());
+        EXPECT_NO_THROW(session.profile()) << spec.name;
+    }
+}
+
+} // namespace
+} // namespace astitch

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests of the workload generators: structural expectations (op mixes,
+ * irregular shapes) and functional evaluability of the tiny variants.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/clustering.h"
+#include "compiler/evaluator.h"
+#include "workloads/asr.h"
+#include "workloads/bert.h"
+#include "workloads/common.h"
+#include "workloads/crnn.h"
+#include "workloads/dien.h"
+#include "workloads/random_graph.h"
+#include "workloads/transformer.h"
+
+namespace astitch {
+namespace {
+
+using namespace workloads;
+
+struct OpCensus
+{
+    int reduces = 0;
+    int heavy = 0;
+    int broadcasts = 0;
+    int matmuls = 0;
+    int total = 0;
+};
+
+OpCensus
+census(const Graph &g)
+{
+    OpCensus c;
+    for (NodeId id = 0; id < g.numNodes(); ++id) {
+        const OpKind kind = g.node(id).kind();
+        c.reduces += isReduce(kind);
+        c.heavy += isHeavyElementwise(kind);
+        c.broadcasts += kind == OpKind::Broadcast;
+        c.matmuls += isComputeIntensive(kind);
+        ++c.total;
+    }
+    return c;
+}
+
+TEST(Workloads, BertHasTransformerOpMix)
+{
+    Graph g = buildBert(BertConfig::inference());
+    const OpCensus c = census(g);
+    // 4 layers x (softmax 2 reduces + 2 layernorms x 2 reduces) + final.
+    EXPECT_GE(c.reduces, 4 * 6);
+    EXPECT_GT(c.heavy, 10);      // exp, rsqrt, tanh, gelu chains
+    EXPECT_GT(c.broadcasts, 20);
+    EXPECT_GE(c.matmuls, 4 * 6); // qkv, scores, ctx, proj, ffn x2
+}
+
+TEST(Workloads, TransformerContainsFig6bShape)
+{
+    Graph g = buildTransformer(TransformerConfig::inference());
+    bool found = false;
+    for (NodeId id = 0; id < g.numNodes(); ++id) {
+        const Node &n = g.node(id);
+        if (isReduce(n.kind())) {
+            const Shape &in = g.node(n.operands()[0]).shape();
+            if (in.rank() == 2 && in.dim(0) == 64 && in.dim(1) == 30000)
+                found = true;
+        }
+    }
+    EXPECT_TRUE(found) << "the <64,30000> production reduce must appear";
+}
+
+TEST(Workloads, DienContainsFig6aShape)
+{
+    Graph g = buildDien(DienConfig::inference());
+    bool found = false;
+    for (NodeId id = 0; id < g.numNodes(); ++id) {
+        const Node &n = g.node(id);
+        if (isReduce(n.kind())) {
+            const Shape &in = g.node(n.operands()[0]).shape();
+            if (in.rank() == 2 && in.dim(0) == 750000 && in.dim(1) == 32)
+                found = true;
+        }
+    }
+    EXPECT_TRUE(found) << "the <750000,32> production reduce must appear";
+}
+
+TEST(Workloads, CrnnIsSmallOpDominated)
+{
+    Graph g = buildCrnn(CrnnConfig::inference());
+    const auto clusters = findMemoryIntensiveClusters(g);
+    // Many small clusters between the per-step LSTM GEMMs.
+    EXPECT_GT(clusters.size(), 50u);
+}
+
+TEST(Workloads, AllInferenceModelsBuildAndCluster)
+{
+    for (const auto &spec : inferenceWorkloads()) {
+        Graph g = spec.build();
+        EXPECT_GT(g.numNodes(), 50) << spec.name;
+        EXPECT_FALSE(g.outputs().empty()) << spec.name;
+        const auto clusters = findMemoryIntensiveClusters(g);
+        EXPECT_FALSE(clusters.empty()) << spec.name;
+        // No cluster may contain a compute-intensive or source op.
+        for (const auto &c : clusters) {
+            for (NodeId n : c.nodes) {
+                EXPECT_TRUE(isMemoryIntensive(g.node(n).kind()))
+                    << spec.name;
+            }
+        }
+    }
+}
+
+TEST(Workloads, TrainingVariantsAreLargerAndEmitGradients)
+{
+    Graph infer = buildBert(BertConfig::inference());
+    Graph train = buildBert(BertConfig::training());
+    EXPECT_GT(train.outputs().size(), infer.outputs().size());
+
+    Graph t_train = buildTransformer(TransformerConfig::training());
+    EXPECT_GT(t_train.outputs().size(), 1u);
+}
+
+TEST(Workloads, TinyVariantsEvaluateFunctionally)
+{
+    const std::vector<Graph> graphs = [] {
+        std::vector<Graph> gs;
+        gs.push_back(buildBert(BertConfig::tiny()));
+        gs.push_back(buildTransformer(TransformerConfig::tiny()));
+        gs.push_back(buildDien(DienConfig::tiny()));
+        gs.push_back(buildAsr(AsrConfig::tiny()));
+        gs.push_back(buildCrnn(CrnnConfig::tiny()));
+        return gs;
+    }();
+    for (const Graph &g : graphs) {
+        const TensorMap feeds = makeRandomFeeds(g);
+        const auto outs = Evaluator(g).run(feeds);
+        ASSERT_FALSE(outs.empty()) << g.name();
+        for (const Tensor &t : outs) {
+            for (float v : t.data())
+                EXPECT_FALSE(std::isnan(v)) << g.name();
+        }
+    }
+}
+
+TEST(Workloads, RandomFeedsAreDeterministic)
+{
+    Graph g = buildBert(BertConfig::tiny());
+    const TensorMap a = makeRandomFeeds(g, 42);
+    const TensorMap b = makeRandomFeeds(g, 42);
+    for (const auto &[id, tensor] : a)
+        EXPECT_TRUE(tensor.allClose(b.at(id), 0, 0));
+}
+
+TEST(RandomGraph, HitsRequestedSizeAndStaysValid)
+{
+    RandomGraphConfig config;
+    config.num_nodes = 500;
+    Graph g = buildRandomGraph(config);
+    EXPECT_GE(g.numNodes(), 500);
+    EXPECT_FALSE(g.outputs().empty());
+    // Creation order must be topological (operands before users).
+    for (NodeId id = 0; id < g.numNodes(); ++id) {
+        for (NodeId op : g.node(id).operands())
+            EXPECT_LT(op, id);
+    }
+}
+
+TEST(RandomGraph, DeterministicPerSeed)
+{
+    RandomGraphConfig config;
+    config.num_nodes = 200;
+    config.seed = 9;
+    Graph a = buildRandomGraph(config);
+    Graph b = buildRandomGraph(config);
+    ASSERT_EQ(a.numNodes(), b.numNodes());
+    for (NodeId id = 0; id < a.numNodes(); ++id) {
+        EXPECT_EQ(a.node(id).kind(), b.node(id).kind());
+        EXPECT_EQ(a.node(id).shape(), b.node(id).shape());
+    }
+}
+
+TEST(RandomGraph, ContainsBothHostilePatterns)
+{
+    RandomGraphConfig config;
+    config.num_nodes = 1000;
+    Graph g = buildRandomGraph(config);
+    const auto c = census(g);
+    EXPECT_GT(c.reduces, 10);
+    EXPECT_GT(c.heavy, 10);
+    EXPECT_GT(c.broadcasts, 10);
+}
+
+} // namespace
+} // namespace astitch

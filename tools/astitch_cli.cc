@@ -1,0 +1,308 @@
+/**
+ * @file
+ * astitch-cli: command-line driver for the compiler.
+ *
+ *   astitch-cli list
+ *       List built-in workloads and backends.
+ *   astitch-cli profile --model BERT [--backend astitch] [--gpu v100]
+ *       Compile + simulate one model; print the run report.
+ *   astitch-cli compare --model DIEN
+ *       All backends side by side on one model.
+ *   astitch-cli explain --model CRNN [--cluster 0]
+ *       Dump the AStitch pass decisions for one stitched cluster.
+ *   astitch-cli emit --model BERT --cluster 0 [--out kernel.cu]
+ *       Emit the stitched kernel's CUDA source.
+ *   astitch-cli trace --model ASR --out trace.json
+ *       Write a chrome://tracing timeline of one simulated run.
+ *   astitch-cli dot --model Transformer --out graph.dot
+ *       Export the computation graph in Graphviz DOT.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "backends/tf/cuda_graph_backend.h"
+#include "backends/tf/tf_backend.h"
+#include "backends/trt/trt_backend.h"
+#include "backends/tvm/tvm_backend.h"
+#include "backends/xla/xla_backend.h"
+#include "core/astitch_backend.h"
+#include "core/cuda_emitter.h"
+#include "graph/dot_export.h"
+#include "runtime/session.h"
+#include "support/logging.h"
+#include "sim/trace_export.h"
+#include "workloads/common.h"
+
+using namespace astitch;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> options;
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc > 1)
+        args.command = argv[1];
+    for (int i = 2; i + 1 < argc; i += 2) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) == 0)
+            key = key.substr(2);
+        args.options[key] = argv[i + 1];
+    }
+    return args;
+}
+
+std::unique_ptr<Backend>
+makeBackend(const std::string &name)
+{
+    if (name == "tensorflow" || name == "tf")
+        return std::make_unique<TfBackend>();
+    if (name == "tf-cudagraph")
+        return std::make_unique<CudaGraphBackend>();
+    if (name == "xla")
+        return std::make_unique<XlaBackend>();
+    if (name == "tvm")
+        return std::make_unique<TvmBackend>();
+    if (name == "ansor")
+        return std::make_unique<TvmBackend>(true);
+    if (name == "tensorrt" || name == "trt")
+        return std::make_unique<TrtBackend>();
+    if (name == "astitch")
+        return std::make_unique<AStitchBackend>();
+    if (name == "astitch-atm")
+        return std::make_unique<AStitchBackend>(
+            AStitchBackend::atmOnly());
+    if (name == "astitch-hdm")
+        return std::make_unique<AStitchBackend>(
+            AStitchBackend::withoutMerging());
+    fatal("unknown backend '", name,
+          "' (try: tf, tf-cudagraph, xla, tvm, ansor, trt, astitch, "
+          "astitch-atm, astitch-hdm)");
+}
+
+GpuSpec
+makeSpec(const std::string &name)
+{
+    if (name == "v100")
+        return GpuSpec::v100();
+    if (name == "t4")
+        return GpuSpec::t4();
+    if (name == "a100")
+        return GpuSpec::a100();
+    fatal("unknown gpu '", name, "' (try: v100, t4, a100)");
+}
+
+Graph
+buildModel(const std::string &name)
+{
+    for (const auto &spec : workloads::inferenceWorkloads()) {
+        if (spec.name == name)
+            return spec.build();
+    }
+    std::string names;
+    for (const auto &spec : workloads::inferenceWorkloads())
+        names += spec.name + " ";
+    fatal("unknown model '", name, "' (available: ", names, ")");
+}
+
+void
+writeOrPrint(const Args &args, const std::string &content)
+{
+    const std::string out = args.get("out", "");
+    if (out.empty()) {
+        std::fputs(content.c_str(), stdout);
+        return;
+    }
+    std::ofstream file(out);
+    fatalIf(!file, "cannot open ", out);
+    file << content;
+    std::printf("wrote %zu bytes to %s\n", content.size(), out.c_str());
+}
+
+int
+cmdList()
+{
+    std::printf("models:  ");
+    for (const auto &spec : workloads::inferenceWorkloads())
+        std::printf("%s ", spec.name.c_str());
+    std::printf("\nbackends: tf tf-cudagraph xla tvm ansor trt astitch "
+                "astitch-atm astitch-hdm\ngpus:    v100 t4 a100\n");
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    const Graph graph = buildModel(args.get("model", "BERT"));
+    SessionOptions options;
+    options.spec = makeSpec(args.get("gpu", "v100"));
+    Session session(graph, makeBackend(args.get("backend", "astitch")),
+                    options);
+    const RunReport report = session.profile();
+    std::printf("%s on %s\n%s\n", graph.name().c_str(),
+                options.spec.name.c_str(), report.summary().c_str());
+    std::printf("  occupancy (top 80%%): %.2f   sm_efficiency: %.2f\n",
+                report.counters.avgOccupancyTop(0.8),
+                report.counters.avgSmEfficiencyTop(0.8));
+    std::printf("  dram read/write txns: %lld / %lld   inst_fp32: "
+                "%.0f\n",
+                static_cast<long long>(
+                    report.counters.dramReadTransactions()),
+                static_cast<long long>(
+                    report.counters.dramWriteTransactions()),
+                report.counters.instFp32());
+    return 0;
+}
+
+int
+cmdCompare(const Args &args)
+{
+    const Graph graph = buildModel(args.get("model", "BERT"));
+    SessionOptions options;
+    options.spec = makeSpec(args.get("gpu", "v100"));
+    std::printf("%-14s %10s %9s %6s %10s %8s\n", "backend", "time(ms)",
+                "kernels", "cpy", "occupancy", "compile");
+    for (const char *name :
+         {"tf", "tf-cudagraph", "xla", "tvm", "ansor", "trt",
+          "astitch"}) {
+        Session session(graph, makeBackend(name), options);
+        const RunReport report = session.profile();
+        std::printf("%-14s %10.3f %9d %6d %10.2f %6.1fms\n",
+                    report.backend_name.c_str(),
+                    report.end_to_end_us / 1000.0,
+                    report.memKernelCount(), report.cpyCount(),
+                    report.counters.avgOccupancyTop(0.8),
+                    report.compile_ms);
+    }
+    return 0;
+}
+
+int
+cmdExplain(const Args &args)
+{
+    const Graph graph = buildModel(args.get("model", "CRNN"));
+    auto clusters =
+        remoteStitch(graph, findMemoryIntensiveClusters(graph));
+    const std::size_t index =
+        std::stoul(args.get("cluster", "0"));
+    fatalIf(index >= clusters.size(), "cluster index out of range (",
+            clusters.size(), " clusters)");
+    StitchDiagnostics diag;
+    compileStitchOp(graph, clusters[index],
+                    makeSpec(args.get("gpu", "v100")), AStitchOptions{},
+                    &diag);
+    std::printf("cluster %zu: %zu ops, %zu inputs, %zu outputs\n", index,
+                clusters[index].nodes.size(),
+                clusters[index].inputs.size(),
+                clusters[index].outputs.size());
+    for (std::size_t g = 0; g < diag.analysis.groups.size(); ++g) {
+        const auto &group = diag.analysis.groups[g];
+        std::printf("  group %zu: dominant=%s launch=%s (%zu members, "
+                    "%zu sub-dominants)\n",
+                    g, graph.node(group.dominant).name().c_str(),
+                    diag.schedules[g].mapping.launch.toString().c_str(),
+                    group.members.size(), group.sub_dominants.size());
+    }
+    int regional = 0, global = 0;
+    for (const auto &[node, scheme] : diag.memory.schemes) {
+        regional += scheme == StitchScheme::Regional;
+        global += scheme == StitchScheme::Global;
+    }
+    std::printf("  schemes: %d regional, %d global (%d demoted)\n",
+                regional, global, diag.memory.num_demoted);
+    std::printf("  memory: %lld B smem/block, %lld B global scratch\n",
+                static_cast<long long>(diag.memory.smem_per_block),
+                static_cast<long long>(
+                    diag.memory.global_scratch_bytes));
+    std::printf("  launch: %s, %d regs/thread, wave capacity %lld\n",
+                diag.launch.launch.toString().c_str(),
+                diag.launch.regs_per_thread,
+                static_cast<long long>(diag.launch.blocks_per_wave));
+    return 0;
+}
+
+int
+cmdEmit(const Args &args)
+{
+    const Graph graph = buildModel(args.get("model", "BERT"));
+    auto clusters =
+        remoteStitch(graph, findMemoryIntensiveClusters(graph));
+    const std::size_t index = std::stoul(args.get("cluster", "0"));
+    fatalIf(index >= clusters.size(), "cluster index out of range (",
+            clusters.size(), " clusters)");
+    const CudaEmission emission = emitStitchKernelCuda(
+        graph, clusters[index], makeSpec(args.get("gpu", "v100")));
+    writeOrPrint(args, emission.source + "\n// " +
+                           emission.launch_stub + "\n");
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    const Graph graph = buildModel(args.get("model", "BERT"));
+    SessionOptions options;
+    options.spec = makeSpec(args.get("gpu", "v100"));
+    Session session(graph, makeBackend(args.get("backend", "astitch")),
+                    options);
+    writeOrPrint(args, toChromeTrace(session.profile().counters));
+    return 0;
+}
+
+int
+cmdDot(const Args &args)
+{
+    const Graph graph = buildModel(args.get("model", "BERT"));
+    writeOrPrint(args, exportDot(graph));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+    try {
+        if (args.command == "list")
+            return cmdList();
+        if (args.command == "profile")
+            return cmdProfile(args);
+        if (args.command == "compare")
+            return cmdCompare(args);
+        if (args.command == "explain")
+            return cmdExplain(args);
+        if (args.command == "emit")
+            return cmdEmit(args);
+        if (args.command == "trace")
+            return cmdTrace(args);
+        if (args.command == "dot")
+            return cmdDot(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(
+        stderr,
+        "usage: astitch-cli <list|profile|compare|explain|emit|trace|"
+        "dot> [--model M] [--backend B] [--gpu G] [--cluster N] "
+        "[--out FILE]\n");
+    return args.command.empty() ? 1 : 2;
+}
