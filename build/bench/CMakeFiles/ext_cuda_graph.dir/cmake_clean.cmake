@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cuda_graph.dir/ext_cuda_graph.cc.o"
+  "CMakeFiles/ext_cuda_graph.dir/ext_cuda_graph.cc.o.d"
+  "ext_cuda_graph"
+  "ext_cuda_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cuda_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

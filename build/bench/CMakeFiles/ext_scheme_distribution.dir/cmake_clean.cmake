@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scheme_distribution.dir/ext_scheme_distribution.cc.o"
+  "CMakeFiles/ext_scheme_distribution.dir/ext_scheme_distribution.cc.o.d"
+  "ext_scheme_distribution"
+  "ext_scheme_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scheme_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_smem_budget.dir/ext_smem_budget.cc.o"
+  "CMakeFiles/ext_smem_budget.dir/ext_smem_budget.cc.o.d"
+  "ext_smem_budget"
+  "ext_smem_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_smem_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

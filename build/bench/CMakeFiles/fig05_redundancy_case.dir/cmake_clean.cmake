@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_redundancy_case.dir/fig05_redundancy_case.cc.o"
+  "CMakeFiles/fig05_redundancy_case.dir/fig05_redundancy_case.cc.o.d"
+  "fig05_redundancy_case"
+  "fig05_redundancy_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_redundancy_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

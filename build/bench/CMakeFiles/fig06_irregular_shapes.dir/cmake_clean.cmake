@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_irregular_shapes.dir/fig06_irregular_shapes.cc.o"
+  "CMakeFiles/fig06_irregular_shapes.dir/fig06_irregular_shapes.cc.o.d"
+  "fig06_irregular_shapes"
+  "fig06_irregular_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_irregular_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

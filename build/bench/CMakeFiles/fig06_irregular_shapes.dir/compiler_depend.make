@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_irregular_shapes.
+# This may be replaced when dependencies are built.

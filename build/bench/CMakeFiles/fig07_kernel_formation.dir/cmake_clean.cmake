@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_kernel_formation.dir/fig07_kernel_formation.cc.o"
+  "CMakeFiles/fig07_kernel_formation.dir/fig07_kernel_formation.cc.o.d"
+  "fig07_kernel_formation"
+  "fig07_kernel_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_kernel_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

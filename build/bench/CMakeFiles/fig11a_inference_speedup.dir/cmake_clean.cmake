@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_inference_speedup.dir/fig11a_inference_speedup.cc.o"
+  "CMakeFiles/fig11a_inference_speedup.dir/fig11a_inference_speedup.cc.o.d"
+  "fig11a_inference_speedup"
+  "fig11a_inference_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_inference_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

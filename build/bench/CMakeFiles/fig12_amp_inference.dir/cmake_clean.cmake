@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_amp_inference.dir/fig12_amp_inference.cc.o"
+  "CMakeFiles/fig12_amp_inference.dir/fig12_amp_inference.cc.o.d"
+  "fig12_amp_inference"
+  "fig12_amp_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_amp_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_16_occupancy_trend.dir/fig15_16_occupancy_trend.cc.o"
+  "CMakeFiles/fig15_16_occupancy_trend.dir/fig15_16_occupancy_trend.cc.o.d"
+  "fig15_16_occupancy_trend"
+  "fig15_16_occupancy_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_occupancy_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_ansor_case_study.dir/sec62_ansor_case_study.cc.o"
+  "CMakeFiles/sec62_ansor_case_study.dir/sec62_ansor_case_study.cc.o.d"
+  "sec62_ansor_case_study"
+  "sec62_ansor_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_ansor_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

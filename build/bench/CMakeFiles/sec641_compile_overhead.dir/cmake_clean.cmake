@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec641_compile_overhead.dir/sec641_compile_overhead.cc.o"
+  "CMakeFiles/sec641_compile_overhead.dir/sec641_compile_overhead.cc.o.d"
+  "sec641_compile_overhead"
+  "sec641_compile_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec641_compile_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

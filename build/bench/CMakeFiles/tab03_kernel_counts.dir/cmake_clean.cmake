@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_kernel_counts.dir/tab03_kernel_counts.cc.o"
+  "CMakeFiles/tab03_kernel_counts.dir/tab03_kernel_counts.cc.o.d"
+  "tab03_kernel_counts"
+  "tab03_kernel_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_kernel_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

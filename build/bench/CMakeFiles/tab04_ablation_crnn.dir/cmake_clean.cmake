@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_ablation_crnn.dir/tab04_ablation_crnn.cc.o"
+  "CMakeFiles/tab04_ablation_crnn.dir/tab04_ablation_crnn.cc.o.d"
+  "tab04_ablation_crnn"
+  "tab04_ablation_crnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_ablation_crnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

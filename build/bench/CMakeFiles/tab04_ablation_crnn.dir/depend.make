@@ -1,0 +1,2 @@
+# Empty dependencies file for tab04_ablation_crnn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_perf_counters.dir/tab05_perf_counters.cc.o"
+  "CMakeFiles/tab05_perf_counters.dir/tab05_perf_counters.cc.o.d"
+  "tab05_perf_counters"
+  "tab05_perf_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_perf_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_global_barrier.dir/tab06_global_barrier.cc.o"
+  "CMakeFiles/tab06_global_barrier.dir/tab06_global_barrier.cc.o.d"
+  "tab06_global_barrier"
+  "tab06_global_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_global_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

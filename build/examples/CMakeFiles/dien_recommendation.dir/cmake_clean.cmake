@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dien_recommendation.dir/dien_recommendation.cpp.o"
+  "CMakeFiles/dien_recommendation.dir/dien_recommendation.cpp.o.d"
+  "dien_recommendation"
+  "dien_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dien_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

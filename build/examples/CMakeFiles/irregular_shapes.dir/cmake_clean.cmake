@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_shapes.dir/irregular_shapes.cpp.o"
+  "CMakeFiles/irregular_shapes.dir/irregular_shapes.cpp.o.d"
+  "irregular_shapes"
+  "irregular_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

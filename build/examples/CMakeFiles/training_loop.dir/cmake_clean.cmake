@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_loop.dir/training_loop.cpp.o"
+  "CMakeFiles/training_loop.dir/training_loop.cpp.o.d"
+  "training_loop"
+  "training_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

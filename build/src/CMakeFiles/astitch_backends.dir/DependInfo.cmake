@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/tf/cuda_graph_backend.cc" "src/CMakeFiles/astitch_backends.dir/backends/tf/cuda_graph_backend.cc.o" "gcc" "src/CMakeFiles/astitch_backends.dir/backends/tf/cuda_graph_backend.cc.o.d"
+  "/root/repo/src/backends/tf/tf_backend.cc" "src/CMakeFiles/astitch_backends.dir/backends/tf/tf_backend.cc.o" "gcc" "src/CMakeFiles/astitch_backends.dir/backends/tf/tf_backend.cc.o.d"
+  "/root/repo/src/backends/trt/trt_backend.cc" "src/CMakeFiles/astitch_backends.dir/backends/trt/trt_backend.cc.o" "gcc" "src/CMakeFiles/astitch_backends.dir/backends/trt/trt_backend.cc.o.d"
+  "/root/repo/src/backends/tvm/tvm_backend.cc" "src/CMakeFiles/astitch_backends.dir/backends/tvm/tvm_backend.cc.o" "gcc" "src/CMakeFiles/astitch_backends.dir/backends/tvm/tvm_backend.cc.o.d"
+  "/root/repo/src/backends/xla/xla_backend.cc" "src/CMakeFiles/astitch_backends.dir/backends/xla/xla_backend.cc.o" "gcc" "src/CMakeFiles/astitch_backends.dir/backends/xla/xla_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/astitch_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

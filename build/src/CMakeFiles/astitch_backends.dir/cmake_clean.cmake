@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_backends.dir/backends/tf/cuda_graph_backend.cc.o"
+  "CMakeFiles/astitch_backends.dir/backends/tf/cuda_graph_backend.cc.o.d"
+  "CMakeFiles/astitch_backends.dir/backends/tf/tf_backend.cc.o"
+  "CMakeFiles/astitch_backends.dir/backends/tf/tf_backend.cc.o.d"
+  "CMakeFiles/astitch_backends.dir/backends/trt/trt_backend.cc.o"
+  "CMakeFiles/astitch_backends.dir/backends/trt/trt_backend.cc.o.d"
+  "CMakeFiles/astitch_backends.dir/backends/tvm/tvm_backend.cc.o"
+  "CMakeFiles/astitch_backends.dir/backends/tvm/tvm_backend.cc.o.d"
+  "CMakeFiles/astitch_backends.dir/backends/xla/xla_backend.cc.o"
+  "CMakeFiles/astitch_backends.dir/backends/xla/xla_backend.cc.o.d"
+  "libastitch_backends.a"
+  "libastitch_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libastitch_backends.a"
+)

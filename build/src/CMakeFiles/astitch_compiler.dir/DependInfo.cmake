@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/backend.cc" "src/CMakeFiles/astitch_compiler.dir/compiler/backend.cc.o" "gcc" "src/CMakeFiles/astitch_compiler.dir/compiler/backend.cc.o.d"
+  "/root/repo/src/compiler/clustering.cc" "src/CMakeFiles/astitch_compiler.dir/compiler/clustering.cc.o" "gcc" "src/CMakeFiles/astitch_compiler.dir/compiler/clustering.cc.o.d"
+  "/root/repo/src/compiler/evaluator.cc" "src/CMakeFiles/astitch_compiler.dir/compiler/evaluator.cc.o" "gcc" "src/CMakeFiles/astitch_compiler.dir/compiler/evaluator.cc.o.d"
+  "/root/repo/src/compiler/kernel_plan.cc" "src/CMakeFiles/astitch_compiler.dir/compiler/kernel_plan.cc.o" "gcc" "src/CMakeFiles/astitch_compiler.dir/compiler/kernel_plan.cc.o.d"
+  "/root/repo/src/compiler/loop_fusion.cc" "src/CMakeFiles/astitch_compiler.dir/compiler/loop_fusion.cc.o" "gcc" "src/CMakeFiles/astitch_compiler.dir/compiler/loop_fusion.cc.o.d"
+  "/root/repo/src/compiler/patterns.cc" "src/CMakeFiles/astitch_compiler.dir/compiler/patterns.cc.o" "gcc" "src/CMakeFiles/astitch_compiler.dir/compiler/patterns.cc.o.d"
+  "/root/repo/src/compiler/plan_executor.cc" "src/CMakeFiles/astitch_compiler.dir/compiler/plan_executor.cc.o" "gcc" "src/CMakeFiles/astitch_compiler.dir/compiler/plan_executor.cc.o.d"
+  "/root/repo/src/compiler/plan_validator.cc" "src/CMakeFiles/astitch_compiler.dir/compiler/plan_validator.cc.o" "gcc" "src/CMakeFiles/astitch_compiler.dir/compiler/plan_validator.cc.o.d"
+  "/root/repo/src/compiler/thread_mapping.cc" "src/CMakeFiles/astitch_compiler.dir/compiler/thread_mapping.cc.o" "gcc" "src/CMakeFiles/astitch_compiler.dir/compiler/thread_mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/astitch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_compiler.dir/compiler/backend.cc.o"
+  "CMakeFiles/astitch_compiler.dir/compiler/backend.cc.o.d"
+  "CMakeFiles/astitch_compiler.dir/compiler/clustering.cc.o"
+  "CMakeFiles/astitch_compiler.dir/compiler/clustering.cc.o.d"
+  "CMakeFiles/astitch_compiler.dir/compiler/evaluator.cc.o"
+  "CMakeFiles/astitch_compiler.dir/compiler/evaluator.cc.o.d"
+  "CMakeFiles/astitch_compiler.dir/compiler/kernel_plan.cc.o"
+  "CMakeFiles/astitch_compiler.dir/compiler/kernel_plan.cc.o.d"
+  "CMakeFiles/astitch_compiler.dir/compiler/loop_fusion.cc.o"
+  "CMakeFiles/astitch_compiler.dir/compiler/loop_fusion.cc.o.d"
+  "CMakeFiles/astitch_compiler.dir/compiler/patterns.cc.o"
+  "CMakeFiles/astitch_compiler.dir/compiler/patterns.cc.o.d"
+  "CMakeFiles/astitch_compiler.dir/compiler/plan_executor.cc.o"
+  "CMakeFiles/astitch_compiler.dir/compiler/plan_executor.cc.o.d"
+  "CMakeFiles/astitch_compiler.dir/compiler/plan_validator.cc.o"
+  "CMakeFiles/astitch_compiler.dir/compiler/plan_validator.cc.o.d"
+  "CMakeFiles/astitch_compiler.dir/compiler/thread_mapping.cc.o"
+  "CMakeFiles/astitch_compiler.dir/compiler/thread_mapping.cc.o.d"
+  "libastitch_compiler.a"
+  "libastitch_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

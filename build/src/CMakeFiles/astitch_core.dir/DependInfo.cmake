@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_mapping.cc" "src/CMakeFiles/astitch_core.dir/core/adaptive_mapping.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/adaptive_mapping.cc.o.d"
+  "/root/repo/src/core/astitch_backend.cc" "src/CMakeFiles/astitch_core.dir/core/astitch_backend.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/astitch_backend.cc.o.d"
+  "/root/repo/src/core/cuda_emitter.cc" "src/CMakeFiles/astitch_core.dir/core/cuda_emitter.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/cuda_emitter.cc.o.d"
+  "/root/repo/src/core/dominant_analysis.cc" "src/CMakeFiles/astitch_core.dir/core/dominant_analysis.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/dominant_analysis.cc.o.d"
+  "/root/repo/src/core/launch_config.cc" "src/CMakeFiles/astitch_core.dir/core/launch_config.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/launch_config.cc.o.d"
+  "/root/repo/src/core/locality_check.cc" "src/CMakeFiles/astitch_core.dir/core/locality_check.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/locality_check.cc.o.d"
+  "/root/repo/src/core/memory_planner.cc" "src/CMakeFiles/astitch_core.dir/core/memory_planner.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/memory_planner.cc.o.d"
+  "/root/repo/src/core/schedule_propagation.cc" "src/CMakeFiles/astitch_core.dir/core/schedule_propagation.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/schedule_propagation.cc.o.d"
+  "/root/repo/src/core/stitch_codegen.cc" "src/CMakeFiles/astitch_core.dir/core/stitch_codegen.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/stitch_codegen.cc.o.d"
+  "/root/repo/src/core/stitch_scheme.cc" "src/CMakeFiles/astitch_core.dir/core/stitch_scheme.cc.o" "gcc" "src/CMakeFiles/astitch_core.dir/core/stitch_scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/astitch_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_core.dir/core/adaptive_mapping.cc.o"
+  "CMakeFiles/astitch_core.dir/core/adaptive_mapping.cc.o.d"
+  "CMakeFiles/astitch_core.dir/core/astitch_backend.cc.o"
+  "CMakeFiles/astitch_core.dir/core/astitch_backend.cc.o.d"
+  "CMakeFiles/astitch_core.dir/core/cuda_emitter.cc.o"
+  "CMakeFiles/astitch_core.dir/core/cuda_emitter.cc.o.d"
+  "CMakeFiles/astitch_core.dir/core/dominant_analysis.cc.o"
+  "CMakeFiles/astitch_core.dir/core/dominant_analysis.cc.o.d"
+  "CMakeFiles/astitch_core.dir/core/launch_config.cc.o"
+  "CMakeFiles/astitch_core.dir/core/launch_config.cc.o.d"
+  "CMakeFiles/astitch_core.dir/core/locality_check.cc.o"
+  "CMakeFiles/astitch_core.dir/core/locality_check.cc.o.d"
+  "CMakeFiles/astitch_core.dir/core/memory_planner.cc.o"
+  "CMakeFiles/astitch_core.dir/core/memory_planner.cc.o.d"
+  "CMakeFiles/astitch_core.dir/core/schedule_propagation.cc.o"
+  "CMakeFiles/astitch_core.dir/core/schedule_propagation.cc.o.d"
+  "CMakeFiles/astitch_core.dir/core/stitch_codegen.cc.o"
+  "CMakeFiles/astitch_core.dir/core/stitch_codegen.cc.o.d"
+  "CMakeFiles/astitch_core.dir/core/stitch_scheme.cc.o"
+  "CMakeFiles/astitch_core.dir/core/stitch_scheme.cc.o.d"
+  "libastitch_core.a"
+  "libastitch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

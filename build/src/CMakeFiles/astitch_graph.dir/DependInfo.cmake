@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dot_export.cc" "src/CMakeFiles/astitch_graph.dir/graph/dot_export.cc.o" "gcc" "src/CMakeFiles/astitch_graph.dir/graph/dot_export.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/astitch_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/astitch_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/astitch_graph.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/astitch_graph.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/node.cc" "src/CMakeFiles/astitch_graph.dir/graph/node.cc.o" "gcc" "src/CMakeFiles/astitch_graph.dir/graph/node.cc.o.d"
+  "/root/repo/src/graph/op_kind.cc" "src/CMakeFiles/astitch_graph.dir/graph/op_kind.cc.o" "gcc" "src/CMakeFiles/astitch_graph.dir/graph/op_kind.cc.o.d"
+  "/root/repo/src/graph/shape_inference.cc" "src/CMakeFiles/astitch_graph.dir/graph/shape_inference.cc.o" "gcc" "src/CMakeFiles/astitch_graph.dir/graph/shape_inference.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/astitch_graph.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/astitch_graph.dir/graph/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/astitch_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

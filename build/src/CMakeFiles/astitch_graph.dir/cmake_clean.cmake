@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_graph.dir/graph/dot_export.cc.o"
+  "CMakeFiles/astitch_graph.dir/graph/dot_export.cc.o.d"
+  "CMakeFiles/astitch_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/astitch_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/astitch_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/astitch_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/astitch_graph.dir/graph/node.cc.o"
+  "CMakeFiles/astitch_graph.dir/graph/node.cc.o.d"
+  "CMakeFiles/astitch_graph.dir/graph/op_kind.cc.o"
+  "CMakeFiles/astitch_graph.dir/graph/op_kind.cc.o.d"
+  "CMakeFiles/astitch_graph.dir/graph/shape_inference.cc.o"
+  "CMakeFiles/astitch_graph.dir/graph/shape_inference.cc.o.d"
+  "CMakeFiles/astitch_graph.dir/graph/traversal.cc.o"
+  "CMakeFiles/astitch_graph.dir/graph/traversal.cc.o.d"
+  "libastitch_graph.a"
+  "libastitch_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

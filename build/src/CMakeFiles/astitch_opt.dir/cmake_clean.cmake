@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_opt.dir/opt/autodiff.cc.o"
+  "CMakeFiles/astitch_opt.dir/opt/autodiff.cc.o.d"
+  "CMakeFiles/astitch_opt.dir/opt/passes.cc.o"
+  "CMakeFiles/astitch_opt.dir/opt/passes.cc.o.d"
+  "CMakeFiles/astitch_opt.dir/opt/rewriter.cc.o"
+  "CMakeFiles/astitch_opt.dir/opt/rewriter.cc.o.d"
+  "libastitch_opt.a"
+  "libastitch_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_runtime.dir/runtime/dynamic_session.cc.o"
+  "CMakeFiles/astitch_runtime.dir/runtime/dynamic_session.cc.o.d"
+  "CMakeFiles/astitch_runtime.dir/runtime/jit_cache.cc.o"
+  "CMakeFiles/astitch_runtime.dir/runtime/jit_cache.cc.o.d"
+  "CMakeFiles/astitch_runtime.dir/runtime/run_report.cc.o"
+  "CMakeFiles/astitch_runtime.dir/runtime/run_report.cc.o.d"
+  "CMakeFiles/astitch_runtime.dir/runtime/session.cc.o"
+  "CMakeFiles/astitch_runtime.dir/runtime/session.cc.o.d"
+  "libastitch_runtime.a"
+  "libastitch_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

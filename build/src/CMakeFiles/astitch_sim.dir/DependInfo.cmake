@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/astitch_sim.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/astitch_sim.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/gpu_spec.cc" "src/CMakeFiles/astitch_sim.dir/sim/gpu_spec.cc.o" "gcc" "src/CMakeFiles/astitch_sim.dir/sim/gpu_spec.cc.o.d"
+  "/root/repo/src/sim/kernel_sim.cc" "src/CMakeFiles/astitch_sim.dir/sim/kernel_sim.cc.o" "gcc" "src/CMakeFiles/astitch_sim.dir/sim/kernel_sim.cc.o.d"
+  "/root/repo/src/sim/launch_dims.cc" "src/CMakeFiles/astitch_sim.dir/sim/launch_dims.cc.o" "gcc" "src/CMakeFiles/astitch_sim.dir/sim/launch_dims.cc.o.d"
+  "/root/repo/src/sim/occupancy.cc" "src/CMakeFiles/astitch_sim.dir/sim/occupancy.cc.o" "gcc" "src/CMakeFiles/astitch_sim.dir/sim/occupancy.cc.o.d"
+  "/root/repo/src/sim/perf_counters.cc" "src/CMakeFiles/astitch_sim.dir/sim/perf_counters.cc.o" "gcc" "src/CMakeFiles/astitch_sim.dir/sim/perf_counters.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/CMakeFiles/astitch_sim.dir/sim/timeline.cc.o" "gcc" "src/CMakeFiles/astitch_sim.dir/sim/timeline.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "src/CMakeFiles/astitch_sim.dir/sim/trace_export.cc.o" "gcc" "src/CMakeFiles/astitch_sim.dir/sim/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/astitch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_sim.dir/sim/cost_model.cc.o"
+  "CMakeFiles/astitch_sim.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/astitch_sim.dir/sim/gpu_spec.cc.o"
+  "CMakeFiles/astitch_sim.dir/sim/gpu_spec.cc.o.d"
+  "CMakeFiles/astitch_sim.dir/sim/kernel_sim.cc.o"
+  "CMakeFiles/astitch_sim.dir/sim/kernel_sim.cc.o.d"
+  "CMakeFiles/astitch_sim.dir/sim/launch_dims.cc.o"
+  "CMakeFiles/astitch_sim.dir/sim/launch_dims.cc.o.d"
+  "CMakeFiles/astitch_sim.dir/sim/occupancy.cc.o"
+  "CMakeFiles/astitch_sim.dir/sim/occupancy.cc.o.d"
+  "CMakeFiles/astitch_sim.dir/sim/perf_counters.cc.o"
+  "CMakeFiles/astitch_sim.dir/sim/perf_counters.cc.o.d"
+  "CMakeFiles/astitch_sim.dir/sim/timeline.cc.o"
+  "CMakeFiles/astitch_sim.dir/sim/timeline.cc.o.d"
+  "CMakeFiles/astitch_sim.dir/sim/trace_export.cc.o"
+  "CMakeFiles/astitch_sim.dir/sim/trace_export.cc.o.d"
+  "libastitch_sim.a"
+  "libastitch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

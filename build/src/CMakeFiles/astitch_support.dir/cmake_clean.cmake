@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_support.dir/support/logging.cc.o"
+  "CMakeFiles/astitch_support.dir/support/logging.cc.o.d"
+  "CMakeFiles/astitch_support.dir/support/rng.cc.o"
+  "CMakeFiles/astitch_support.dir/support/rng.cc.o.d"
+  "CMakeFiles/astitch_support.dir/support/strings.cc.o"
+  "CMakeFiles/astitch_support.dir/support/strings.cc.o.d"
+  "libastitch_support.a"
+  "libastitch_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/dtype.cc" "src/CMakeFiles/astitch_tensor.dir/tensor/dtype.cc.o" "gcc" "src/CMakeFiles/astitch_tensor.dir/tensor/dtype.cc.o.d"
+  "/root/repo/src/tensor/reference_ops.cc" "src/CMakeFiles/astitch_tensor.dir/tensor/reference_ops.cc.o" "gcc" "src/CMakeFiles/astitch_tensor.dir/tensor/reference_ops.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/astitch_tensor.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/astitch_tensor.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/astitch_tensor.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/astitch_tensor.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/astitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_tensor.dir/tensor/dtype.cc.o"
+  "CMakeFiles/astitch_tensor.dir/tensor/dtype.cc.o.d"
+  "CMakeFiles/astitch_tensor.dir/tensor/reference_ops.cc.o"
+  "CMakeFiles/astitch_tensor.dir/tensor/reference_ops.cc.o.d"
+  "CMakeFiles/astitch_tensor.dir/tensor/shape.cc.o"
+  "CMakeFiles/astitch_tensor.dir/tensor/shape.cc.o.d"
+  "CMakeFiles/astitch_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/astitch_tensor.dir/tensor/tensor.cc.o.d"
+  "libastitch_tensor.a"
+  "libastitch_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/asr.cc" "src/CMakeFiles/astitch_workloads.dir/workloads/asr.cc.o" "gcc" "src/CMakeFiles/astitch_workloads.dir/workloads/asr.cc.o.d"
+  "/root/repo/src/workloads/bert.cc" "src/CMakeFiles/astitch_workloads.dir/workloads/bert.cc.o" "gcc" "src/CMakeFiles/astitch_workloads.dir/workloads/bert.cc.o.d"
+  "/root/repo/src/workloads/common.cc" "src/CMakeFiles/astitch_workloads.dir/workloads/common.cc.o" "gcc" "src/CMakeFiles/astitch_workloads.dir/workloads/common.cc.o.d"
+  "/root/repo/src/workloads/crnn.cc" "src/CMakeFiles/astitch_workloads.dir/workloads/crnn.cc.o" "gcc" "src/CMakeFiles/astitch_workloads.dir/workloads/crnn.cc.o.d"
+  "/root/repo/src/workloads/dien.cc" "src/CMakeFiles/astitch_workloads.dir/workloads/dien.cc.o" "gcc" "src/CMakeFiles/astitch_workloads.dir/workloads/dien.cc.o.d"
+  "/root/repo/src/workloads/random_graph.cc" "src/CMakeFiles/astitch_workloads.dir/workloads/random_graph.cc.o" "gcc" "src/CMakeFiles/astitch_workloads.dir/workloads/random_graph.cc.o.d"
+  "/root/repo/src/workloads/transformer.cc" "src/CMakeFiles/astitch_workloads.dir/workloads/transformer.cc.o" "gcc" "src/CMakeFiles/astitch_workloads.dir/workloads/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/astitch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/astitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch_workloads.dir/workloads/asr.cc.o"
+  "CMakeFiles/astitch_workloads.dir/workloads/asr.cc.o.d"
+  "CMakeFiles/astitch_workloads.dir/workloads/bert.cc.o"
+  "CMakeFiles/astitch_workloads.dir/workloads/bert.cc.o.d"
+  "CMakeFiles/astitch_workloads.dir/workloads/common.cc.o"
+  "CMakeFiles/astitch_workloads.dir/workloads/common.cc.o.d"
+  "CMakeFiles/astitch_workloads.dir/workloads/crnn.cc.o"
+  "CMakeFiles/astitch_workloads.dir/workloads/crnn.cc.o.d"
+  "CMakeFiles/astitch_workloads.dir/workloads/dien.cc.o"
+  "CMakeFiles/astitch_workloads.dir/workloads/dien.cc.o.d"
+  "CMakeFiles/astitch_workloads.dir/workloads/random_graph.cc.o"
+  "CMakeFiles/astitch_workloads.dir/workloads/random_graph.cc.o.d"
+  "CMakeFiles/astitch_workloads.dir/workloads/transformer.cc.o"
+  "CMakeFiles/astitch_workloads.dir/workloads/transformer.cc.o.d"
+  "libastitch_workloads.a"
+  "libastitch_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda_emitter_test.dir/cuda_emitter_test.cc.o"
+  "CMakeFiles/cuda_emitter_test.dir/cuda_emitter_test.cc.o.d"
+  "cuda_emitter_test"
+  "cuda_emitter_test.pdb"
+  "cuda_emitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda_emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_movement_ops_test.dir/data_movement_ops_test.cc.o"
+  "CMakeFiles/data_movement_ops_test.dir/data_movement_ops_test.cc.o.d"
+  "data_movement_ops_test"
+  "data_movement_ops_test.pdb"
+  "data_movement_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_movement_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_cache_test.dir/jit_cache_test.cc.o"
+  "CMakeFiles/jit_cache_test.dir/jit_cache_test.cc.o.d"
+  "jit_cache_test"
+  "jit_cache_test.pdb"
+  "jit_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

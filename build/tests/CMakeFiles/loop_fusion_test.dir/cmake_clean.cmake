@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_fusion_test.dir/loop_fusion_test.cc.o"
+  "CMakeFiles/loop_fusion_test.dir/loop_fusion_test.cc.o.d"
+  "loop_fusion_test"
+  "loop_fusion_test.pdb"
+  "loop_fusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astitch-cli.dir/astitch_cli.cc.o"
+  "CMakeFiles/astitch-cli.dir/astitch_cli.cc.o.d"
+  "astitch-cli"
+  "astitch-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astitch-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
