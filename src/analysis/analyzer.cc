@@ -1,0 +1,23 @@
+#include "analysis/analyzer.h"
+
+#include "analysis/plan_consistency.h"
+
+namespace astitch {
+
+bool
+analyzeCompiledCluster(const Graph &graph, const Cluster &cluster,
+                       const CompiledCluster &compiled, const GpuSpec &spec,
+                       DiagnosticEngine &engine,
+                       const AnalysisOptions &options)
+{
+    const int errors_before = engine.count(Severity::Error);
+    if (options.consistency)
+        checkPlanConsistency(graph, cluster, compiled, spec, engine);
+    if (options.sanitize) {
+        sanitizeCompiledCluster(graph, compiled, spec, engine,
+                                options.sanitizer);
+    }
+    return engine.count(Severity::Error) == errors_before;
+}
+
+} // namespace astitch

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Unified entry point of the kernel-plan analysis subsystem.
+ *
+ * One call runs both halves over a compiled cluster: the AS0xx
+ * structural consistency checks (the original plan validator) and the
+ * AS1xx..AS5xx SIMT hazard sanitizer. The pipeline (Session, the
+ * stitching backend, the CLI) calls this; individual check families
+ * remain callable directly from plan_consistency.h and sanitizer.h.
+ */
+#ifndef ASTITCH_ANALYSIS_ANALYZER_H
+#define ASTITCH_ANALYSIS_ANALYZER_H
+
+#include "analysis/diagnostics.h"
+#include "analysis/sanitizer.h"
+#include "compiler/clustering.h"
+#include "compiler/kernel_plan.h"
+#include "sim/gpu_spec.h"
+
+namespace astitch {
+
+/** Which analyses to run (all on by default). */
+struct AnalysisOptions
+{
+    bool consistency = true;    ///< AS0xx structural checks
+    bool sanitize = true;       ///< AS1xx..AS5xx hazard checks
+    SanitizerOptions sanitizer; ///< per-family sanitizer switches
+};
+
+/**
+ * Analyze one compiled cluster, reporting findings into @p engine.
+ * Returns true when no Error-severity findings were added (warnings and
+ * notes do not fail the analysis).
+ */
+bool analyzeCompiledCluster(const Graph &graph, const Cluster &cluster,
+                            const CompiledCluster &compiled,
+                            const GpuSpec &spec, DiagnosticEngine &engine,
+                            const AnalysisOptions &options = {});
+
+} // namespace astitch
+
+#endif // ASTITCH_ANALYSIS_ANALYZER_H

@@ -1,0 +1,252 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+namespace {
+
+/** Escape a string for a JSON literal (same idiom as trace_export). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    panic("unknown severity");
+}
+
+const std::vector<DiagnosticCode> &
+diagnosticCodes()
+{
+    // clang-format off
+    static const std::vector<DiagnosticCode> codes = {
+        // -- AS0xx: plan consistency (the legacy plan_validator checks) --
+        {"AS001", Severity::Error, "unscheduled-cluster-node",
+         "a cluster node is not scheduled by any kernel"},
+        {"AS002", Severity::Error, "operand-not-available",
+         "an op reads a value before it is available in its kernel"},
+        {"AS003", Severity::Error, "input-not-materialized",
+         "a kernel input was never written to framework memory"},
+        {"AS004", Severity::Error, "output-never-written",
+         "a declared output is never materialized"},
+        {"AS005", Severity::Error, "illegal-launch-dims",
+         "block or grid dimensions are outside device limits"},
+        {"AS006", Severity::Error, "register-over-limit",
+         "the per-thread register bound exceeds the device limit"},
+        {"AS007", Severity::Error, "smem-over-limit",
+         "static shared memory exceeds the per-block device limit"},
+        {"AS008", Severity::Error, "global-barrier-over-wave",
+         "a global-barrier kernel launches more blocks than one wave"},
+        {"AS009", Severity::Error, "sub-unit-factor",
+         "a load or recompute factor is below one"},
+
+        // -- AS1xx: barrier-placement races --
+        {"AS101", Severity::Error, "shared-race-missing-barrier",
+         "a shared-memory producer and its consumer are not separated "
+         "by a barrier in schedule order"},
+        {"AS102", Severity::Error, "shared-slot-war-hazard",
+         "a reused shared-arena slot is overwritten before a barrier "
+         "separates it from the previous value's last reader"},
+
+        // -- AS2xx: global-barrier deadlock --
+        {"AS201", Severity::Error, "global-barrier-deadlock",
+         "a device-wide barrier kernel launches more blocks than can be "
+         "co-resident, so the barrier can never be reached by all"},
+        {"AS202", Severity::Error, "missing-device-barrier",
+         "a global-memory stitch edge has in-kernel consumers but no "
+         "device-wide barrier synchronizes them"},
+        {"AS203", Severity::Error, "unlaunchable-device-barrier",
+         "a device-barrier kernel's configuration cannot launch at all"},
+
+        // -- AS3xx: block-locality violations --
+        {"AS301", Severity::Error, "cross-block-shared-read",
+         "a consumer of a shared-memory value is partitioned differently "
+         "from its producer and would read another block's elements"},
+
+        // -- AS4xx: buffer-lifetime overlaps --
+        {"AS401", Severity::Error, "shared-slot-overlap",
+         "two simultaneously-live values are assigned overlapping "
+         "shared-arena byte ranges"},
+        {"AS402", Severity::Error, "shared-slot-out-of-bounds",
+         "a shared-arena slot extends past the kernel's declared "
+         "shared-memory size"},
+
+        // -- AS5xx: barrier-divergence lints --
+        {"AS501", Severity::Warning, "barrier-trip-divergence",
+         "a barrier's trip count diverges from the packed task loop it "
+         "is scheduled in"},
+    };
+    // clang-format on
+    return codes;
+}
+
+const DiagnosticCode *
+findDiagnosticCode(const std::string &code)
+{
+    for (const DiagnosticCode &info : diagnosticCodes()) {
+        if (code == info.code)
+            return &info;
+    }
+    return nullptr;
+}
+
+std::string
+Diagnostic::toString() const
+{
+    return strCat("[", code, "] ", severityName(severity), " ", kernel,
+                  ": ", message);
+}
+
+void
+DiagnosticEngine::report(const std::string &code, const std::string &kernel,
+                         const std::string &message, NodeId node)
+{
+    const DiagnosticCode *info = findDiagnosticCode(code);
+    panicIf(!info, "unregistered diagnostic code ", code);
+    report(code, info->severity, kernel, message, node);
+}
+
+void
+DiagnosticEngine::report(const std::string &code, Severity severity,
+                         const std::string &kernel,
+                         const std::string &message, NodeId node)
+{
+    panicIf(!findDiagnosticCode(code), "unregistered diagnostic code ",
+            code);
+    diags_.push_back(Diagnostic{code, severity, kernel, message, node});
+}
+
+int
+DiagnosticEngine::count(Severity severity) const
+{
+    return static_cast<int>(
+        std::count_if(diags_.begin(), diags_.end(),
+                      [severity](const Diagnostic &d) {
+                          return d.severity == severity;
+                      }));
+}
+
+std::vector<Diagnostic>
+DiagnosticEngine::withCodePrefix(const std::string &prefix) const
+{
+    std::vector<Diagnostic> out;
+    for (const Diagnostic &d : diags_) {
+        if (d.code.rfind(prefix, 0) == 0)
+            out.push_back(d);
+    }
+    return out;
+}
+
+void
+DiagnosticEngine::merge(const DiagnosticEngine &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+std::string
+DiagnosticEngine::renderText() const
+{
+    std::vector<Diagnostic> sorted = diags_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return static_cast<int>(a.severity) >
+                                static_cast<int>(b.severity);
+                     });
+    std::string out;
+    for (const Diagnostic &d : sorted) {
+        out += d.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+DiagnosticEngine::renderJson() const
+{
+    std::ostringstream oss;
+    oss << "{\"diagnostics\":[";
+    bool first = true;
+    for (const Diagnostic &d : diags_) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "{\"code\":\"" << jsonEscape(d.code) << "\",\"severity\":\""
+            << severityName(d.severity) << "\",\"kernel\":\""
+            << jsonEscape(d.kernel) << "\",\"message\":\""
+            << jsonEscape(d.message) << "\"";
+        if (d.node != kInvalidNodeId)
+            oss << ",\"node\":" << d.node;
+        oss << "}";
+    }
+    oss << "],\"summary\":{\"errors\":" << count(Severity::Error)
+        << ",\"warnings\":" << count(Severity::Warning)
+        << ",\"notes\":" << count(Severity::Note) << "}}";
+    return oss.str();
+}
+
+std::string
+DiagnosticEngine::renderSarif() const
+{
+    // SARIF maps each diagnostic code to a rule, each finding to a
+    // result whose logical location is the kernel name.
+    std::ostringstream oss;
+    oss << "{\"version\":\"2.1.0\",\"$schema\":"
+           "\"https://json.schemastore.org/sarif-2.1.0.json\","
+           "\"runs\":[{\"tool\":{\"driver\":{\"name\":"
+           "\"astitch-stitch-sanitizer\",\"rules\":[";
+    bool first = true;
+    for (const DiagnosticCode &info : diagnosticCodes()) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "{\"id\":\"" << info.code << "\",\"name\":\""
+            << jsonEscape(info.title)
+            << "\",\"shortDescription\":{\"text\":\""
+            << jsonEscape(info.description) << "\"}}";
+    }
+    oss << "]}},\"results\":[";
+    first = true;
+    for (const Diagnostic &d : diags_) {
+        // SARIF levels: note / warning / error.
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "{\"ruleId\":\"" << jsonEscape(d.code) << "\",\"level\":\""
+            << severityName(d.severity) << "\",\"message\":{\"text\":\""
+            << jsonEscape(d.message)
+            << "\"},\"locations\":[{\"logicalLocations\":[{\"name\":\""
+            << jsonEscape(d.kernel) << "\",\"kind\":\"kernel\"}]}]}";
+    }
+    oss << "]}]}";
+    return oss.str();
+}
+
+} // namespace astitch

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The diagnostics engine behind the stitch sanitizer.
+ *
+ * Every static check over compiled kernel plans — the legacy plan
+ * validator (AS0xx) and the SIMT hazard sanitizer (AS1xx-AS5xx) — emits
+ * findings through this one engine so the compile pipeline, the CLI,
+ * tests and CI all consume a single format. Each finding carries a
+ * stable diagnostic code registered in the code table below, a severity,
+ * the kernel it was found in and a human-readable message; the engine
+ * renders the collection as text, JSON or SARIF 2.1.0.
+ *
+ * Code families:
+ *   AS0xx  plan consistency (coverage/availability/resources — the
+ *          checks the original plan_validator performed);
+ *   AS1xx  barrier-placement races on shared-memory stitch edges;
+ *   AS2xx  global-barrier deadlock / missing device synchronization;
+ *   AS3xx  block-locality violations on Regional stitch edges;
+ *   AS4xx  shared-arena buffer-lifetime overlaps;
+ *   AS5xx  barrier divergence lints (packed-task-loop trip counts).
+ */
+#ifndef ASTITCH_ANALYSIS_DIAGNOSTICS_H
+#define ASTITCH_ANALYSIS_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+
+namespace astitch {
+
+/** How bad a finding is. */
+enum class Severity {
+    Note,    ///< informational context, never actionable alone
+    Warning, ///< suspicious but not provably incorrect (lints)
+    Error,   ///< the plan is wrong; executing it would misbehave
+};
+
+/** Printable name ("note" / "warning" / "error"). */
+std::string severityName(Severity severity);
+
+/** One registered diagnostic code. */
+struct DiagnosticCode
+{
+    const char *code;       ///< stable identifier, e.g. "AS101"
+    Severity severity;      ///< default severity of the family member
+    const char *title;      ///< short kebab-case rule name (SARIF ruleId)
+    const char *description; ///< one-line explanation of the hazard
+};
+
+/** The full code registry (sorted by code). */
+const std::vector<DiagnosticCode> &diagnosticCodes();
+
+/** Look up a code; nullptr when unregistered. */
+const DiagnosticCode *findDiagnosticCode(const std::string &code);
+
+/** One finding. */
+struct Diagnostic
+{
+    std::string code;    ///< registry code ("AS101", ...)
+    Severity severity = Severity::Error;
+    std::string kernel;  ///< kernel name, or "<cluster>" for cluster scope
+    std::string message; ///< human-readable description
+    NodeId node = kInvalidNodeId; ///< primary node involved, if any
+
+    /** "[AS101] kernel_name: message" */
+    std::string toString() const;
+};
+
+/**
+ * Collects findings from every check family and renders them. The
+ * engine validates codes against the registry on report (unregistered
+ * codes are an internal error — checks must register before emitting).
+ */
+class DiagnosticEngine
+{
+  public:
+    /** Report with the code's registered default severity. */
+    void report(const std::string &code, const std::string &kernel,
+                const std::string &message, NodeId node = kInvalidNodeId);
+
+    /** Report with an explicit severity override. */
+    void report(const std::string &code, Severity severity,
+                const std::string &kernel, const std::string &message,
+                NodeId node = kInvalidNodeId);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    bool empty() const { return diags_.empty(); }
+    std::size_t size() const { return diags_.size(); }
+    int count(Severity severity) const;
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+
+    /** Findings whose code starts with @p prefix (e.g. "AS1"). */
+    std::vector<Diagnostic> withCodePrefix(const std::string &prefix) const;
+
+    /** Absorb another engine's findings (bucketed sessions, clusters). */
+    void merge(const DiagnosticEngine &other);
+
+    void clear() { diags_.clear(); }
+
+    /** One line per finding, sorted most-severe first. */
+    std::string renderText() const;
+
+    /** Machine-readable export: {"diagnostics":[...],"summary":{...}}. */
+    std::string renderJson() const;
+
+    /** SARIF 2.1.0 static-analysis interchange format. */
+    std::string renderSarif() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_ANALYSIS_DIAGNOSTICS_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * AS0xx — structural consistency of compiled kernel plans.
+ *
+ * The diagnostics-engine port of the original plan validator: the same
+ * coverage / availability / materialization / resource checks a
+ * production compiler runs between passes, now reported through stable
+ * codes so they compose with the sanitizer families (AS1xx..AS5xx) in
+ * one findings stream. `compiler/plan_validator.h` remains as a thin
+ * shim over this family for existing callers.
+ */
+#ifndef ASTITCH_ANALYSIS_PLAN_CONSISTENCY_H
+#define ASTITCH_ANALYSIS_PLAN_CONSISTENCY_H
+
+#include "analysis/diagnostics.h"
+#include "compiler/clustering.h"
+#include "compiler/kernel_plan.h"
+#include "sim/gpu_spec.h"
+
+namespace astitch {
+
+/**
+ * Check @p compiled for structural defects, reporting AS0xx findings
+ * into @p engine:
+ *
+ *   AS001  cluster node not scheduled by any kernel;
+ *   AS002  op reads an operand that is not yet available;
+ *   AS003  kernel input not materialized by an earlier kernel;
+ *   AS004  declared output never written;
+ *   AS005  illegal launch dimensions (block size, empty grid);
+ *   AS006  register bound exceeds the device limit;
+ *   AS007  shared memory exceeds the per-block limit;
+ *   AS008  global-barrier kernel unlaunchable or over wave capacity;
+ *   AS009  load / recompute factor below one.
+ */
+void checkPlanConsistency(const Graph &graph, const Cluster &cluster,
+                          const CompiledCluster &compiled,
+                          const GpuSpec &spec, DiagnosticEngine &engine);
+
+} // namespace astitch
+
+#endif // ASTITCH_ANALYSIS_PLAN_CONSISTENCY_H

@@ -1,0 +1,37 @@
+#include "compiler/plan_validator.h"
+
+#include "analysis/plan_consistency.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+std::vector<PlanDefect>
+validateCompiledCluster(const Graph &graph, const Cluster &cluster,
+                        const CompiledCluster &compiled,
+                        const GpuSpec &spec)
+{
+    DiagnosticEngine engine;
+    checkPlanConsistency(graph, cluster, compiled, spec, engine);
+    std::vector<PlanDefect> defects;
+    defects.reserve(engine.size());
+    for (const Diagnostic &diag : engine.diagnostics())
+        defects.push_back(PlanDefect{diag.kernel, diag.message, diag.code});
+    return defects;
+}
+
+void
+checkCompiledCluster(const Graph &graph, const Cluster &cluster,
+                     const CompiledCluster &compiled, const GpuSpec &spec)
+{
+    const auto defects =
+        validateCompiledCluster(graph, cluster, compiled, spec);
+    if (defects.empty())
+        return;
+    std::string message = "invalid compiled cluster:";
+    for (const PlanDefect &d : defects)
+        message += strCat("\n  [", d.kernel, "] ", d.message);
+    fatal(message);
+}
+
+} // namespace astitch

@@ -22,6 +22,18 @@ bufferSpaceName(BufferSpace space)
     panic("unknown buffer space");
 }
 
+std::string
+barrierScopeName(BarrierScope scope)
+{
+    switch (scope) {
+      case BarrierScope::Block:
+        return "block";
+      case BarrierScope::Device:
+        return "device";
+    }
+    panic("unknown barrier scope");
+}
+
 bool
 KernelPlan::containsNode(NodeId node) const
 {

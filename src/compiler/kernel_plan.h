@@ -33,6 +33,71 @@ enum class BufferSpace {
 /** Printable name of a buffer space. */
 std::string bufferSpaceName(BufferSpace space);
 
+/** Scope of an in-kernel synchronization point. */
+enum class BarrierScope {
+    Block,  ///< __syncthreads(): one thread block
+    Device, ///< lock-free inter-block barrier: the whole grid
+};
+
+/** Printable name of a barrier scope. */
+std::string barrierScopeName(BarrierScope scope);
+
+/**
+ * One structural synchronization point in a kernel's schedule order.
+ * The cost model aggregates barriers into counts; this records *where*
+ * they sit so the stitch sanitizer can prove producer->consumer edges
+ * are separated. A barrier at position p executes after ops[p] and
+ * before ops[p + 1].
+ */
+struct BarrierPoint
+{
+    int after_op = -1; ///< index into KernelPlan::ops
+    BarrierScope scope = BarrierScope::Block;
+
+    /**
+     * Times the barrier executes per physical block: the trip count of
+     * the vertically-packed task loop it is emitted inside (1 when the
+     * barrier sits outside any packing loop).
+     */
+    std::int64_t trip_count = 1;
+};
+
+/**
+ * How an op's output elements are partitioned across logical blocks —
+ * the thread-mapping decision of the group that scheduled the op. Two
+ * ops with equal partitions produce/consume block-local element ranges
+ * (the passive locality check's criterion); a default-constructed
+ * partition (grid 0) means the emitting backend recorded no mapping
+ * (non-stitched plans), and partition-based checks skip the op.
+ */
+struct OpPartition
+{
+    LaunchDims launch{0, 0};
+    std::int64_t rows_per_block = 1; ///< horizontal packing factor
+    std::int64_t tasks_per_block = 1; ///< vertical packing factor
+
+    bool known() const { return launch.grid > 0; }
+
+    bool operator==(const OpPartition &other) const
+    {
+        return launch == other.launch &&
+               rows_per_block == other.rows_per_block &&
+               tasks_per_block == other.tasks_per_block;
+    }
+    bool operator!=(const OpPartition &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** One shared-memory arena assignment made by the memory planner. */
+struct SharedSlot
+{
+    NodeId node = kInvalidNodeId;
+    std::int64_t offset_bytes = 0; ///< byte offset into the smem arena
+    std::int64_t size_bytes = 0;   ///< per-block footprint
+};
+
 /** One operator scheduled inside a kernel. */
 struct ScheduledOp
 {
@@ -48,6 +113,9 @@ struct ScheduledOp
 
     /** Where the result is buffered for consumers. */
     BufferSpace out_space = BufferSpace::Register;
+
+    /** Logical-block partitioning of the output (see OpPartition). */
+    OpPartition partition;
 };
 
 /** One kernel input (read from framework/global memory). */
@@ -83,6 +151,19 @@ struct KernelPlan
 
     int num_block_barriers = 0;
     int num_global_barriers = 0;
+
+    /**
+     * Structural synchronization points in schedule order (stitch
+     * boundaries and arena-reuse separators). The num_*_barriers fields
+     * above stay the cost model's aggregates (they also count barriers
+     * internal to reductions); this list is the sanitizer's ground
+     * truth for barrier *placement*. Empty for backends that do not
+     * record structure (their plans carry no Shared stitch edges).
+     */
+    std::vector<BarrierPoint> barriers;
+
+    /** Shared-arena slot assignments (Regional intermediates). */
+    std::vector<SharedSlot> shared_slots;
 
     /** Global atomics (column-reduce, cross-block split reduction). */
     double atomic_operations = 0.0;

@@ -14,6 +14,10 @@
  *   - outputs: every cluster output is scheduled with Output space;
  *   - resources: block size, register bound, shared memory and the
  *     global-barrier wave constraint respect the device.
+ *
+ * These checks now live in the analysis subsystem as the AS0xx plan-
+ * consistency family (analysis/plan_consistency.h); this header is the
+ * stable legacy API over them, and each defect carries its AS0xx code.
  */
 #ifndef ASTITCH_COMPILER_PLAN_VALIDATOR_H
 #define ASTITCH_COMPILER_PLAN_VALIDATOR_H
@@ -32,6 +36,7 @@ struct PlanDefect
 {
     std::string kernel;
     std::string message;
+    std::string code; ///< AS0xx diagnostic code (see analysis/diagnostics.h)
 };
 
 /**

@@ -48,6 +48,50 @@ peakLiveBytes(const std::map<NodeId, std::pair<NodeId, std::int64_t>>
     return peak;
 }
 
+/** A concrete arena layout: slot offsets plus the bytes they span. */
+struct ArenaLayout
+{
+    std::int64_t extent = 0;
+    std::vector<SharedSlot> slots;
+};
+
+/**
+ * First-fit storage allocation over liveness intervals [def, last_use]:
+ * values whose lifetimes are disjoint may share bytes, concurrently-live
+ * values get disjoint ranges. Allocating in definition order keeps the
+ * layout deterministic and, for the chain-shaped lifetimes stitched
+ * clusters produce, matches the event-scan peak.
+ */
+ArenaLayout
+allocateArena(const std::map<NodeId, std::pair<NodeId, std::int64_t>>
+                  &intervals)
+{
+    ArenaLayout layout;
+    for (const auto &[def, entry] : intervals) {
+        const NodeId last = entry.first;
+        const std::int64_t size = entry.second;
+        // Byte ranges already claimed by lifetime-overlapping slots.
+        std::vector<std::pair<std::int64_t, std::int64_t>> busy;
+        for (const SharedSlot &slot : layout.slots) {
+            const auto other = intervals.find(slot.node);
+            if (slot.node <= last && def <= other->second.first) {
+                busy.emplace_back(slot.offset_bytes,
+                                  slot.offset_bytes + slot.size_bytes);
+            }
+        }
+        std::sort(busy.begin(), busy.end());
+        std::int64_t offset = 0;
+        for (const auto &[lo, hi] : busy) {
+            if (offset + size <= lo)
+                break;
+            offset = std::max(offset, hi);
+        }
+        layout.slots.push_back(SharedSlot{def, offset, size});
+        layout.extent = std::max(layout.extent, offset + size);
+    }
+    return layout;
+}
+
 } // namespace
 
 MemoryPlan
@@ -107,10 +151,14 @@ planMemory(const Graph &graph, const Cluster &cluster,
             intervals[x] = {last_use(x),
                             regionalBytesPerBlock(graph, schedules[g], x)};
         }
-        const std::int64_t peak =
-            peakLiveBytes(intervals) + static_scratch;
-        if (peak <= smem_budget) {
-            plan.smem_per_block = peak;
+        const ArenaLayout layout = allocateArena(intervals);
+        const std::int64_t used = layout.extent + static_scratch;
+        if (used <= smem_budget) {
+            plan.smem_per_block = used;
+            plan.arena = layout.slots;
+            // Report absolute offsets: slots sit after the scratch slab.
+            for (SharedSlot &slot : plan.arena)
+                slot.offset_bytes += static_scratch;
             break;
         }
         // Demote the largest Regional buffer (one by one, Sec 4.4).

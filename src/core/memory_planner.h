@@ -27,6 +27,16 @@ struct MemoryPlan
     /** Static shared memory per block after liveness reuse (bytes). */
     std::int64_t smem_per_block = 0;
 
+    /**
+     * Concrete shared-arena byte assignments for every Regional
+     * intermediate with in-kernel consumers (first-fit over liveness
+     * intervals; disjoint lifetimes may reuse the same bytes). Offsets
+     * are absolute within the block's shared memory: the reduction
+     * scratch slab occupies [0, scratch) and slots start after it.
+     * The stitch sanitizer's lifetime-overlap check runs over these.
+     */
+    std::vector<SharedSlot> arena;
+
     /** Peak global scratch after liveness reuse (bytes). */
     std::int64_t global_scratch_bytes = 0;
 

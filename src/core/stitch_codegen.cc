@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
+#include "analysis/sanitizer.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -69,6 +71,28 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
     plan.regs_per_thread = launch.regs_per_thread;
     plan.smem_per_block = memory.smem_per_block;
     plan.num_global_barriers = num_global;
+    plan.shared_slots = memory.arena;
+
+    // Partition of a group's mapping, recorded per op so the sanitizer
+    // can re-derive block locality and packed trip counts.
+    auto partition_of_group = [&](int g) {
+        const AdaptiveMapping &m = schedules[g].mapping;
+        return OpPartition{m.launch, m.rows_per_block, m.tasks_per_block};
+    };
+    // Group that produces a boundary value: the first group listing it as
+    // dominant or sub-dominant — the same choice finalizeSchemes() and
+    // the memory planner make.
+    auto boundary_group = [&](NodeId x) -> int {
+        for (std::size_t g = 0; g < analysis.groups.size(); ++g) {
+            const DominantGroup &group = analysis.groups[g];
+            if (group.dominant == x ||
+                std::binary_search(group.sub_dominants.begin(),
+                                   group.sub_dominants.end(), x)) {
+                return static_cast<int>(g);
+            }
+        }
+        return -1;
+    };
 
     int num_reduce = 0;
     bool has_transpose = false;
@@ -126,11 +150,88 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
         } else {
             op.out_space = BufferSpace::Register;
         }
+
+        int part_group = boundary_group(id);
+        if (part_group < 0 && it != analysis.groups_of_node.end() &&
+            !it->second.empty()) {
+            part_group = it->second.front();
+        }
+        if (part_group >= 0)
+            op.partition = partition_of_group(part_group);
+
         plan.ops.push_back(op);
     }
     plan.num_block_barriers = num_regional + 2 * num_reduce;
     if (has_transpose)
         plan.read_coalescing = 0.5;
+
+    // ---- Structural barrier points (mirror of the emitted kernel). ----
+    // One regional barrier after each Shared store with an in-kernel
+    // reader, one device-wide barrier after each Global stitch store,
+    // plus write-after-read separators wherever arena slots reuse bytes.
+    std::unordered_map<NodeId, int> op_pos;
+    for (std::size_t i = 0; i < plan.ops.size(); ++i)
+        op_pos.emplace(plan.ops[i].node, static_cast<int>(i));
+    auto last_reader_pos = [&](int i) {
+        int last = i;
+        for (NodeId u : graph.users(plan.ops[i].node)) {
+            const auto p = op_pos.find(u);
+            if (p != op_pos.end())
+                last = std::max(last, p->second);
+        }
+        return last;
+    };
+    auto trip_at = [&](int i) {
+        return plan.ops[i].partition.known()
+                   ? plan.ops[i].partition.tasks_per_block
+                   : 1;
+    };
+    for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+        const BufferSpace space = plan.ops[i].out_space;
+        if (space != BufferSpace::Shared && space != BufferSpace::Global)
+            continue;
+        const int self = static_cast<int>(i);
+        if (last_reader_pos(self) == self)
+            continue; // streamed out: no in-kernel reader to protect
+        plan.barriers.push_back(
+            BarrierPoint{self,
+                         space == BufferSpace::Shared
+                             ? BarrierScope::Block
+                             : BarrierScope::Device,
+                         trip_at(self)});
+    }
+    auto barrier_in = [&](int lo, int hi) {
+        return std::any_of(plan.barriers.begin(), plan.barriers.end(),
+                           [&](const BarrierPoint &b) {
+                               return b.after_op >= lo && b.after_op < hi;
+                           });
+    };
+    for (std::size_t a = 0; a < plan.shared_slots.size(); ++a) {
+        for (std::size_t b = a + 1; b < plan.shared_slots.size(); ++b) {
+            const SharedSlot &sa = plan.shared_slots[a];
+            const SharedSlot &sb = plan.shared_slots[b];
+            if (sa.offset_bytes >= sb.offset_bytes + sb.size_bytes ||
+                sb.offset_bytes >= sa.offset_bytes + sa.size_bytes) {
+                continue; // disjoint byte ranges, no reuse
+            }
+            const int def_a = op_pos.at(sa.node);
+            const int def_b = op_pos.at(sb.node);
+            const int last_a = last_reader_pos(def_a);
+            const int last_b = last_reader_pos(def_b);
+            if (def_a <= last_b && def_b <= last_a)
+                continue; // concurrently live (planner never does this)
+            const int lo = def_a < def_b ? last_a : last_b;
+            const int hi = def_a < def_b ? def_b : def_a;
+            if (!barrier_in(lo, hi)) {
+                plan.barriers.push_back(BarrierPoint{
+                    hi - 1, BarrierScope::Block, trip_at(hi - 1)});
+            }
+        }
+    }
+    std::sort(plan.barriers.begin(), plan.barriers.end(),
+              [](const BarrierPoint &x, const BarrierPoint &y) {
+                  return x.after_op < y.after_op;
+              });
 
     // ---- Inputs: one load per distinct consuming group. ----
     for (NodeId in : cluster.inputs) {
@@ -188,6 +289,20 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
 
     compiled.global_scratch_bytes = memory.global_scratch_bytes;
     compiled.kernels.push_back(std::move(plan));
+
+    // ---- Stitch sanitizer: prove the emitted plan hazard-free. ----
+    if (options.analyze) {
+        DiagnosticEngine engine;
+        sanitizeCompiledCluster(graph, compiled, spec, engine);
+        if (options.strict && engine.hasErrors()) {
+            fatal("stitch sanitizer found hazards:\n",
+                  engine.renderText());
+        }
+        if (!engine.empty())
+            warn("stitch sanitizer:\n", engine.renderText());
+        if (diagnostics)
+            diagnostics->findings = std::move(engine);
+    }
 
     if (diagnostics) {
         diagnostics->analysis = std::move(analysis);

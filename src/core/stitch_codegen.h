@@ -11,6 +11,7 @@
 #ifndef ASTITCH_CORE_STITCH_CODEGEN_H
 #define ASTITCH_CORE_STITCH_CODEGEN_H
 
+#include "analysis/diagnostics.h"
 #include "core/launch_config.h"
 #include "core/memory_planner.h"
 
@@ -34,6 +35,12 @@ struct AStitchOptions
 
     /** Shared-memory budget per block; <= 0 uses the device limit. */
     std::int64_t smem_budget_per_block = 0;
+
+    /** Run the stitch sanitizer over every emitted plan. */
+    bool analyze = true;
+
+    /** Promote sanitizer errors to fatal() instead of warnings. */
+    bool strict = false;
 };
 
 /** Introspection output for tests and the compiler-explorer example. */
@@ -43,6 +50,7 @@ struct StitchDiagnostics
     std::vector<GroupSchedule> schedules;
     MemoryPlan memory;
     LaunchConfig launch;
+    DiagnosticEngine findings; ///< sanitizer results (when analyze is on)
 };
 
 /**

@@ -61,4 +61,14 @@ DynamicSession::profile(const std::vector<std::int64_t> &dims)
     return bucket(dims).session->profile();
 }
 
+DiagnosticEngine
+DynamicSession::diagnostics()
+{
+    DiagnosticEngine merged;
+    // Buckets are compiled on creation, so diagnostics are final.
+    for (auto &[key, b] : buckets_)
+        merged.merge(b.session->diagnostics());
+    return merged;
+}
+
 } // namespace astitch

@@ -61,6 +61,9 @@ class DynamicSession
     std::vector<std::int64_t>
     bucketFor(const std::vector<std::int64_t> &dims) const;
 
+    /** Analysis findings merged across every compiled bucket. */
+    DiagnosticEngine diagnostics();
+
   private:
     struct Bucket
     {

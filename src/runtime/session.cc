@@ -4,9 +4,9 @@
 #include <chrono>
 #include <deque>
 
+#include "analysis/analyzer.h"
 #include "compiler/clustering.h"
 #include "compiler/plan_executor.h"
-#include "compiler/plan_validator.h"
 #include "opt/passes.h"
 #include "runtime/jit_cache.h"
 #include "sim/kernel_sim.h"
@@ -57,13 +57,11 @@ Session::compile()
         }
         compiled_.clear();
         compiled_.reserve(clusters_.size());
+        diagnostics_.clear();
         for (const Cluster &cluster : clusters_) {
             compiled_.push_back(
                 backend_->compileCluster(graph, cluster, options_.spec));
-            if (options_.validate_plans) {
-                checkCompiledCluster(graph, cluster, compiled_.back(),
-                                     options_.spec);
-            }
+            analyzeCluster(graph, cluster, compiled_.back());
         }
         if (options_.use_jit_cache) {
             JitCache::global().insert(cache_key,
@@ -153,6 +151,42 @@ Session::compiled()
 {
     compile();
     return compiled_;
+}
+
+const DiagnosticEngine &
+Session::diagnostics()
+{
+    compile();
+    return diagnostics_;
+}
+
+void
+Session::analyzeCluster(const Graph &graph, const Cluster &cluster,
+                        const CompiledCluster &compiled)
+{
+    if (!options_.validate_plans && !options_.analyze_plans)
+        return;
+    AnalysisOptions opts;
+    opts.consistency = options_.validate_plans || options_.analyze_plans;
+    opts.sanitize = options_.analyze_plans;
+    DiagnosticEngine engine;
+    analyzeCompiledCluster(graph, cluster, compiled, options_.spec, engine,
+                           opts);
+    diagnostics_.merge(engine);
+
+    // Structural (AS0xx) defects keep the historical fatal behaviour and
+    // message format of the plan validator.
+    if (options_.validate_plans) {
+        const auto structural = engine.withCodePrefix("AS0");
+        if (!structural.empty()) {
+            std::string message = "invalid compiled cluster:";
+            for (const Diagnostic &d : structural)
+                message += strCat("\n  [", d.kernel, "] ", d.message);
+            fatal(message);
+        }
+    }
+    if (options_.strict_analysis && engine.hasErrors())
+        fatal("plan analysis found hazards:\n", engine.renderText());
 }
 
 RunReport

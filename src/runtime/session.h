@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "analysis/diagnostics.h"
 #include "compiler/backend.h"
 #include "compiler/evaluator.h"
 #include "runtime/run_report.h"
@@ -43,6 +44,14 @@ struct SessionOptions
      * default — a backend emitting an inconsistent plan fails at
      * compile time rather than at simulation time). */
     bool validate_plans = true;
+
+    /** Run the full analysis subsystem (AS0xx consistency + AS1xx-AS5xx
+     * stitch sanitizer) over every compiled cluster; findings accumulate
+     * in Session::diagnostics(). */
+    bool analyze_plans = true;
+
+    /** Promote analysis errors to fatal() at compile time. */
+    bool strict_analysis = false;
 };
 
 /** Compile-once, run-many execution session. */
@@ -77,8 +86,15 @@ class Session
     const std::vector<Cluster> &clusters();
     const std::vector<CompiledCluster> &compiled();
 
+    /** Analysis findings accumulated while compiling (compiles first). */
+    const DiagnosticEngine &diagnostics();
+
   private:
     RunReport execute(const TensorMap *feeds);
+
+    /** Validate + sanitize one freshly compiled cluster. */
+    void analyzeCluster(const Graph &graph, const Cluster &cluster,
+                        const CompiledCluster &compiled);
 
     /** Map original-graph feeds onto the active graph's parameters. */
     TensorMap translateFeeds(const TensorMap &feeds) const;
@@ -92,6 +108,7 @@ class Session
     double compile_ms_ = 0.0;
     std::vector<Cluster> clusters_;
     std::vector<CompiledCluster> compiled_;
+    DiagnosticEngine diagnostics_;
 
     /** Execution order of units: cluster index (>= 0) or ~node for
      * library/compute nodes (< 0). */

@@ -60,6 +60,16 @@ computeOccupancy(const GpuSpec &spec, int block_size, int regs_per_thread,
     return occ;
 }
 
+std::int64_t
+coResidentBlockCapacity(const GpuSpec &spec, int block_size,
+                        int regs_per_thread, std::int64_t smem_per_block)
+{
+    const Occupancy occ =
+        computeOccupancy(spec, block_size, regs_per_thread,
+                         smem_per_block);
+    return occ.blocks_per_sm == 0 ? 0 : occ.blocksPerWave(spec);
+}
+
 double
 achievedOccupancy(const GpuSpec &spec, const LaunchDims &launch,
                   const Occupancy &occ)

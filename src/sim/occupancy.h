@@ -50,6 +50,19 @@ Occupancy computeOccupancy(const GpuSpec &spec, int block_size,
                            std::int64_t smem_per_block);
 
 /**
+ * Co-resident block capacity of the whole device for one kernel shape:
+ * the number of blocks that can be simultaneously resident (one wave).
+ * Returns 0 when the configuration cannot launch at all. This is the
+ * legality bound for in-kernel device-wide barriers (Sec 4.5): a
+ * lock-free inter-block barrier deadlocks whenever the grid exceeds it,
+ * because non-resident blocks wait on SM slots held by blocks spinning
+ * at the barrier.
+ */
+std::int64_t coResidentBlockCapacity(const GpuSpec &spec, int block_size,
+                                     int regs_per_thread,
+                                     std::int64_t smem_per_block);
+
+/**
  * Achieved occupancy of a concrete launch: the resident-warp ratio seen
  * while the kernel runs, accounting for grids too small to fill the
  * theoretical residency (the Fig. 6-(b) small-block-count pathology).

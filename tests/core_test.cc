@@ -435,8 +435,9 @@ TEST(AStitchBackend, AtmModeKeepsXlaScopesWithAdaptiveMapping)
         atm.compileCluster(g, soleCluster(g), kV100);
     ASSERT_GE(compiled.kernels.size(), 1u);
     for (const auto &k : compiled.kernels) {
-        if (k.containsNode(r))
+        if (k.containsNode(r)) {
             EXPECT_GE(k.launch.block, 256) << "adaptive mapping expected";
+        }
     }
 }
 

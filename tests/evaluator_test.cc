@@ -144,7 +144,7 @@ TEST(PlanExecutor, RejectsUnmaterializedInput)
     KernelPlan plan;
     plan.name = "k";
     plan.inputs.push_back(KernelInput{x, 1.0});
-    plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output});
+    plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output, {}});
     plan.outputs.push_back(y);
     compiled.kernels.push_back(plan);
 
@@ -170,8 +170,8 @@ TEST(PlanExecutor, RejectsOpScheduledBeforeOperand)
     plan.name = "k";
     plan.inputs.push_back(KernelInput{x, 1.0});
     // Wrong order: c before a.
-    plan.ops.push_back(ScheduledOp{c, 1.0, BufferSpace::Output});
-    plan.ops.push_back(ScheduledOp{a, 1.0, BufferSpace::Register});
+    plan.ops.push_back(ScheduledOp{c, 1.0, BufferSpace::Output, {}});
+    plan.ops.push_back(ScheduledOp{a, 1.0, BufferSpace::Register, {}});
     plan.outputs.push_back(c);
     compiled.kernels.push_back(plan);
 
@@ -193,11 +193,11 @@ TEST(PlanExecutor, RegisterValuesDoNotCrossKernels)
     k1.name = "k1";
     k1.inputs.push_back(KernelInput{x, 1.0});
     // `a` stays in registers: never materialized.
-    k1.ops.push_back(ScheduledOp{a, 1.0, BufferSpace::Register});
+    k1.ops.push_back(ScheduledOp{a, 1.0, BufferSpace::Register, {}});
     KernelPlan k2;
     k2.name = "k2";
     k2.inputs.push_back(KernelInput{a, 1.0});
-    k2.ops.push_back(ScheduledOp{c, 1.0, BufferSpace::Output});
+    k2.ops.push_back(ScheduledOp{c, 1.0, BufferSpace::Output, {}});
     k2.outputs.push_back(c);
     compiled.kernels.push_back(k1);
     compiled.kernels.push_back(k2);
@@ -218,7 +218,7 @@ TEST(PlanExecutor, UndeclaredOutputIsFatal)
     KernelPlan plan;
     plan.name = "k";
     plan.inputs.push_back(KernelInput{x, 1.0});
-    plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output});
+    plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output, {}});
     // outputs list intentionally left empty.
     compiled.kernels.push_back(plan);
 

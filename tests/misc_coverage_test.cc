@@ -234,7 +234,7 @@ TEST(WorkDesc, LoadFactorScalesReads)
     KernelPlan plan;
     plan.name = "k";
     plan.inputs.push_back(KernelInput{x, 3.0});
-    plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output});
+    plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output, {}});
     plan.outputs.push_back(y);
     const KernelWorkDesc desc = workDescFor(g, plan);
     EXPECT_DOUBLE_EQ(desc.bytes_read, 3.0 * 1024 * 4);
@@ -253,8 +253,8 @@ TEST(WorkDesc, GlobalSpaceCountsWriteAndReadBack)
     KernelPlan plan;
     plan.name = "k";
     plan.inputs.push_back(KernelInput{x, 1.0});
-    plan.ops.push_back(ScheduledOp{mid, 1.0, BufferSpace::Global});
-    plan.ops.push_back(ScheduledOp{out, 1.0, BufferSpace::Output});
+    plan.ops.push_back(ScheduledOp{mid, 1.0, BufferSpace::Global, {}});
+    plan.ops.push_back(ScheduledOp{out, 1.0, BufferSpace::Output, {}});
     plan.outputs.push_back(out);
     const KernelWorkDesc desc = workDescFor(g, plan);
     // input + global read-back; output + global write.
@@ -273,7 +273,7 @@ TEST(WorkDesc, RecomputeScalesInstructionsNotTraffic)
     KernelPlan plan;
     plan.name = "k";
     plan.inputs.push_back(KernelInput{x, 1.0});
-    plan.ops.push_back(ScheduledOp{y, 8.0, BufferSpace::Output});
+    plan.ops.push_back(ScheduledOp{y, 8.0, BufferSpace::Output, {}});
     plan.outputs.push_back(y);
     const KernelWorkDesc one = workDescFor(g, plan);
     plan.ops[0].recompute_factor = 1.0;

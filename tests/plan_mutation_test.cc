@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Seeded-defect tests of the stitch sanitizer: take valid compiled
+ * clusters from the seed workloads, corrupt them one hazard class at a
+ * time, and assert the sanitizer reports exactly the expected
+ * diagnostic code — plus the inverse: unmutated seed workloads are
+ * finding-free on every shipped device.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "analysis/sanitizer.h"
+#include "core/astitch_backend.h"
+#include "runtime/session.h"
+#include "sim/occupancy.h"
+#include "workloads/common.h"
+
+namespace astitch {
+namespace {
+
+/** One seed workload compiled once with the AStitch backend on V100. */
+struct CompiledWorkload
+{
+    std::string name;
+    Graph graph;
+    std::vector<Cluster> clusters;
+    std::vector<CompiledCluster> compiled;
+};
+
+const GpuSpec kV100 = GpuSpec::v100();
+
+const std::deque<CompiledWorkload> &
+compiledWorkloads()
+{
+    static const std::deque<CompiledWorkload> *cache = [] {
+        auto *all = new std::deque<CompiledWorkload>;
+        for (const auto &spec : workloads::inferenceWorkloads()) {
+            all->push_back(CompiledWorkload{spec.name, spec.build(), {}, {}});
+            CompiledWorkload &wl = all->back();
+            Session session(wl.graph,
+                            std::make_unique<AStitchBackend>(),
+                            SessionOptions{});
+            session.compile();
+            wl.clusters = session.clusters();
+            wl.compiled = session.compiled();
+        }
+        return all;
+    }();
+    return *cache;
+}
+
+/** Schedule positions and last-reader lookup for one kernel plan. */
+struct PlanIndex
+{
+    const Graph &graph;
+    const KernelPlan &plan;
+    std::unordered_map<NodeId, int> pos;
+
+    PlanIndex(const Graph &g, const KernelPlan &p) : graph(g), plan(p)
+    {
+        for (std::size_t i = 0; i < plan.ops.size(); ++i)
+            pos.emplace(plan.ops[i].node, static_cast<int>(i));
+    }
+
+    int lastReader(int i) const
+    {
+        int last = i;
+        for (NodeId u : graph.users(plan.ops[i].node)) {
+            const auto it = pos.find(u);
+            if (it != pos.end())
+                last = std::max(last, it->second);
+        }
+        return last;
+    }
+
+    /** Earliest consumer position after @p i, or -1. */
+    int firstReader(int i) const
+    {
+        int first = -1;
+        for (NodeId u : graph.users(plan.ops[i].node)) {
+            const auto it = pos.find(u);
+            if (it != pos.end() && it->second > i &&
+                (first < 0 || it->second < first))
+                first = it->second;
+        }
+        return first;
+    }
+
+    bool livesOverlap(const SharedSlot &a, const SharedSlot &b) const
+    {
+        const int def_a = pos.at(a.node), def_b = pos.at(b.node);
+        return def_a <= lastReader(def_b) && def_b <= lastReader(def_a);
+    }
+};
+
+std::vector<std::string>
+sanitize(const Graph &graph, const KernelPlan &plan,
+         DiagnosticEngine &engine, const GpuSpec &spec = kV100)
+{
+    CompiledCluster one;
+    one.kernels.push_back(plan);
+    sanitizeCompiledCluster(graph, one, spec, engine);
+    std::vector<std::string> codes;
+    for (const Diagnostic &d : engine.diagnostics())
+        codes.push_back(d.code);
+    return codes;
+}
+
+/** Run @p mutate on every seed kernel until it reports it applied. */
+template <typename Fn>
+void
+forFirstMatchingKernel(Fn &&mutate)
+{
+    for (const CompiledWorkload &wl : compiledWorkloads()) {
+        for (const CompiledCluster &compiled : wl.compiled) {
+            for (const KernelPlan &plan : compiled.kernels) {
+                if (mutate(wl.graph, plan))
+                    return;
+            }
+        }
+    }
+    FAIL() << "no seed kernel matched the mutation's precondition";
+}
+
+// ---------------------------------------------------------------------
+// Baseline: unmutated seed plans are finding-free on every device.
+// ---------------------------------------------------------------------
+
+TEST(PlanMutation, SeedWorkloadsAreFindingFreeOnEveryDevice)
+{
+    for (const GpuSpec &spec :
+         {GpuSpec::v100(), GpuSpec::t4(), GpuSpec::a100()}) {
+        for (const auto &wlspec : workloads::inferenceWorkloads()) {
+            const Graph graph = wlspec.build();
+            SessionOptions options;
+            options.spec = spec;
+            Session session(graph, std::make_unique<AStitchBackend>(),
+                            options);
+            session.compile();
+            EXPECT_TRUE(session.diagnostics().empty())
+                << wlspec.name << " on " << spec.name << ":\n"
+                << session.diagnostics().renderText();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutation 1: drop the barrier covering a shared-memory stitch edge.
+// ---------------------------------------------------------------------
+
+TEST(PlanMutation, DroppedRegionalBarrierIsAS101)
+{
+    forFirstMatchingKernel([](const Graph &graph, const KernelPlan &seed) {
+        const PlanIndex index(graph, seed);
+        for (std::size_t i = 0; i < seed.ops.size(); ++i) {
+            if (seed.ops[i].out_space != BufferSpace::Shared)
+                continue;
+            const int consumer = index.firstReader(static_cast<int>(i));
+            if (consumer < 0)
+                continue;
+            // Remove every barrier inside the producer->consumer window;
+            // write-after-read windows start at the consumer or later,
+            // so only edge coverage is lost.
+            KernelPlan mutated = seed;
+            const auto removed = std::remove_if(
+                mutated.barriers.begin(), mutated.barriers.end(),
+                [&](const BarrierPoint &b) {
+                    return b.after_op >= static_cast<int>(i) &&
+                           b.after_op < consumer;
+                });
+            if (removed == mutated.barriers.end())
+                continue; // window was empty to begin with
+            mutated.barriers.erase(removed, mutated.barriers.end());
+
+            DiagnosticEngine engine;
+            const auto codes = sanitize(graph, mutated, engine);
+            EXPECT_FALSE(codes.empty());
+            for (const std::string &code : codes)
+                EXPECT_EQ(code, "AS101") << engine.renderText();
+            return true;
+        }
+        return false;
+    });
+}
+
+// ---------------------------------------------------------------------
+// Mutation 2: alias two concurrently-live shared-arena slots.
+// ---------------------------------------------------------------------
+
+TEST(PlanMutation, AliasedLiveSlotsAreAS401)
+{
+    forFirstMatchingKernel([](const Graph &graph, const KernelPlan &seed) {
+        const PlanIndex index(graph, seed);
+        const auto &slots = seed.shared_slots;
+        for (std::size_t a = 0; a < slots.size(); ++a) {
+            for (std::size_t b = a + 1; b < slots.size(); ++b) {
+                if (!index.livesOverlap(slots[a], slots[b]))
+                    continue;
+                if (slots[a].offset_bytes + slots[b].size_bytes >
+                    seed.smem_per_block)
+                    continue; // would trip AS402 instead
+                // Moving slot b must not land it on a disjoint-lifetime
+                // third slot (that would be an AS102 hazard, a different
+                // mutation class).
+                bool clean_landing = true;
+                for (std::size_t c = 0; c < slots.size(); ++c) {
+                    if (c == a || c == b)
+                        continue;
+                    const bool overlaps =
+                        slots[a].offset_bytes <
+                            slots[c].offset_bytes + slots[c].size_bytes &&
+                        slots[c].offset_bytes <
+                            slots[a].offset_bytes + slots[b].size_bytes;
+                    if (overlaps &&
+                        !index.livesOverlap(slots[b], slots[c]))
+                        clean_landing = false;
+                }
+                if (!clean_landing)
+                    continue;
+
+                KernelPlan mutated = seed;
+                mutated.shared_slots[b].offset_bytes =
+                    slots[a].offset_bytes;
+                DiagnosticEngine engine;
+                const auto codes = sanitize(graph, mutated, engine);
+                EXPECT_FALSE(codes.empty());
+                for (const std::string &code : codes)
+                    EXPECT_EQ(code, "AS401") << engine.renderText();
+                return true;
+            }
+        }
+        return false;
+    });
+}
+
+// ---------------------------------------------------------------------
+// Mutation 3: inflate a global-barrier kernel's grid past co-residency.
+// ---------------------------------------------------------------------
+
+TEST(PlanMutation, InflatedGridDeadlocksAsAS201)
+{
+    forFirstMatchingKernel([](const Graph &graph, const KernelPlan &seed) {
+        if (seed.num_global_barriers == 0)
+            return false;
+        const std::int64_t capacity = coResidentBlockCapacity(
+            kV100, seed.launch.block, seed.regs_per_thread,
+            seed.smem_per_block);
+        EXPECT_GT(capacity, 0);
+        EXPECT_LE(seed.launch.grid, capacity); // sanity of the seed
+
+        KernelPlan mutated = seed;
+        mutated.launch.grid = capacity + 1;
+        DiagnosticEngine engine;
+        const auto codes = sanitize(graph, mutated, engine);
+        EXPECT_FALSE(codes.empty());
+        for (const std::string &code : codes)
+            EXPECT_EQ(code, "AS201") << engine.renderText();
+        return true;
+    });
+}
+
+// ---------------------------------------------------------------------
+// Mutation 4: flip a Shared edge's consumer to a foreign partitioning.
+// ---------------------------------------------------------------------
+
+TEST(PlanMutation, CrossBlockConsumerIsAS301)
+{
+    forFirstMatchingKernel([](const Graph &graph, const KernelPlan &seed) {
+        const PlanIndex index(graph, seed);
+        for (std::size_t i = 0; i < seed.ops.size(); ++i) {
+            if (seed.ops[i].out_space != BufferSpace::Shared ||
+                !seed.ops[i].partition.known())
+                continue;
+            const int consumer = index.firstReader(static_cast<int>(i));
+            if (consumer < 0 || !seed.ops[consumer].partition.known())
+                continue;
+
+            KernelPlan mutated = seed;
+            // Double the consumer's grid but keep tasks_per_block, so
+            // only the block-locality contract (AS301) is violated — no
+            // trip-count divergence (AS501).
+            mutated.ops[consumer].partition.launch.grid *= 2;
+            DiagnosticEngine engine;
+            const auto codes = sanitize(graph, mutated, engine);
+            EXPECT_FALSE(codes.empty());
+            for (const std::string &code : codes)
+                EXPECT_EQ(code, "AS301") << engine.renderText();
+            return true;
+        }
+        return false;
+    });
+}
+
+// ---------------------------------------------------------------------
+// Mutation 5: corrupt a barrier's packed-task-loop trip count.
+// ---------------------------------------------------------------------
+
+TEST(PlanMutation, DivergentBarrierTripCountIsAS501)
+{
+    forFirstMatchingKernel([](const Graph &graph, const KernelPlan &seed) {
+        for (std::size_t b = 0; b < seed.barriers.size(); ++b) {
+            const BarrierPoint &barrier = seed.barriers[b];
+            if (barrier.after_op < 0 ||
+                barrier.after_op >= static_cast<int>(seed.ops.size()) ||
+                !seed.ops[barrier.after_op].partition.known())
+                continue;
+
+            KernelPlan mutated = seed;
+            mutated.barriers[b].trip_count += 3;
+            DiagnosticEngine engine;
+            const auto codes = sanitize(graph, mutated, engine);
+            EXPECT_FALSE(codes.empty());
+            for (const std::string &code : codes)
+                EXPECT_EQ(code, "AS501") << engine.renderText();
+            EXPECT_FALSE(engine.hasErrors()); // divergence is a lint
+            return true;
+        }
+        return false;
+    });
+}
+
+} // namespace
+} // namespace astitch

@@ -42,7 +42,7 @@ struct Fixture
         plan.name = "k";
         plan.launch = LaunchDims{1, 64};
         plan.inputs.push_back(KernelInput{x, 1.0});
-        plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output});
+        plan.ops.push_back(ScheduledOp{y, 1.0, BufferSpace::Output, {}});
         plan.outputs.push_back(y);
         compiled.kernels.push_back(std::move(plan));
     }

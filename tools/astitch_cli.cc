@@ -16,6 +16,12 @@
  *       Write a chrome://tracing timeline of one simulated run.
  *   astitch-cli dot --model Transformer --out graph.dot
  *       Export the computation graph in Graphviz DOT.
+ *   astitch-cli analyze --model BERT [--format text|json|sarif]
+ *       Run the plan analysis subsystem (AS0xx consistency + stitch
+ *       sanitizer) over every compiled cluster; exit 1 on errors.
+ *
+ * profile also accepts --analyze[=json|sarif] to append the analysis
+ * findings to the report.
  */
 #include <cstdio>
 #include <cstring>
@@ -52,6 +58,8 @@ struct Args
         const auto it = options.find(key);
         return it == options.end() ? fallback : it->second;
     }
+
+    bool has(const std::string &key) const { return options.count(key); }
 };
 
 Args
@@ -60,13 +68,37 @@ parseArgs(int argc, char **argv)
     Args args;
     if (argc > 1)
         args.command = argv[1];
-    for (int i = 2; i + 1 < argc; i += 2) {
+    // Accepts "--key value", "--key=value" and bare "--flag" forms.
+    for (int i = 2; i < argc; ++i) {
         std::string key = argv[i];
         if (key.rfind("--", 0) == 0)
             key = key.substr(2);
-        args.options[key] = argv[i + 1];
+        const std::size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+            args.options[key.substr(0, eq)] = key.substr(eq + 1);
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+            args.options[key] = argv[++i];
+        } else {
+            args.options[key] = "";
+        }
     }
     return args;
+}
+
+/** Render analysis findings in the requested --format/--analyze value. */
+std::string
+renderDiagnostics(const DiagnosticEngine &engine, const std::string &format)
+{
+    if (format == "json")
+        return engine.renderJson() + "\n";
+    if (format == "sarif")
+        return engine.renderSarif() + "\n";
+    if (format.empty() || format == "text") {
+        return engine.empty() ? std::string("plan analysis: no findings\n")
+                              : engine.renderText();
+    }
+    fatal("unknown diagnostics format '", format,
+          "' (try: text, json, sarif)");
 }
 
 std::unique_ptr<Backend>
@@ -168,7 +200,29 @@ cmdProfile(const Args &args)
                 static_cast<long long>(
                     report.counters.dramWriteTransactions()),
                 report.counters.instFp32());
+    if (args.has("analyze")) {
+        const DiagnosticEngine &engine = session.diagnostics();
+        std::fputs(
+            renderDiagnostics(engine, args.get("analyze", "")).c_str(),
+            stdout);
+        return engine.hasErrors() ? 1 : 0;
+    }
     return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    const Graph graph = buildModel(args.get("model", "BERT"));
+    SessionOptions options;
+    options.spec = makeSpec(args.get("gpu", "v100"));
+    Session session(graph, makeBackend(args.get("backend", "astitch")),
+                    options);
+    session.compile();
+    const DiagnosticEngine &engine = session.diagnostics();
+    writeOrPrint(args,
+                 renderDiagnostics(engine, args.get("format", "text")));
+    return engine.hasErrors() ? 1 : 0;
 }
 
 int
@@ -295,6 +349,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (args.command == "dot")
             return cmdDot(args);
+        if (args.command == "analyze")
+            return cmdAnalyze(args);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
@@ -302,7 +358,7 @@ main(int argc, char **argv)
     std::fprintf(
         stderr,
         "usage: astitch-cli <list|profile|compare|explain|emit|trace|"
-        "dot> [--model M] [--backend B] [--gpu G] [--cluster N] "
-        "[--out FILE]\n");
+        "dot|analyze> [--model M] [--backend B] [--gpu G] [--cluster N] "
+        "[--format text|json|sarif] [--analyze[=json]] [--out FILE]\n");
     return args.command.empty() ? 1 : 2;
 }
