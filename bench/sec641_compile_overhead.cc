@@ -4,16 +4,77 @@
  * graphs of 5,000-10,000 nodes — AStitch's exhaustive stitching, thread
  * mapping and data-management planning vs XLA's fusion, measured as real
  * wall-clock time of this implementation's passes.
+ *
+ * Per-cluster planning is independent, so the session fans it out across
+ * a thread pool (SessionOptions::compile_threads). The sweep below
+ * measures serial-vs-parallel compile latency per backend and writes
+ * the full (nodes x threads x backend -> compile ms) grid to
+ * BENCH_compile.json so future PRs can track compile-latency
+ * regressions. Override the output path with $ASTITCH_BENCH_JSON.
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "bench_common.h"
+#include "support/strings.h"
 #include "workloads/random_graph.h"
 
 using namespace astitch;
 using namespace astitch::bench;
 
 namespace {
+
+Graph
+randomGraph(int nodes, unsigned seed)
+{
+    workloads::RandomGraphConfig config;
+    config.num_nodes = nodes;
+    config.seed = seed;
+    return workloads::buildRandomGraph(config);
+}
+
+/** Cap on remote-stitched cluster size during the thread sweep.
+ * Unbounded remote stitching folds a random graph into ~2 mega-clusters,
+ * which caps cluster-level parallelism at 2x no matter the thread
+ * count; production deployments bound the stitching scope anyway. */
+constexpr int kSweepMaxClusterNodes = 64;
+
+/**
+ * Sweep graph: like randomGraph() but with enough compute-intensive
+ * dividers (matmuls) that the memory-intensive regions split into many
+ * independent clusters. Real serving graphs interleave GEMMs with
+ * memory-intensive subgraphs the same way; the seed's 2% matmul rate
+ * produces a handful of mega-components that cap cluster-level
+ * parallelism regardless of thread count.
+ */
+Graph
+sweepGraph(int nodes, unsigned seed)
+{
+    workloads::RandomGraphConfig config;
+    config.num_nodes = nodes;
+    config.seed = seed;
+    config.matmul_probability = 0.15;
+    return workloads::buildRandomGraph(config);
+}
+
+double
+compileOnce(const Graph &graph, Which which, int threads,
+            std::size_t *num_clusters = nullptr)
+{
+    SessionOptions options;
+    options.compile_threads = threads;
+    options.max_cluster_nodes = kSweepMaxClusterNodes;
+    Session session(graph, makeBackend(which), options);
+    const double ms = session.compile();
+    if (num_clusters)
+        *num_clusters = session.clusters().size();
+    return ms;
+}
 
 void
 printCompileOverhead()
@@ -23,11 +84,7 @@ printCompileOverhead()
     std::printf("%-8s %12s %14s %14s\n", "nodes", "clusters",
                 "XLA compile", "AStitch compile");
     for (int nodes : {5000, 7500, 10000}) {
-        workloads::RandomGraphConfig config;
-        config.num_nodes = nodes;
-        config.seed = 17;
-        const Graph graph = workloads::buildRandomGraph(config);
-
+        const Graph graph = randomGraph(nodes, 17);
         Session xla(graph, makeBackend(Which::Xla));
         const double xla_ms = xla.compile();
         Session as(graph, makeBackend(Which::AStitch));
@@ -40,25 +97,85 @@ printCompileOverhead()
                 "search-based tuning)\n");
 }
 
+/** One sweep record: compile latency of one configuration. */
+struct SweepRecord
+{
+    int nodes;
+    int threads;
+    std::string backend;
+    double compile_ms;
+};
+
+void
+printThreadSweep(std::vector<SweepRecord> &records)
+{
+    printHeader(strCat("Parallel JIT pipeline: compile-thread sweep "
+                       "(hardware concurrency: ",
+                       std::thread::hardware_concurrency(), ")"));
+    std::printf("%-8s %-10s %10s %9s %12s %9s\n", "nodes", "backend",
+                "clusters", "threads", "compile", "speedup");
+    for (int nodes : {5000, 10000}) {
+        const Graph graph = sweepGraph(nodes, 17);
+        for (const Which which : {Which::Xla, Which::AStitch}) {
+            const std::string name =
+                which == Which::Xla ? "xla" : "astitch";
+            double serial_ms = 0.0;
+            for (int threads : {1, 2, 4, 8}) {
+                std::size_t clusters = 0;
+                const double ms =
+                    compileOnce(graph, which, threads, &clusters);
+                if (threads == 1)
+                    serial_ms = ms;
+                records.push_back(SweepRecord{nodes, threads, name, ms});
+                std::printf("%-8d %-10s %10zu %9d %9.1f ms %8.2fx\n",
+                            nodes, name.c_str(), clusters, threads, ms,
+                            serial_ms / ms);
+            }
+        }
+    }
+}
+
+/** nodes x threads x backend -> compile ms, for regression tracking. */
+void
+writeCompileJson(const std::vector<SweepRecord> &records)
+{
+    const char *env = std::getenv("ASTITCH_BENCH_JSON");
+    const std::string path = env ? env : "BENCH_compile.json";
+    std::ofstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    file << "{\"hardware_concurrency\":"
+         << std::thread::hardware_concurrency() << ",\"records\":[";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const SweepRecord &r = records[i];
+        file << (i ? "," : "") << "{\"nodes\":" << r.nodes
+             << ",\"threads\":" << r.threads << ",\"backend\":\""
+             << r.backend << "\",\"compile_ms\":" << r.compile_ms << "}";
+    }
+    file << "]}\n";
+    std::printf("wrote %zu sweep records to %s\n", records.size(),
+                path.c_str());
+}
+
 void
 BM_CompileRandomGraph(benchmark::State &state)
 {
-    workloads::RandomGraphConfig config;
-    config.num_nodes = static_cast<int>(state.range(0));
-    config.seed = 23;
-    const Graph graph = workloads::buildRandomGraph(config);
+    const Graph graph = randomGraph(static_cast<int>(state.range(0)), 23);
     const Which which =
         state.range(1) ? Which::AStitch : Which::Xla;
-    for (auto _ : state) {
-        Session session(graph, makeBackend(which));
-        benchmark::DoNotOptimize(session.compile());
-    }
+    const int threads = static_cast<int>(state.range(2));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compileOnce(graph, which, threads));
 }
 BENCHMARK(BM_CompileRandomGraph)
-    ->Args({5000, 0})
-    ->Args({5000, 1})
-    ->Args({10000, 0})
-    ->Args({10000, 1})
+    ->Args({5000, 0, 1})
+    ->Args({5000, 1, 1})
+    ->Args({10000, 0, 1})
+    ->Args({10000, 1, 1})
+    ->Args({10000, 0, 8})
+    ->Args({10000, 1, 8})
     ->Unit(benchmark::kMillisecond);
 
 } // namespace
@@ -67,6 +184,9 @@ int
 main(int argc, char **argv)
 {
     printCompileOverhead();
+    std::vector<SweepRecord> records;
+    printThreadSweep(records);
+    writeCompileJson(records);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -12,7 +12,7 @@ constexpr double kGraphNodeDispatchUs = 0.8;
 CompiledCluster
 CudaGraphBackend::compileCluster(const Graph &graph,
                                  const Cluster &cluster,
-                                 const GpuSpec &spec)
+                                 const GpuSpec &spec) const
 {
     CompiledCluster compiled =
         TfBackend::compileCluster(graph, cluster, spec);

@@ -27,7 +27,7 @@ class CudaGraphBackend : public TfBackend
 
     CompiledCluster compileCluster(const Graph &graph,
                                    const Cluster &cluster,
-                                   const GpuSpec &spec) override;
+                                   const GpuSpec &spec) const override;
 };
 
 } // namespace astitch

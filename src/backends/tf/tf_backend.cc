@@ -7,7 +7,7 @@ namespace astitch {
 
 CompiledCluster
 TfBackend::compileCluster(const Graph &graph, const Cluster &cluster,
-                          const GpuSpec &spec)
+                          const GpuSpec &spec) const
 {
     CompiledCluster compiled;
     for (NodeId id : cluster.nodes) {

@@ -23,7 +23,7 @@ class TfBackend : public Backend
 
     CompiledCluster compileCluster(const Graph &graph,
                                    const Cluster &cluster,
-                                   const GpuSpec &spec) override;
+                                   const GpuSpec &spec) const override;
 };
 
 } // namespace astitch

@@ -6,7 +6,7 @@ namespace astitch {
 
 CompiledCluster
 TrtBackend::compileCluster(const Graph &graph, const Cluster &cluster,
-                           const GpuSpec &spec)
+                           const GpuSpec &spec) const
 {
     LoopFusionRules rules;
     rules.fuse_heavy_into_broadcast_consumer = false;

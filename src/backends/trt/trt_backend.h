@@ -24,7 +24,7 @@ class TrtBackend : public Backend
 
     CompiledCluster compileCluster(const Graph &graph,
                                    const Cluster &cluster,
-                                   const GpuSpec &spec) override;
+                                   const GpuSpec &spec) const override;
 };
 
 } // namespace astitch

@@ -75,7 +75,7 @@ tunedElementwiseMapping(const GpuSpec &spec, std::int64_t n)
 
 CompiledCluster
 TvmBackend::compileCluster(const Graph &graph, const Cluster &cluster,
-                           const GpuSpec &spec)
+                           const GpuSpec &spec) const
 {
     LoopFusionRules rules;
     rules.fuse_heavy_into_broadcast_consumer = true; // Fig. 5 redundancy

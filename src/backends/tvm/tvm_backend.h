@@ -33,7 +33,7 @@ class TvmBackend : public Backend
 
     CompiledCluster compileCluster(const Graph &graph,
                                    const Cluster &cluster,
-                                   const GpuSpec &spec) override;
+                                   const GpuSpec &spec) const override;
 
   private:
     bool ansor_tuning_;

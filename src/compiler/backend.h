@@ -40,10 +40,17 @@ class Backend
      */
     virtual double frameworkOverheadUs() const { return 0.0; }
 
-    /** Compile one memory-intensive cluster into kernel plans. */
+    /**
+     * Compile one memory-intensive cluster into kernel plans.
+     *
+     * Must be stateless with respect to the backend instance: the
+     * session fans clusters out across a thread pool and calls this
+     * concurrently on the same backend, so implementations may read
+     * configuration members but must not mutate any shared state.
+     */
     virtual CompiledCluster compileCluster(const Graph &graph,
                                            const Cluster &cluster,
-                                           const GpuSpec &spec) = 0;
+                                           const GpuSpec &spec) const = 0;
 };
 
 } // namespace astitch

@@ -46,7 +46,7 @@ AStitchBackend::withoutMerging()
 
 CompiledCluster
 AStitchBackend::compileCluster(const Graph &graph, const Cluster &cluster,
-                               const GpuSpec &spec)
+                               const GpuSpec &spec) const
 {
     if (!options_.hierarchical_stitching) {
         // ATM ablation: XLA's fusion decisions, AStitch's thread

@@ -29,7 +29,7 @@ class AStitchBackend : public Backend
 
     CompiledCluster compileCluster(const Graph &graph,
                                    const Cluster &cluster,
-                                   const GpuSpec &spec) override;
+                                   const GpuSpec &spec) const override;
 
     const AStitchOptions &options() const { return options_; }
 

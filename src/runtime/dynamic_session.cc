@@ -6,9 +6,18 @@ namespace astitch {
 
 namespace {
 
+/**
+ * Smallest power of two >= v. Clamped to the largest int64 power of two
+ * (2^62): shifting past it would overflow (UB) and loop forever, and a
+ * dim that large cannot be materialized anyway — padding it further is
+ * meaningless.
+ */
 std::int64_t
 nextPowerOfTwo(std::int64_t v)
 {
+    constexpr std::int64_t kMaxPower = std::int64_t{1} << 62;
+    if (v >= kMaxPower)
+        return kMaxPower;
     std::int64_t p = 1;
     while (p < v)
         p <<= 1;
@@ -27,6 +36,16 @@ DynamicSession::DynamicSession(GraphTemplate graph_template,
     fatalIf(!backend_, "dynamic session requires a backend factory");
 }
 
+DynamicSession::~DynamicSession()
+{
+    // Exceptions raised by warmup compilations stay parked in their
+    // bucket futures; an unconsumed one must not escape a destructor.
+    try {
+        waitForWarmups();
+    } catch (...) {
+    }
+}
+
 std::vector<std::int64_t>
 DynamicSession::bucketFor(const std::vector<std::int64_t> &dims) const
 {
@@ -39,35 +58,86 @@ DynamicSession::bucketFor(const std::vector<std::int64_t> &dims) const
     return rounded;
 }
 
-DynamicSession::Bucket &
-DynamicSession::bucket(const std::vector<std::int64_t> &dims)
+DynamicSession::BucketPtr
+DynamicSession::compileBucket(const std::vector<std::int64_t> &key)
+{
+    auto bucket = std::make_shared<Bucket>();
+    bucket->graph = std::make_unique<Graph>(template_(key));
+    bucket->session = std::make_unique<Session>(*bucket->graph, backend_(),
+                                                options_.session);
+    bucket->session->compile();
+    compiled_buckets_.fetch_add(1, std::memory_order_relaxed);
+    return bucket;
+}
+
+DynamicSession::BucketFuture
+DynamicSession::bucketFuture(const std::vector<std::int64_t> &dims,
+                             bool background)
 {
     const auto key = bucketFor(dims);
-    auto it = buckets_.find(key);
-    if (it == buckets_.end()) {
-        Bucket b;
-        b.graph = std::make_unique<Graph>(template_(key));
-        b.session = std::make_unique<Session>(*b.graph, backend_(),
-                                              options_.session);
-        b.session->compile();
-        it = buckets_.emplace(key, std::move(b)).first;
+    std::packaged_task<BucketPtr()> task;
+    BucketFuture future;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = buckets_.find(key);
+        if (it != buckets_.end())
+            return it->second;
+        task = std::packaged_task<BucketPtr()>(
+            [this, key] { return compileBucket(key); });
+        future = task.get_future().share();
+        buckets_.emplace(key, future);
+        if (background) {
+            warmers_.emplace_back(std::move(task));
+            return future;
+        }
     }
-    return it->second;
+    // First requester compiles inline, outside the lock, so compiling
+    // one bucket never serializes lookups of already-compiled ones.
+    task();
+    return future;
 }
 
 RunReport
 DynamicSession::profile(const std::vector<std::int64_t> &dims)
 {
-    return bucket(dims).session->profile();
+    // get() waits only for this bucket's compilation (inline or a
+    // previously warmed one) and rethrows its compile error, if any.
+    return bucketFuture(dims, /*background=*/false).get()
+        ->session->profile();
+}
+
+void
+DynamicSession::warmup(const std::vector<std::int64_t> &dims)
+{
+    bucketFuture(dims, /*background=*/true);
+}
+
+void
+DynamicSession::waitForWarmups()
+{
+    std::vector<std::thread> warmers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        warmers.swap(warmers_);
+    }
+    for (std::thread &t : warmers)
+        t.join();
 }
 
 DiagnosticEngine
 DynamicSession::diagnostics()
 {
+    waitForWarmups();
+    std::vector<BucketFuture> futures;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        futures.reserve(buckets_.size());
+        for (const auto &[key, future] : buckets_)
+            futures.push_back(future);
+    }
     DiagnosticEngine merged;
-    // Buckets are compiled on creation, so diagnostics are final.
-    for (auto &[key, b] : buckets_)
-        merged.merge(b.session->diagnostics());
+    for (const BucketFuture &future : futures)
+        merged.merge(future.get()->session->diagnostics());
     return merged;
 }
 

@@ -9,13 +9,24 @@
  * reusing compilations through a per-instance bucket cache; optional
  * power-of-two bucketing bounds the number of compilations at the cost
  * of padding.
+ *
+ * Buckets can be compiled ahead of time: warmup() kicks a background
+ * compilation so a later profile() on that shape finds it ready, and a
+ * profile() for one bucket never blocks on a neighbor bucket compiling
+ * in the background — it waits only for its own bucket, serving
+ * requests that hit already-compiled shapes immediately.
  */
 #ifndef ASTITCH_RUNTIME_DYNAMIC_SESSION_H
 #define ASTITCH_RUNTIME_DYNAMIC_SESSION_H
 
+#include <atomic>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "runtime/session.h"
 
@@ -48,20 +59,33 @@ class DynamicSession
     DynamicSession(GraphTemplate graph_template, BackendFactory backend,
                    DynamicSessionOptions options = {});
 
-    /** Profile the model at a concrete shape binding. */
+    /** Joins any still-running warmup compilations. */
+    ~DynamicSession();
+
+    /** Profile the model at a concrete shape binding (compiles the
+     * bucket inline when no one compiled or is compiling it). */
     RunReport profile(const std::vector<std::int64_t> &dims);
 
-    /** Number of distinct compilations performed so far. */
-    int numCompiledBuckets() const
-    {
-        return static_cast<int>(buckets_.size());
-    }
+    /**
+     * Start compiling the bucket for @p dims on a background thread and
+     * return immediately. A duplicate warmup — or one for a bucket that
+     * already exists — is a no-op. Errors surface on the first
+     * profile()/diagnostics() call that consumes the bucket.
+     */
+    void warmup(const std::vector<std::int64_t> &dims);
+
+    /** Block until every warmup launched so far has finished. */
+    void waitForWarmups();
+
+    /** Number of distinct compilations completed so far. */
+    int numCompiledBuckets() const { return compiled_buckets_.load(); }
 
     /** The bucket key @p dims resolves to (after optional rounding). */
     std::vector<std::int64_t>
     bucketFor(const std::vector<std::int64_t> &dims) const;
 
-    /** Analysis findings merged across every compiled bucket. */
+    /** Analysis findings merged across every compiled bucket (waits for
+     * in-flight warmups). */
     DiagnosticEngine diagnostics();
 
   private:
@@ -70,13 +94,29 @@ class DynamicSession
         std::unique_ptr<Graph> graph;
         std::unique_ptr<Session> session;
     };
+    using BucketPtr = std::shared_ptr<Bucket>;
+    using BucketFuture = std::shared_future<BucketPtr>;
 
-    Bucket &bucket(const std::vector<std::int64_t> &dims);
+    /** Build + compile one bucket (runs inline or on a warmup thread). */
+    BucketPtr compileBucket(const std::vector<std::int64_t> &key);
+
+    /** The future for @p dims' bucket, registering a new compilation if
+     * none exists. @p background compiles on a detached-from-caller
+     * thread; otherwise the calling thread compiles inline. */
+    BucketFuture bucketFuture(const std::vector<std::int64_t> &dims,
+                              bool background);
 
     GraphTemplate template_;
     BackendFactory backend_;
     DynamicSessionOptions options_;
-    std::map<std::vector<std::int64_t>, Bucket> buckets_;
+
+    mutable std::mutex mutex_;
+    /** One future per bucket key — ready once compiled; concurrent
+     * profile/warmup calls for the same key share it (no stampede). */
+    std::map<std::vector<std::int64_t>, BucketFuture> buckets_;
+    /** Threads running background warmups (joined on wait/destruct). */
+    std::vector<std::thread> warmers_;
+    std::atomic<int> compiled_buckets_{0};
 };
 
 } // namespace astitch

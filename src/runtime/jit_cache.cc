@@ -70,7 +70,7 @@ JitCache::makeKey(const Graph &graph, const std::string &backend_name,
                   graphFingerprint(graph));
 }
 
-std::shared_ptr<const JitCacheEntry>
+JitCache::EntryPtr
 JitCache::lookup(const std::string &key)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -85,16 +85,14 @@ JitCache::lookup(const std::string &key)
 }
 
 void
-JitCache::insert(const std::string &key, JitCacheEntry entry)
+JitCache::insertLocked(const std::string &key, EntryPtr entry)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
         lru_.erase(it->second);
         index_.erase(it);
     }
-    lru_.emplace_front(
-        key, std::make_shared<const JitCacheEntry>(std::move(entry)));
+    lru_.emplace_front(key, std::move(entry));
     index_[key] = lru_.begin();
     while (lru_.size() > capacity_) {
         index_.erase(lru_.back().first);
@@ -102,11 +100,93 @@ JitCache::insert(const std::string &key, JitCacheEntry entry)
     }
 }
 
+void
+JitCache::insert(const std::string &key, EntryPtr entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    insertLocked(key, std::move(entry));
+}
+
+void
+JitCache::insert(const std::string &key, JitCacheEntry entry)
+{
+    insert(key, std::make_shared<const JitCacheEntry>(std::move(entry)));
+}
+
+JitCache::EntryPtr
+JitCache::getOrCompile(const std::string &key,
+                       const std::function<JitCacheEntry()> &compile_fn)
+{
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return lru_.front().second;
+        }
+        const auto in = inflight_.find(key);
+        if (in != inflight_.end()) {
+            ++coalesced_;
+            flight = in->second;
+        } else {
+            ++misses_;
+            leader = true;
+            flight = std::make_shared<Flight>();
+            flight->future = flight->promise.get_future().share();
+            inflight_.emplace(key, flight);
+        }
+    }
+    if (!leader)
+        return flight->future.get(); // rethrows the leader's exception
+
+    EntryPtr entry;
+    try {
+        entry =
+            std::make_shared<const JitCacheEntry>(compile_fn());
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            // Only retire our own flight — clear() or a later
+            // generation may have replaced the slot.
+            const auto in = inflight_.find(key);
+            if (in != inflight_.end() && in->second == flight)
+                inflight_.erase(in);
+        }
+        flight->promise.set_exception(std::current_exception());
+        throw;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        insertLocked(key, entry);
+        const auto in = inflight_.find(key);
+        if (in != inflight_.end() && in->second == flight)
+            inflight_.erase(in);
+    }
+    flight->promise.set_value(entry);
+    return entry;
+}
+
 std::size_t
 JitCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return lru_.size();
+}
+
+JitCache::Stats
+JitCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_.load();
+    s.misses = misses_.load();
+    s.coalesced = coalesced_.load();
+    s.size = lru_.size();
+    s.capacity = capacity_;
+    return s;
 }
 
 void
@@ -117,6 +197,7 @@ JitCache::clear()
     index_.clear();
     hits_ = 0;
     misses_ = 0;
+    coalesced_ = 0;
 }
 
 JitCache &

@@ -7,16 +7,27 @@
  * Session that is a member cache; across sessions — ML practitioners
  * re-run the same model structure constantly — this LRU cache keyed by
  * (graph fingerprint, backend, device) shares the compiled stitch ops.
+ *
+ * Entries are immutable and handed out as shared_ptr, so a hit costs a
+ * refcount bump instead of deep-copying every kernel plan, and sessions
+ * keep their compilation alive even after eviction. getOrCompile()
+ * additionally dedupes concurrent compilations of the same key: the
+ * first caller compiles, every concurrent caller for that key blocks on
+ * the in-flight future instead of stampeding into a redundant compile.
  */
 #ifndef ASTITCH_RUNTIME_JIT_CACHE_H
 #define ASTITCH_RUNTIME_JIT_CACHE_H
 
+#include <atomic>
+#include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "analysis/diagnostics.h"
 #include "compiler/clustering.h"
 #include "compiler/kernel_plan.h"
 #include "sim/gpu_spec.h"
@@ -26,17 +37,33 @@ namespace astitch {
 /** Structural fingerprint of a graph (kinds, edges, attrs, shapes). */
 std::uint64_t graphFingerprint(const Graph &graph);
 
-/** One cached compilation. */
+/** One cached compilation (immutable once published). */
 struct JitCacheEntry
 {
     std::vector<Cluster> clusters;
     std::vector<CompiledCluster> compiled;
+
+    /** Per-cluster analysis findings, parallel to `clusters`; sessions
+     * re-apply their own strictness policy over these on every hit. */
+    std::vector<DiagnosticEngine> cluster_diagnostics;
 };
 
 /** Thread-safe LRU cache of compiled graphs. */
 class JitCache
 {
   public:
+    using EntryPtr = std::shared_ptr<const JitCacheEntry>;
+
+    /** Consistent counter snapshot (one lock acquisition). */
+    struct Stats
+    {
+        std::int64_t hits = 0;      ///< served from the LRU
+        std::int64_t misses = 0;    ///< had to compile
+        std::int64_t coalesced = 0; ///< joined an in-flight compile
+        std::size_t size = 0;
+        std::size_t capacity = 0;
+    };
+
     explicit JitCache(std::size_t capacity = 64);
 
     /** Cache key for a (graph, backend, device) triple. */
@@ -45,33 +72,64 @@ class JitCache
                                const GpuSpec &spec);
 
     /** nullptr on miss; bumps the entry on hit. */
-    std::shared_ptr<const JitCacheEntry>
-    lookup(const std::string &key);
+    EntryPtr lookup(const std::string &key);
 
-    /** Insert (or refresh) an entry, evicting the least recently used. */
+    /** Insert (or refresh) an entry, evicting the least recently used.
+     * The entry is shared, not copied. */
+    void insert(const std::string &key, EntryPtr entry);
+
+    /** Convenience overload wrapping @p entry into a shared_ptr. */
     void insert(const std::string &key, JitCacheEntry entry);
+
+    /**
+     * Return the cached entry for @p key, compiling it with
+     * @p compile_fn on a miss. Concurrent callers with the same key
+     * dedupe into one compilation: exactly one caller runs compile_fn,
+     * the rest block until it publishes (or rethrow its exception).
+     * A failed compilation is not cached.
+     */
+    EntryPtr getOrCompile(const std::string &key,
+                          const std::function<JitCacheEntry()> &compile_fn);
 
     std::size_t size() const;
     std::size_t capacity() const { return capacity_; }
-    std::int64_t hits() const { return hits_; }
-    std::int64_t misses() const { return misses_; }
+    std::int64_t hits() const { return hits_.load(); }
+    std::int64_t misses() const { return misses_.load(); }
+    std::int64_t coalesced() const { return coalesced_.load(); }
+    Stats stats() const;
 
+    /** Drop all published entries and reset counters. In-flight
+     * compilations are unaffected and publish into the emptied cache. */
     void clear();
 
     /** Process-wide cache instance. */
     static JitCache &global();
 
   private:
+    /** One in-flight compilation; waiters share the future. */
+    struct Flight
+    {
+        std::promise<EntryPtr> promise;
+        std::shared_future<EntryPtr> future;
+    };
+
+    void insertLocked(const std::string &key, EntryPtr entry);
+
     mutable std::mutex mutex_;
     std::size_t capacity_;
-    std::int64_t hits_ = 0;
-    std::int64_t misses_ = 0;
+
+    // Counters are written under mutex_ but read lock-free by the
+    // accessors above, hence atomic.
+    std::atomic<std::int64_t> hits_{0};
+    std::atomic<std::int64_t> misses_{0};
+    std::atomic<std::int64_t> coalesced_{0};
 
     /** MRU-first list of (key, entry). */
-    std::list<std::pair<std::string,
-                        std::shared_ptr<const JitCacheEntry>>>
-        lru_;
+    std::list<std::pair<std::string, EntryPtr>> lru_;
     std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+
+    /** Keys currently compiling under getOrCompile(). */
+    std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
 };
 
 } // namespace astitch

@@ -12,6 +12,7 @@
 #include "sim/kernel_sim.h"
 #include "support/logging.h"
 #include "support/strings.h"
+#include "support/thread_pool.h"
 
 namespace astitch {
 
@@ -38,45 +39,27 @@ Session::compile()
     }
     const Graph &graph = activeGraph();
 
-    std::string cache_key;
-    bool cache_hit = false;
     if (options_.use_jit_cache) {
-        cache_key = JitCache::makeKey(graph, backend_->name(),
-                                      options_.spec);
-        if (auto entry = JitCache::global().lookup(cache_key)) {
-            clusters_ = entry->clusters;
-            compiled_ = entry->compiled;
-            cache_hit = true;
-        }
+        // getOrCompile dedupes concurrent sessions compiling the same
+        // key: one compiles, the rest share the published entry.
+        const std::string cache_key =
+            JitCache::makeKey(graph, backend_->name(), options_.spec);
+        commitEntry(JitCache::global().getOrCompile(
+            cache_key, [&] { return compileAllClusters(graph); }));
+    } else {
+        commitEntry(std::make_shared<const JitCacheEntry>(
+            compileAllClusters(graph)));
     }
-    if (!cache_hit) {
-        clusters_ = findMemoryIntensiveClusters(graph);
-        if (backend_->wantsRemoteStitching()) {
-            clusters_ = remoteStitch(graph, std::move(clusters_),
-                                     options_.max_cluster_nodes);
-        }
-        compiled_.clear();
-        compiled_.reserve(clusters_.size());
-        diagnostics_.clear();
-        for (const Cluster &cluster : clusters_) {
-            compiled_.push_back(
-                backend_->compileCluster(graph, cluster, options_.spec));
-            analyzeCluster(graph, cluster, compiled_.back());
-        }
-        if (options_.use_jit_cache) {
-            JitCache::global().insert(cache_key,
-                                      JitCacheEntry{clusters_, compiled_});
-        }
-    }
+    const std::vector<Cluster> &clusters = entry_->clusters;
 
     // ---- Unit scheduling: clusters + compute-intensive nodes. ----
     // unit encoding: [0, C) are clusters; C + i enumerates the i-th
     // compute-intensive node.
-    const int num_clusters = static_cast<int>(clusters_.size());
+    const int num_clusters = static_cast<int>(clusters.size());
     std::vector<NodeId> compute_nodes;
     std::vector<int> unit_of_node(graph.numNodes(), -1);
     for (int c = 0; c < num_clusters; ++c) {
-        for (NodeId n : clusters_[c].nodes)
+        for (NodeId n : clusters[c].nodes)
             unit_of_node[n] = c;
     }
     for (NodeId n = 0; n < graph.numNodes(); ++n) {
@@ -143,14 +126,14 @@ const std::vector<Cluster> &
 Session::clusters()
 {
     compile();
-    return clusters_;
+    return entry_->clusters;
 }
 
 const std::vector<CompiledCluster> &
 Session::compiled()
 {
     compile();
-    return compiled_;
+    return entry_->compiled;
 }
 
 const DiagnosticEngine &
@@ -160,33 +143,66 @@ Session::diagnostics()
     return diagnostics_;
 }
 
-void
-Session::analyzeCluster(const Graph &graph, const Cluster &cluster,
-                        const CompiledCluster &compiled)
+JitCacheEntry
+Session::compileAllClusters(const Graph &graph) const
 {
-    if (!options_.validate_plans && !options_.analyze_plans)
-        return;
-    AnalysisOptions opts;
-    opts.consistency = options_.validate_plans || options_.analyze_plans;
-    opts.sanitize = options_.analyze_plans;
-    DiagnosticEngine engine;
-    analyzeCompiledCluster(graph, cluster, compiled, options_.spec, engine,
-                           opts);
-    diagnostics_.merge(engine);
-
-    // Structural (AS0xx) defects keep the historical fatal behaviour and
-    // message format of the plan validator.
-    if (options_.validate_plans) {
-        const auto structural = engine.withCodePrefix("AS0");
-        if (!structural.empty()) {
-            std::string message = "invalid compiled cluster:";
-            for (const Diagnostic &d : structural)
-                message += strCat("\n  [", d.kernel, "] ", d.message);
-            fatal(message);
-        }
+    JitCacheEntry entry;
+    entry.clusters = findMemoryIntensiveClusters(graph);
+    if (backend_->wantsRemoteStitching()) {
+        entry.clusters = remoteStitch(graph, std::move(entry.clusters),
+                                      options_.max_cluster_nodes);
     }
-    if (options_.strict_analysis && engine.hasErrors())
-        fatal("plan analysis found hazards:\n", engine.renderText());
+    const std::size_t n = entry.clusters.size();
+    entry.compiled.resize(n);
+    entry.cluster_diagnostics.resize(n);
+
+    // Every cluster compiles and analyzes independently — the
+    // embarrassingly-parallel half of the pipeline. Results land in
+    // pre-sized slots, so the only cross-thread state is the read-only
+    // graph/backend/spec; parallelFor rethrows the lowest-index failure,
+    // matching what a serial loop would hit first.
+    const AnalysisOptions analysis{
+        options_.validate_plans || options_.analyze_plans,
+        options_.analyze_plans, SanitizerOptions{}};
+    const bool analyze = analysis.consistency || analysis.sanitize;
+    parallelFor(resolveCompileThreads(options_.compile_threads), n,
+                [&](std::size_t i) {
+                    entry.compiled[i] = backend_->compileCluster(
+                        graph, entry.clusters[i], options_.spec);
+                    if (analyze) {
+                        analyzeCompiledCluster(
+                            graph, entry.clusters[i], entry.compiled[i],
+                            options_.spec, entry.cluster_diagnostics[i],
+                            analysis);
+                    }
+                });
+    return entry;
+}
+
+void
+Session::commitEntry(std::shared_ptr<const JitCacheEntry> entry)
+{
+    entry_ = std::move(entry);
+    diagnostics_.clear();
+    for (const DiagnosticEngine &engine : entry_->cluster_diagnostics) {
+        diagnostics_.merge(engine);
+
+        // Structural (AS0xx) defects keep the historical fatal
+        // behaviour and message format of the plan validator. Applied
+        // in cluster order, so the failing cluster is the same one a
+        // serial compile would have stopped at.
+        if (options_.validate_plans) {
+            const auto structural = engine.withCodePrefix("AS0");
+            if (!structural.empty()) {
+                std::string message = "invalid compiled cluster:";
+                for (const Diagnostic &d : structural)
+                    message += strCat("\n  [", d.kernel, "] ", d.message);
+                fatal(message);
+            }
+        }
+        if (options_.strict_analysis && engine.hasErrors())
+            fatal("plan analysis found hazards:\n", engine.renderText());
+    }
 }
 
 RunReport
@@ -218,7 +234,7 @@ Session::execute(const TensorMap *feeds)
             // Memory-intensive cluster: its generated kernels + the
             // memcpy/memset activities its compilation requires.
             const CompiledCluster &compiled =
-                compiled_[static_cast<std::size_t>(unit)];
+                entry_->compiled[static_cast<std::size_t>(unit)];
             for (const KernelPlan &kernel : compiled.kernels)
                 sim.launch(workDescFor(graph, kernel));
             for (int i = 0; i < compiled.num_memcpy; ++i) {
@@ -271,7 +287,7 @@ Session::execute(const TensorMap *feeds)
     RunReport report;
     report.backend_name = backend_->name();
     report.compile_ms = compile_ms_;
-    report.num_clusters = static_cast<int>(clusters_.size());
+    report.num_clusters = static_cast<int>(entry_->clusters.size());
     report.counters = sim.takeCounters();
     report.breakdown = breakdownOf(report.counters);
     report.end_to_end_us = report.counters.endToEndUs();

@@ -17,6 +17,7 @@
 #include "analysis/diagnostics.h"
 #include "compiler/backend.h"
 #include "compiler/evaluator.h"
+#include "runtime/jit_cache.h"
 #include "runtime/run_report.h"
 
 namespace astitch {
@@ -52,6 +53,16 @@ struct SessionOptions
 
     /** Promote analysis errors to fatal() at compile time. */
     bool strict_analysis = false;
+
+    /**
+     * Threads for per-cluster JIT compilation + analysis. Clusters are
+     * independent, so compilation fans out across a work-queue pool;
+     * results commit in cluster order, so any thread count produces
+     * bit-identical plans, diagnostics and reports. 0 resolves through
+     * $ASTITCH_COMPILE_THREADS, then hardware concurrency; 1 is fully
+     * serial (no pool).
+     */
+    int compile_threads = 0;
 };
 
 /** Compile-once, run-many execution session. */
@@ -92,9 +103,13 @@ class Session
   private:
     RunReport execute(const TensorMap *feeds);
 
-    /** Validate + sanitize one freshly compiled cluster. */
-    void analyzeCluster(const Graph &graph, const Cluster &cluster,
-                        const CompiledCluster &compiled);
+    /** Cluster + compile + analyze the whole graph: the parallel
+     * section. Pure with respect to session state. */
+    JitCacheEntry compileAllClusters(const Graph &graph) const;
+
+    /** Adopt an entry: merge diagnostics in cluster order and apply
+     * this session's validation/strictness policy. */
+    void commitEntry(std::shared_ptr<const JitCacheEntry> entry);
 
     /** Map original-graph feeds onto the active graph's parameters. */
     TensorMap translateFeeds(const TensorMap &feeds) const;
@@ -106,8 +121,9 @@ class Session
 
     bool compiled_valid_ = false;
     double compile_ms_ = 0.0;
-    std::vector<Cluster> clusters_;
-    std::vector<CompiledCluster> compiled_;
+    /** The compilation this session executes — possibly shared with
+     * other sessions through the JIT cache (never copied out of it). */
+    std::shared_ptr<const JitCacheEntry> entry_;
     DiagnosticEngine diagnostics_;
 
     /** Execution order of units: cluster index (>= 0) or ~node for

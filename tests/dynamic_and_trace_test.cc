@@ -5,6 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "backends/xla/xla_backend.h"
 #include "core/astitch_backend.h"
 #include "runtime/dynamic_session.h"
@@ -75,6 +78,89 @@ TEST(DynamicSession, RequiresTemplateAndFactory)
 {
     EXPECT_THROW(DynamicSession(nullptr, astitchFactory()), FatalError);
     EXPECT_THROW(DynamicSession(softmaxTemplate(), nullptr), FatalError);
+}
+
+TEST(DynamicSession, PowerOfTwoBucketingClampsHugeDims)
+{
+    // Regression: nextPowerOfTwo used to shift past 2^62 into signed
+    // overflow (UB) and loop forever. Dims above the largest int64
+    // power of two clamp to it instead.
+    DynamicSessionOptions options;
+    options.bucket_to_power_of_two = true;
+    DynamicSession session(softmaxTemplate(), astitchFactory(), options);
+    constexpr std::int64_t kMaxPower = std::int64_t{1} << 62;
+    EXPECT_EQ(session.bucketFor({kMaxPower + 1, (std::int64_t{1} << 62) +
+                                                    (std::int64_t{1}
+                                                     << 61)}),
+              (std::vector<std::int64_t>{kMaxPower, kMaxPower}));
+    EXPECT_EQ(session.bucketFor({kMaxPower}),
+              (std::vector<std::int64_t>{kMaxPower}));
+    EXPECT_EQ(session.bucketFor({kMaxPower - 1}),
+              (std::vector<std::int64_t>{kMaxPower}));
+}
+
+TEST(DynamicSession, WarmupCompilesInBackground)
+{
+    DynamicSession session(softmaxTemplate(), astitchFactory());
+    session.warmup({64, 128});
+    session.warmup({64, 128}); // duplicate: no second compilation
+    session.warmup({128, 128});
+    session.waitForWarmups();
+    EXPECT_EQ(session.numCompiledBuckets(), 2);
+    // Warmed buckets serve without compiling anything new.
+    session.profile({64, 128});
+    session.profile({128, 128});
+    EXPECT_EQ(session.numCompiledBuckets(), 2);
+}
+
+TEST(DynamicSession, WarmupOfCompiledBucketIsNoop)
+{
+    DynamicSession session(softmaxTemplate(), astitchFactory());
+    session.profile({64, 64});
+    session.warmup({64, 64});
+    session.waitForWarmups();
+    EXPECT_EQ(session.numCompiledBuckets(), 1);
+}
+
+TEST(DynamicSession, WarmupErrorSurfacesOnProfile)
+{
+    GraphTemplate broken = [](const std::vector<std::int64_t> &dims) {
+        if (dims.at(0) > 100)
+            fatal("template rejects rows > 100");
+        return testing::buildSoftmax(dims.at(0), dims.at(1));
+    };
+    DynamicSession session(std::move(broken), astitchFactory());
+    session.warmup({512, 64});
+    session.waitForWarmups();
+    EXPECT_EQ(session.numCompiledBuckets(), 0);
+    EXPECT_THROW(session.profile({512, 64}), FatalError);
+    // Healthy buckets are unaffected.
+    session.profile({64, 64});
+    EXPECT_EQ(session.numCompiledBuckets(), 1);
+}
+
+TEST(DynamicSession, DiagnosticsWaitForWarmups)
+{
+    DynamicSession session(softmaxTemplate(), astitchFactory());
+    session.warmup({64, 128});
+    session.warmup({256, 128});
+    const DiagnosticEngine merged = session.diagnostics();
+    EXPECT_EQ(session.numCompiledBuckets(), 2);
+    EXPECT_FALSE(merged.hasErrors());
+}
+
+TEST(DynamicSession, ConcurrentProfilesShareBuckets)
+{
+    DynamicSession session(softmaxTemplate(), astitchFactory());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&session, t] {
+            session.profile({64 * (1 + t % 2), 128});
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(session.numCompiledBuckets(), 2);
 }
 
 // ---------------------------------------------------------------------

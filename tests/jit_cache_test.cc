@@ -1,14 +1,23 @@
 /**
  * @file
- * Tests of the JIT cache: fingerprint sensitivity, LRU behaviour and
- * cross-session reuse.
+ * Tests of the JIT cache: fingerprint sensitivity, LRU behaviour,
+ * cross-session reuse, and the concurrency guarantees of
+ * getOrCompile() (one compilation per key, no lost entries, no
+ * stampedes).
  */
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
 
 #include "backends/xla/xla_backend.h"
 #include "core/astitch_backend.h"
 #include "runtime/jit_cache.h"
 #include "runtime/session.h"
+#include "support/logging.h"
+#include "support/strings.h"
 #include "test_graphs.h"
 #include "workloads/common.h"
 
@@ -149,6 +158,158 @@ TEST(JitCache, SessionReusesCompilationAcrossSessions)
     const auto b = second.profile();
     EXPECT_EQ(a.memKernelCount(), b.memKernelCount());
     EXPECT_DOUBLE_EQ(a.end_to_end_us, b.end_to_end_us);
+    JitCache::global().clear();
+}
+
+TEST(JitCache, EntriesAreSharedNotCopied)
+{
+    JitCache cache(4);
+    JitCacheEntry entry;
+    entry.clusters.resize(3);
+    cache.insert("k", std::move(entry));
+    const auto a = cache.lookup("k");
+    const auto b = cache.lookup("k");
+    // Copy-free: every hit hands out the same immutable entry.
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->clusters.size(), 3u);
+}
+
+TEST(JitCache, SharedEntrySurvivesEviction)
+{
+    JitCache cache(1);
+    JitCacheEntry entry;
+    entry.clusters.resize(2);
+    cache.insert("a", std::move(entry));
+    const auto held = cache.lookup("a");
+    cache.insert("b", JitCacheEntry{}); // evicts "a"
+    EXPECT_EQ(cache.lookup("a"), nullptr);
+    EXPECT_EQ(held->clusters.size(), 2u); // still alive for the holder
+}
+
+TEST(JitCache, StatsSnapshotIsConsistent)
+{
+    JitCache cache(4);
+    cache.lookup("missing");
+    cache.insert("k", JitCacheEntry{});
+    cache.lookup("k");
+    const JitCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.coalesced, 0);
+    EXPECT_EQ(stats.size, 1u);
+    EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(JitCache, GetOrCompileCompilesOnceThenHits)
+{
+    JitCache cache(4);
+    std::atomic<int> compiles{0};
+    auto fn = [&] {
+        compiles.fetch_add(1);
+        JitCacheEntry entry;
+        entry.clusters.resize(1);
+        return entry;
+    };
+    const auto first = cache.getOrCompile("k", fn);
+    const auto second = cache.getOrCompile("k", fn);
+    EXPECT_EQ(compiles.load(), 1);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(JitCache, GetOrCompileDoesNotCacheFailures)
+{
+    JitCache cache(4);
+    int calls = 0;
+    auto failing = [&]() -> JitCacheEntry {
+        ++calls;
+        fatal("backend exploded");
+    };
+    EXPECT_THROW(cache.getOrCompile("k", failing), FatalError);
+    EXPECT_EQ(cache.size(), 0u);
+    // The key is retryable after a failure.
+    EXPECT_THROW(cache.getOrCompile("k", failing), FatalError);
+    EXPECT_EQ(calls, 2);
+    EXPECT_NE(cache.getOrCompile("k", [] { return JitCacheEntry{}; }),
+              nullptr);
+}
+
+TEST(JitCache, ConcurrentGetOrCompileIsSingleFlightPerKey)
+{
+    // Many threads hammer overlapping keys; each key must compile
+    // exactly once, every caller must receive the key's entry, and no
+    // entry may be lost.
+    JitCache cache(64);
+    constexpr int kKeys = 8;
+    constexpr int kThreads = 16;
+    std::vector<std::atomic<int>> compiles(kKeys);
+    std::atomic<bool> mismatch{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int round = 0; round < 40; ++round) {
+                const int k = (t + round) % kKeys;
+                const auto entry = cache.getOrCompile(
+                    strCat("key", k), [&compiles, k] {
+                        compiles[k].fetch_add(1);
+                        // Widen the in-flight window so stampedes
+                        // would actually collide.
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(200));
+                        JitCacheEntry e;
+                        e.clusters.resize(
+                            static_cast<std::size_t>(k) + 1);
+                        return e;
+                    });
+                if (!entry ||
+                    entry->clusters.size() !=
+                        static_cast<std::size_t>(k) + 1)
+                    mismatch.store(true);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_FALSE(mismatch.load());
+    for (const auto &c : compiles)
+        EXPECT_EQ(c.load(), 1);
+    EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+    const JitCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, kKeys);
+    EXPECT_EQ(stats.hits + stats.coalesced + stats.misses,
+              kThreads * 40);
+}
+
+TEST(JitCache, ConcurrentSessionsShareOneCompilation)
+{
+    JitCache::global().clear();
+    Graph g = testing::buildSoftmax(128, 256);
+    SessionOptions options;
+    options.use_jit_cache = true;
+    options.compile_threads = 1;
+    std::vector<std::thread> threads;
+    std::atomic<int> kernel_counts{-1};
+    std::atomic<bool> divergent{false};
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            Session session(g, std::make_unique<AStitchBackend>(),
+                            options);
+            const int kernels = session.profile().memKernelCount();
+            int expected = -1;
+            if (!kernel_counts.compare_exchange_strong(expected,
+                                                       kernels) &&
+                expected != kernels)
+                divergent.store(true);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_FALSE(divergent.load());
+    // One compilation total: everyone else hit or joined in flight.
+    EXPECT_EQ(JitCache::global().misses(), 1);
+    EXPECT_EQ(JitCache::global().size(), 1u);
     JitCache::global().clear();
 }
 

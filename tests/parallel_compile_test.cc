@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Determinism of the parallel JIT pipeline: any compile_threads value
+ * must yield bit-identical kernel plans, diagnostics and simulated
+ * timings, because per-cluster results commit in cluster order no
+ * matter which thread produced them.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "backends/xla/xla_backend.h"
+#include "core/astitch_backend.h"
+#include "runtime/session.h"
+#include "support/logging.h"
+#include "test_graphs.h"
+#include "workloads/asr.h"
+#include "workloads/bert.h"
+#include "workloads/dien.h"
+
+namespace astitch {
+namespace {
+
+/** Serialize every field of a compiled cluster that reaches the cost
+ * model or the sanitizer, so equality means plan-level identity. */
+std::string
+serializeCompilation(const std::vector<CompiledCluster> &compiled)
+{
+    std::ostringstream out;
+    for (const CompiledCluster &cluster : compiled) {
+        out << "cluster cpy=" << cluster.num_memcpy << ":"
+            << cluster.memcpy_bytes
+            << " scratch=" << cluster.global_scratch_bytes << "\n";
+        for (const KernelPlan &k : cluster.kernels) {
+            out << k.name << " " << k.launch.toString() << " regs="
+                << k.regs_per_thread << " smem=" << k.smem_per_block
+                << " bar=" << k.num_block_barriers << "/"
+                << k.num_global_barriers << " atomics="
+                << k.atomic_operations << " coal=" << k.read_coalescing
+                << "/" << k.write_coalescing << " extra="
+                << k.extra_launch_overhead_us << ":"
+                << k.extra_bytes_read << "\n";
+            for (const ScheduledOp &op : k.ops) {
+                out << "  op " << op.node << " x" << op.recompute_factor
+                    << " " << bufferSpaceName(op.out_space) << " part="
+                    << op.partition.launch.toString() << ":"
+                    << op.partition.rows_per_block << ":"
+                    << op.partition.tasks_per_block << "\n";
+            }
+            for (const KernelInput &in : k.inputs)
+                out << "  in " << in.node << " x" << in.load_factor
+                    << "\n";
+            for (NodeId o : k.outputs)
+                out << "  out " << o << "\n";
+            for (const BarrierPoint &b : k.barriers)
+                out << "  barrier after=" << b.after_op << " "
+                    << barrierScopeName(b.scope) << " trips="
+                    << b.trip_count << "\n";
+            for (const SharedSlot &s : k.shared_slots)
+                out << "  slot " << s.node << " @" << s.offset_bytes
+                    << "+" << s.size_bytes << "\n";
+        }
+    }
+    return out.str();
+}
+
+void
+expectThreadCountInvariant(const Graph &graph, bool astitch)
+{
+    auto makeBackend = [&]() -> std::unique_ptr<Backend> {
+        if (astitch)
+            return std::make_unique<AStitchBackend>();
+        return std::make_unique<XlaBackend>();
+    };
+    SessionOptions serial;
+    serial.compile_threads = 1;
+    SessionOptions parallel;
+    parallel.compile_threads = 8;
+
+    Session a(graph, makeBackend(), serial);
+    Session b(graph, makeBackend(), parallel);
+
+    EXPECT_EQ(serializeCompilation(a.compiled()),
+              serializeCompilation(b.compiled()));
+    EXPECT_EQ(a.diagnostics().renderJson(), b.diagnostics().renderJson());
+
+    const RunReport ra = a.profile();
+    const RunReport rb = b.profile();
+    EXPECT_DOUBLE_EQ(ra.end_to_end_us, rb.end_to_end_us);
+    EXPECT_EQ(ra.num_clusters, rb.num_clusters);
+    EXPECT_EQ(ra.memKernelCount(), rb.memKernelCount());
+    EXPECT_EQ(ra.cpyCount(), rb.cpyCount());
+    ASSERT_EQ(ra.counters.kernels.size(), rb.counters.kernels.size());
+    for (std::size_t i = 0; i < ra.counters.kernels.size(); ++i) {
+        EXPECT_EQ(ra.counters.kernels[i].name,
+                  rb.counters.kernels[i].name);
+        EXPECT_DOUBLE_EQ(ra.counters.kernels[i].time_us,
+                         rb.counters.kernels[i].time_us);
+    }
+}
+
+TEST(ParallelCompile, BertIsThreadCountInvariant)
+{
+    expectThreadCountInvariant(workloads::buildBert(), true);
+}
+
+TEST(ParallelCompile, DienIsThreadCountInvariant)
+{
+    expectThreadCountInvariant(workloads::buildDien(), true);
+}
+
+TEST(ParallelCompile, AsrIsThreadCountInvariant)
+{
+    expectThreadCountInvariant(workloads::buildAsr(), true);
+}
+
+TEST(ParallelCompile, ComparatorBackendIsThreadCountInvariant)
+{
+    expectThreadCountInvariant(workloads::buildBert(), false);
+}
+
+TEST(ParallelCompile, CompileErrorsSurfaceUnderAnyThreadCount)
+{
+    // A backend whose plans fail structural validation must fatal() for
+    // every thread count, with the deterministic (first-cluster) error.
+    class BrokenBackend : public Backend
+    {
+      public:
+        std::string name() const override { return "broken"; }
+        CompiledCluster compileCluster(const Graph &, const Cluster &,
+                                       const GpuSpec &) const override
+        {
+            CompiledCluster compiled;
+            KernelPlan plan;
+            plan.name = "empty_plan"; // schedules none of the cluster
+            compiled.kernels.push_back(plan);
+            return compiled;
+        }
+    };
+    Graph g = testing::buildSoftmax(64, 64);
+    for (int threads : {1, 8}) {
+        SessionOptions options;
+        options.compile_threads = threads;
+        Session session(g, std::make_unique<BrokenBackend>(), options);
+        EXPECT_THROW(session.compile(), FatalError);
+    }
+}
+
+TEST(ParallelCompile, ManyClustersCoverPoolQueueing)
+{
+    // More clusters than threads: every cluster must land in its slot.
+    Graph g;
+    {
+        GraphBuilder b(g);
+        for (int i = 0; i < 40; ++i)
+            g.markOutput(b.tanh(b.exp(b.parameter({32, 8}))));
+    }
+    SessionOptions serial;
+    serial.compile_threads = 1;
+    SessionOptions parallel;
+    parallel.compile_threads = 8;
+    // XLA keeps the 40 chains as 40 clusters (no remote stitching).
+    Session a(g, std::make_unique<XlaBackend>(), serial);
+    Session b(g, std::make_unique<XlaBackend>(), parallel);
+    ASSERT_EQ(a.clusters().size(), b.clusters().size());
+    EXPECT_GT(a.clusters().size(), 8u);
+    EXPECT_EQ(serializeCompilation(a.compiled()),
+              serializeCompilation(b.compiled()));
+}
+
+} // namespace
+} // namespace astitch

@@ -1,14 +1,19 @@
 /**
  * @file
- * Unit tests for the support library: logging, strings, rng.
+ * Unit tests for the support library: logging, strings, rng, and the
+ * thread pool behind the parallel JIT pipeline.
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <set>
+#include <vector>
 
 #include "support/logging.h"
 #include "support/rng.h"
 #include "support/strings.h"
+#include "support/thread_pool.h"
 
 namespace astitch {
 namespace {
@@ -150,6 +155,101 @@ TEST(Rng, UniformIntSingleton)
 {
     Rng rng(17);
     EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool / parallelFor
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 8}) {
+        std::vector<std::atomic<int>> counts(257);
+        parallelFor(threads, counts.size(),
+                    [&](std::size_t i) { counts[i].fetch_add(1); });
+        for (const auto &c : counts)
+            EXPECT_EQ(c.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroAndOneIndices)
+{
+    int calls = 0;
+    parallelFor(8, 0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(8, 1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossParallelFors)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 3; ++round)
+        parallelFor(pool, 100, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 300);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsDeterministically)
+{
+    for (int threads : {1, 2, 8}) {
+        try {
+            parallelFor(threads, 64, [](std::size_t i) {
+                if (i == 7 || i == 40)
+                    fatal("boom at ", i);
+            });
+            FAIL() << "parallelFor did not rethrow";
+        } catch (const FatalError &e) {
+            EXPECT_STREQ(e.what(), "boom at 7");
+        }
+    }
+}
+
+TEST(ThreadPool, ExceptionStillRunsRemainingIndices)
+{
+    std::atomic<int> ran{0};
+    EXPECT_THROW(parallelFor(4, 32,
+                             [&](std::size_t i) {
+                                 ran.fetch_add(1);
+                                 if (i == 0)
+                                     panic("first fails");
+                             }),
+                 PanicError);
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, SubmitRunsDetachedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, ResolveCompileThreadsHonorsRequestAndFloor)
+{
+    EXPECT_EQ(resolveCompileThreads(3), 3);
+    EXPECT_EQ(resolveCompileThreads(1), 1);
+    EXPECT_GE(resolveCompileThreads(0), 1);
+    EXPECT_GE(resolveCompileThreads(-5), 1);
+}
+
+TEST(ThreadPool, ResolveCompileThreadsReadsEnv)
+{
+    ::setenv("ASTITCH_COMPILE_THREADS", "6", 1);
+    EXPECT_EQ(resolveCompileThreads(0), 6);
+    EXPECT_EQ(resolveCompileThreads(2), 2); // explicit beats env
+    ::setenv("ASTITCH_COMPILE_THREADS", "bogus", 1);
+    EXPECT_GE(resolveCompileThreads(0), 1);
+    ::unsetenv("ASTITCH_COMPILE_THREADS");
 }
 
 } // namespace

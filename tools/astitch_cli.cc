@@ -22,6 +22,10 @@
  *
  * profile also accepts --analyze[=json|sarif] to append the analysis
  * findings to the report.
+ *
+ * Compiling commands (profile, compare, trace, analyze) accept
+ * --compile-threads N to fan per-cluster JIT compilation across N
+ * threads (0 = $ASTITCH_COMPILE_THREADS, then hardware concurrency).
  */
 #include <cstdio>
 #include <cstring>
@@ -141,6 +145,23 @@ makeSpec(const std::string &name)
     fatal("unknown gpu '", name, "' (try: v100, t4, a100)");
 }
 
+/** Session options shared by every compiling command: --gpu plus
+ * --compile-threads N (0 = $ASTITCH_COMPILE_THREADS, then hardware). */
+SessionOptions
+makeSessionOptions(const Args &args)
+{
+    SessionOptions options;
+    options.spec = makeSpec(args.get("gpu", "v100"));
+    const std::string threads = args.get("compile-threads", "0");
+    try {
+        options.compile_threads = std::stoi(threads);
+    } catch (const std::exception &) {
+        fatal("invalid --compile-threads '", threads, "'");
+    }
+    fatalIf(options.compile_threads < 0, "--compile-threads must be >= 0");
+    return options;
+}
+
 Graph
 buildModel(const std::string &name)
 {
@@ -183,8 +204,7 @@ int
 cmdProfile(const Args &args)
 {
     const Graph graph = buildModel(args.get("model", "BERT"));
-    SessionOptions options;
-    options.spec = makeSpec(args.get("gpu", "v100"));
+    const SessionOptions options = makeSessionOptions(args);
     Session session(graph, makeBackend(args.get("backend", "astitch")),
                     options);
     const RunReport report = session.profile();
@@ -214,8 +234,7 @@ int
 cmdAnalyze(const Args &args)
 {
     const Graph graph = buildModel(args.get("model", "BERT"));
-    SessionOptions options;
-    options.spec = makeSpec(args.get("gpu", "v100"));
+    const SessionOptions options = makeSessionOptions(args);
     Session session(graph, makeBackend(args.get("backend", "astitch")),
                     options);
     session.compile();
@@ -229,8 +248,7 @@ int
 cmdCompare(const Args &args)
 {
     const Graph graph = buildModel(args.get("model", "BERT"));
-    SessionOptions options;
-    options.spec = makeSpec(args.get("gpu", "v100"));
+    const SessionOptions options = makeSessionOptions(args);
     std::printf("%-14s %10s %9s %6s %10s %8s\n", "backend", "time(ms)",
                 "kernels", "cpy", "occupancy", "compile");
     for (const char *name :
@@ -312,8 +330,7 @@ int
 cmdTrace(const Args &args)
 {
     const Graph graph = buildModel(args.get("model", "BERT"));
-    SessionOptions options;
-    options.spec = makeSpec(args.get("gpu", "v100"));
+    const SessionOptions options = makeSessionOptions(args);
     Session session(graph, makeBackend(args.get("backend", "astitch")),
                     options);
     writeOrPrint(args, toChromeTrace(session.profile().counters));
@@ -359,6 +376,7 @@ main(int argc, char **argv)
         stderr,
         "usage: astitch-cli <list|profile|compare|explain|emit|trace|"
         "dot|analyze> [--model M] [--backend B] [--gpu G] [--cluster N] "
-        "[--format text|json|sarif] [--analyze[=json]] [--out FILE]\n");
+        "[--compile-threads N] [--format text|json|sarif] "
+        "[--analyze[=json]] [--out FILE]\n");
     return args.command.empty() ? 1 : 2;
 }
