@@ -11,6 +11,11 @@
  * the full (nodes x threads x backend -> compile ms) grid to
  * BENCH_compile.json so future PRs can track compile-latency
  * regressions. Override the output path with $ASTITCH_BENCH_JSON.
+ *
+ * A robustness column prices fault tolerance: the idle cost of armed
+ * fault-injection points and the recompile cost of demoting the whole
+ * graph to each fallback-ladder rung. Written to BENCH_robustness.json
+ * (override with $ASTITCH_BENCH_ROBUSTNESS_JSON).
  */
 #include <benchmark/benchmark.h>
 
@@ -159,6 +164,89 @@ writeCompileJson(const std::vector<SweepRecord> &records)
                 path.c_str());
 }
 
+/** One robustness record: compile latency of one fault scenario. */
+struct RobustnessRecord
+{
+    std::string scenario;
+    std::string fault_plan;
+    std::string max_level;
+    double compile_ms;
+};
+
+/**
+ * Robustness column: what fault tolerance costs. "clean" is the
+ * baseline; "armed-idle" installs a fault plan whose sites never fire
+ * (the fallback rungs are dead code while rung 0 succeeds), bounding
+ * the overhead of having injection checks active at every phase
+ * boundary; the remaining rows force every cluster down to the named
+ * ladder rung and so measure the recompile cost of each demotion level.
+ */
+void
+printRobustness(std::vector<RobustnessRecord> &records)
+{
+    struct Scenario
+    {
+        const char *name;
+        const char *plan;
+    };
+    const Scenario scenarios[] = {
+        {"clean", ""},
+        {"armed-idle", "ladder-local-only,ladder-loop-fusion"},
+        {"local-only", "backend-compile"},
+        {"loop-fusion", "backend-compile,ladder-local-only"},
+        {"kernel-per-op",
+         "backend-compile,ladder-local-only,ladder-loop-fusion"},
+    };
+
+    printHeader("Robustness: fault-tolerance overhead and per-rung "
+                "fallback recompile cost (AStitch backend, 5k nodes)");
+    const Graph graph = sweepGraph(5000, 17);
+    std::printf("%-14s %14s %12s %10s\n", "scenario", "ladder level",
+                "compile", "vs clean");
+    double clean_ms = 0.0;
+    for (const Scenario &scenario : scenarios) {
+        SessionOptions options;
+        options.max_cluster_nodes = kSweepMaxClusterNodes;
+        options.fault_plan = scenario.plan;
+        Session session(graph, makeBackend(Which::AStitch), options);
+        const double ms = session.compile();
+        if (clean_ms == 0.0)
+            clean_ms = ms;
+        const char *level =
+            ladderLevelName(session.degradation().maxLevel());
+        records.push_back(
+            RobustnessRecord{scenario.name, scenario.plan, level, ms});
+        std::printf("%-14s %14s %9.1f ms %9.2fx\n", scenario.name,
+                    level, ms, ms / clean_ms);
+    }
+    std::printf("(armed-idle bounds the fault-point tax; the ladder "
+                "rows price a full-graph demotion to that rung)\n");
+}
+
+/** scenario x fault plan -> compile ms, for regression tracking. */
+void
+writeRobustnessJson(const std::vector<RobustnessRecord> &records)
+{
+    const char *env = std::getenv("ASTITCH_BENCH_ROBUSTNESS_JSON");
+    const std::string path = env ? env : "BENCH_robustness.json";
+    std::ofstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    file << "{\"records\":[";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const RobustnessRecord &r = records[i];
+        file << (i ? "," : "") << "{\"scenario\":\"" << r.scenario
+             << "\",\"fault_plan\":\"" << r.fault_plan
+             << "\",\"max_level\":\"" << r.max_level
+             << "\",\"compile_ms\":" << r.compile_ms << "}";
+    }
+    file << "]}\n";
+    std::printf("wrote %zu robustness records to %s\n", records.size(),
+                path.c_str());
+}
+
 void
 BM_CompileRandomGraph(benchmark::State &state)
 {
@@ -187,6 +275,9 @@ main(int argc, char **argv)
     std::vector<SweepRecord> records;
     printThreadSweep(records);
     writeCompileJson(records);
+    std::vector<RobustnessRecord> robustness;
+    printRobustness(robustness);
+    writeRobustnessJson(robustness);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -103,6 +103,26 @@ diagnosticCodes()
         {"AS501", Severity::Warning, "barrier-trip-divergence",
          "a barrier's trip count diverges from the packed task loop it "
          "is scheduled in"},
+
+        // -- AS6xx: fault-tolerant compilation (degradation events) --
+        {"AS601", Severity::Warning, "cluster-demoted",
+         "a cluster's compilation failed and was recompiled one level "
+         "down the fallback ladder"},
+        {"AS602", Severity::Note, "transient-fault-retried",
+         "a transient compilation fault was absorbed by a bounded retry "
+         "at the same ladder level"},
+        {"AS603", Severity::Warning, "clustering-fallback",
+         "memory-intensive cluster identification failed; the session "
+         "fell back to singleton per-op clusters"},
+        {"AS604", Severity::Warning, "parallel-compile-fallback",
+         "the pooled compilation pipeline failed; the session "
+         "recompiled serially"},
+        {"AS605", Severity::Warning, "cache-publish-fallback",
+         "publishing into the JIT cache failed; the compilation was "
+         "kept session-local (uncached)"},
+        {"AS606", Severity::Note, "degraded-cache-entry",
+         "a cached compilation was degraded; the session retried it to "
+         "upgrade the entry instead of serving it as a full result"},
     };
     // clang-format on
     return codes;

@@ -17,7 +17,9 @@
  *   AS2xx  global-barrier deadlock / missing device synchronization;
  *   AS3xx  block-locality violations on Regional stitch edges;
  *   AS4xx  shared-arena buffer-lifetime overlaps;
- *   AS5xx  barrier divergence lints (packed-task-loop trip counts).
+ *   AS5xx  barrier divergence lints (packed-task-loop trip counts);
+ *   AS6xx  fault-tolerant compilation (fallback-ladder demotions,
+ *          transient retries, session-level recovery events).
  */
 #ifndef ASTITCH_ANALYSIS_DIAGNOSTICS_H
 #define ASTITCH_ANALYSIS_DIAGNOSTICS_H
@@ -26,8 +28,24 @@
 #include <vector>
 
 #include "graph/node.h"
+#include "support/logging.h"
 
 namespace astitch {
+
+/**
+ * Thrown when a strict-mode policy rejects a plan the sanitizer found
+ * hazards in. Distinct from FatalError (which it extends, so existing
+ * handlers still catch it) so the fallback ladder and embedders can
+ * tell a *policy* rejection of an aggressive plan — recoverable by
+ * recompiling less aggressively — from a genuine user error.
+ */
+class SanitizerPolicyError : public FatalError
+{
+  public:
+    explicit SanitizerPolicyError(const std::string &msg) : FatalError(msg)
+    {
+    }
+};
 
 /** How bad a finding is. */
 enum class Severity {

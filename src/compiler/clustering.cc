@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/traversal.h"
+#include "support/fault_injection.h"
 #include "support/logging.h"
 
 namespace astitch {
@@ -158,6 +159,7 @@ splitCyclic(const Graph &graph, Cluster cluster,
 std::vector<Cluster>
 findMemoryIntensiveClusters(const Graph &graph)
 {
+    faultPoint("clustering");
     std::vector<bool> in_scope(graph.numNodes(), false);
     for (NodeId id = 0; id < graph.numNodes(); ++id) {
         const OpKind kind = graph.node(id).kind();
@@ -167,6 +169,18 @@ findMemoryIntensiveClusters(const Graph &graph)
     for (auto &component : connectedComponents(graph, in_scope))
         splitCyclic(graph, makeCluster(graph, std::move(component)),
                     clusters);
+    return clusters;
+}
+
+std::vector<Cluster>
+fallbackSingletonClusters(const Graph &graph)
+{
+    std::vector<Cluster> clusters;
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const OpKind kind = graph.node(id).kind();
+        if (isMemoryIntensive(kind) && !isSource(kind))
+            clusters.push_back(makeCluster(graph, {id}));
+    }
     return clusters;
 }
 

@@ -46,6 +46,16 @@ struct Cluster
 std::vector<Cluster> findMemoryIntensiveClusters(const Graph &graph);
 
 /**
+ * Degraded clustering for the fault-tolerant pipeline: one singleton
+ * cluster per non-source memory-intensive node, with frontiers
+ * recomputed. Covers exactly the nodes findMemoryIntensiveClusters()
+ * would cover, performs no connectivity or cycle analysis, and is
+ * therefore total — the session's last resort when cluster
+ * identification itself fails.
+ */
+std::vector<Cluster> fallbackSingletonClusters(const Graph &graph);
+
+/**
  * Remote stitching: repeatedly merge cluster pairs that have no
  * dependency path between them in either direction (merging such pairs
  * can never create a cycle). Returns the reduced cluster list. @p

@@ -6,6 +6,7 @@
 
 #include "compiler/kernel_plan.h"
 #include "compiler/patterns.h"
+#include "support/fault_injection.h"
 #include "support/logging.h"
 
 namespace astitch {
@@ -258,6 +259,8 @@ DominantAnalysis
 analyzeDominants(const Graph &graph, const Cluster &cluster,
                  bool enable_dominant_merging)
 {
+    faultPoint("dominant-analysis");
+
     // ---- Candidate identification (observation B). ----
     // Reduces, heavy element-wise ops feeding broadcast, and cluster
     // outputs need regional/global schemes; everything else is Local.

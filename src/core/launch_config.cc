@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fault_injection.h"
 #include "support/logging.h"
 
 namespace astitch {
@@ -10,6 +11,7 @@ LaunchConfig
 configureLaunch(const GpuSpec &spec, std::int64_t logical_grid, int block,
                 std::int64_t smem_per_block, bool needs_global_barrier)
 {
+    faultPoint("launch-config");
     LaunchConfig config;
     fatalIf(block <= 0 || block > spec.max_threads_per_block,
             "invalid stitched block size ", block);

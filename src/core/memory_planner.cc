@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "support/fault_injection.h"
 #include "support/logging.h"
 
 namespace astitch {
@@ -100,6 +101,7 @@ planMemory(const Graph &graph, const Cluster &cluster,
            const std::vector<GroupSchedule> &schedules, SchemeMap schemes,
            const GpuSpec &spec, std::int64_t smem_budget)
 {
+    faultPoint("memory-planner");
     MemoryPlan plan;
     if (smem_budget <= 0)
         smem_budget = spec.smem_per_block_bytes;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fault_injection.h"
 #include "support/logging.h"
 
 namespace astitch {
@@ -25,6 +26,7 @@ computeGroupSchedules(const Graph &graph, const Cluster &cluster,
                       const DominantAnalysis &analysis, const GpuSpec &spec,
                       bool adaptive_mapping)
 {
+    faultPoint("schedule-propagation");
     const std::size_t num_groups = analysis.groups.size();
     std::vector<GroupSchedule> schedules(num_groups);
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "analysis/sanitizer.h"
+#include "support/fault_injection.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -16,6 +17,7 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
                 StitchDiagnostics *diagnostics)
 {
     panicIf(cluster.nodes.empty(), "empty cluster in stitch codegen");
+    faultPoint("codegen");
 
     // ---- Steps 1-2: dominants, groups, schedules. ----
     DominantAnalysis analysis =
@@ -295,8 +297,11 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
         DiagnosticEngine engine;
         sanitizeCompiledCluster(graph, compiled, spec, engine);
         if (options.strict && engine.hasErrors()) {
-            fatal("stitch sanitizer found hazards:\n",
-                  engine.renderText());
+            // A policy rejection, not a user error: the fallback ladder
+            // recompiles the cluster less aggressively instead of dying.
+            throw SanitizerPolicyError(
+                strCat("stitch sanitizer found hazards:\n",
+                       engine.renderText()));
         }
         if (!engine.empty())
             warn("stitch sanitizer:\n", engine.renderText());

@@ -141,4 +141,21 @@ DynamicSession::diagnostics()
     return merged;
 }
 
+DegradationReport
+DynamicSession::degradation()
+{
+    waitForWarmups();
+    std::vector<BucketFuture> futures;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        futures.reserve(buckets_.size());
+        for (const auto &[key, future] : buckets_)
+            futures.push_back(future);
+    }
+    DegradationReport merged;
+    for (const BucketFuture &future : futures)
+        merged.merge(future.get()->session->degradation());
+    return merged;
+}
+
 } // namespace astitch

@@ -88,6 +88,10 @@ class DynamicSession
      * in-flight warmups). */
     DiagnosticEngine diagnostics();
 
+    /** Fallback-ladder state merged across every compiled bucket
+     * (waits for in-flight warmups). */
+    DegradationReport degradation();
+
   private:
     struct Bucket
     {

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "support/fault_injection.h"
 #include "support/strings.h"
 
 namespace astitch {
@@ -146,6 +147,10 @@ JitCache::getOrCompile(const std::string &key,
     try {
         entry =
             std::make_shared<const JitCacheEntry>(compile_fn());
+        // A publish failure is recoverable: the session catches it and
+        // recompiles with the cache bypassed, so a flaky cache backend
+        // degrades sharing, not correctness.
+        faultPoint("cache-publish");
     } catch (...) {
         {
             std::lock_guard<std::mutex> lock(mutex_);

@@ -30,6 +30,7 @@
 #include "analysis/diagnostics.h"
 #include "compiler/clustering.h"
 #include "compiler/kernel_plan.h"
+#include "runtime/degradation.h"
 #include "sim/gpu_spec.h"
 
 namespace astitch {
@@ -46,6 +47,14 @@ struct JitCacheEntry
     /** Per-cluster analysis findings, parallel to `clusters`; sessions
      * re-apply their own strictness policy over these on every hit. */
     std::vector<DiagnosticEngine> cluster_diagnostics;
+
+    /**
+     * How far down the fallback ladder this compilation degraded (only
+     * compilation-scoped fields are meaningful here). Sessions consult
+     * it on every hit so a degraded entry is reported as degraded — and
+     * recompiled rather than silently served as full-stitch.
+     */
+    DegradationReport degradation;
 };
 
 /** Thread-safe LRU cache of compiled graphs. */

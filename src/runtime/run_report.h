@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/degradation.h"
 #include "sim/perf_counters.h"
 #include "sim/timeline.h"
 #include "tensor/tensor.h"
@@ -36,6 +37,10 @@ struct RunReport
 
     /** Memory-intensive clusters after (optional) remote stitching. */
     int num_clusters = 0;
+
+    /** Fallback-ladder state of the compilation this run executed
+     * (degraded() == false for a clean compile). */
+    DegradationReport degradation;
 
     /** Kernel count of memory-intensive ops (Table 3 "MEM"). */
     int memKernelCount() const;

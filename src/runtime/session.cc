@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <optional>
 
 #include "analysis/analyzer.h"
 #include "compiler/clustering.h"
 #include "compiler/plan_executor.h"
 #include "opt/passes.h"
+#include "runtime/fallback_ladder.h"
 #include "runtime/jit_cache.h"
 #include "sim/kernel_sim.h"
+#include "support/fault_injection.h"
 #include "support/logging.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
@@ -39,17 +42,13 @@ Session::compile()
     }
     const Graph &graph = activeGraph();
 
-    if (options_.use_jit_cache) {
-        // getOrCompile dedupes concurrent sessions compiling the same
-        // key: one compiles, the rest share the published entry.
-        const std::string cache_key =
-            JitCache::makeKey(graph, backend_->name(), options_.spec);
-        commitEntry(JitCache::global().getOrCompile(
-            cache_key, [&] { return compileAllClusters(graph); }));
-    } else {
-        commitEntry(std::make_shared<const JitCacheEntry>(
-            compileAllClusters(graph)));
-    }
+    // Install this session's fault plan (test/CI facility) for the
+    // duration of the compile.
+    std::optional<FaultScope> fault_scope;
+    if (!options_.fault_plan.empty())
+        fault_scope.emplace(FaultPlan::parse(options_.fault_plan));
+
+    compileEntry(graph);
     const std::vector<Cluster> &clusters = entry_->clusters;
 
     // ---- Unit scheduling: clusters + compute-intensive nodes. ----
@@ -143,40 +142,229 @@ Session::diagnostics()
     return diagnostics_;
 }
 
+const DegradationReport &
+Session::degradation()
+{
+    compile();
+    return degradation_;
+}
+
 JitCacheEntry
 Session::compileAllClusters(const Graph &graph) const
 {
+    const LadderPolicy policy{options_.fail_fast,
+                              options_.max_transient_retries};
     JitCacheEntry entry;
-    entry.clusters = findMemoryIntensiveClusters(graph);
-    if (backend_->wantsRemoteStitching()) {
-        entry.clusters = remoteStitch(graph, std::move(entry.clusters),
-                                      options_.max_cluster_nodes);
-    }
-    const std::size_t n = entry.clusters.size();
-    entry.compiled.resize(n);
-    entry.cluster_diagnostics.resize(n);
 
-    // Every cluster compiles and analyzes independently — the
-    // embarrassingly-parallel half of the pipeline. Results land in
-    // pre-sized slots, so the only cross-thread state is the read-only
-    // graph/backend/spec; parallelFor rethrows the lowest-index failure,
-    // matching what a serial loop would hit first.
+    // ---- Clustering, with containment. ----
+    for (int retries = options_.max_transient_retries;;) {
+        try {
+            entry.clusters = findMemoryIntensiveClusters(graph);
+            if (backend_->wantsRemoteStitching()) {
+                entry.clusters =
+                    remoteStitch(graph, std::move(entry.clusters),
+                                 options_.max_cluster_nodes);
+            }
+            break;
+        } catch (const TransientFault &) {
+            if (options_.fail_fast)
+                throw;
+            if (retries-- > 0) {
+                ++entry.degradation.session_retries;
+                continue;
+            }
+        } catch (const std::exception &) {
+            if (options_.fail_fast)
+                throw;
+        }
+        // Last resort: one singleton cluster per memory-intensive node.
+        // Shielded so a fault cannot chase the recovery path itself.
+        FaultShield shield;
+        entry.clusters = fallbackSingletonClusters(graph);
+        entry.degradation.clustering_fallback = true;
+        break;
+    }
+
+    const std::size_t n = entry.clusters.size();
     const AnalysisOptions analysis{
         options_.validate_plans || options_.analyze_plans,
         options_.analyze_plans, SanitizerOptions{}};
     const bool analyze = analysis.consistency || analysis.sanitize;
-    parallelFor(resolveCompileThreads(options_.compile_threads), n,
-                [&](std::size_t i) {
-                    entry.compiled[i] = backend_->compileCluster(
-                        graph, entry.clusters[i], options_.spec);
-                    if (analyze) {
-                        analyzeCompiledCluster(
-                            graph, entry.clusters[i], entry.compiled[i],
-                            options_.spec, entry.cluster_diagnostics[i],
-                            analysis);
-                    }
-                });
+
+    // Every cluster compiles and analyzes independently — the
+    // embarrassingly-parallel half of the pipeline. Results land in
+    // pre-sized slots, so the only cross-thread state is the read-only
+    // graph/backend/spec. The ladder contains each cluster's failures
+    // inside its own body, so (fail_fast aside) nothing propagates
+    // through parallelFor except faults of the task layer itself.
+    auto compileOne = [&](std::size_t i) {
+        LadderOutcome outcome = compileClusterWithLadder(
+            graph, entry.clusters[i], options_.spec, *backend_, policy);
+        DiagnosticEngine &engine = entry.cluster_diagnostics[i];
+        if (analyze) {
+            try {
+                analyzeCompiledCluster(graph, entry.clusters[i],
+                                       outcome.compiled, options_.spec,
+                                       engine, analysis);
+            } catch (const std::exception &e) {
+                if (options_.fail_fast)
+                    throw;
+                // Analysis itself crashed on the plan: drop to the
+                // terminal rung, whose single-op kernels the analyses
+                // trivially accept.
+                outcome.degradation.causes.push_back(
+                    strCat(ladderLevelName(outcome.degradation.level),
+                           ": analysis failed: ", e.what()));
+                outcome.degradation.level = LadderLevel::KernelPerOp;
+                FaultShield shield;
+                outcome.compiled = compileClusterKernelPerOp(
+                    graph, entry.clusters[i], options_.spec);
+                engine.clear();
+                analyzeCompiledCluster(graph, entry.clusters[i],
+                                       outcome.compiled, options_.spec,
+                                       engine, analysis);
+            }
+        }
+        if (outcome.degradation.level != LadderLevel::FullStitch) {
+            engine.report(
+                "AS601", "<cluster>",
+                strCat("compiled at ",
+                       ladderLevelName(outcome.degradation.level),
+                       " after ", outcome.degradation.causes.size(),
+                       " demotion(s): ",
+                       strJoin(outcome.degradation.causes, "; ")));
+        }
+        if (outcome.degradation.retries > 0) {
+            engine.report("AS602", "<cluster>",
+                          strCat(outcome.degradation.retries,
+                                 " transient-fault retr",
+                                 outcome.degradation.retries == 1
+                                     ? "y"
+                                     : "ies",
+                                 " absorbed"));
+        }
+        entry.compiled[i] = std::move(outcome.compiled);
+        entry.degradation.clusters[i] = std::move(outcome.degradation);
+    };
+
+    auto resetSlots = [&] {
+        entry.compiled.assign(n, CompiledCluster{});
+        entry.cluster_diagnostics.assign(n, DiagnosticEngine{});
+        entry.degradation.clusters.assign(n, ClusterDegradation{});
+    };
+    resetSlots();
+
+    const int threads = resolveCompileThreads(options_.compile_threads);
+    for (int retries = options_.max_transient_retries;;) {
+        try {
+            parallelFor(threads, n, compileOne);
+            break;
+        } catch (const TransientFault &) {
+            if (options_.fail_fast)
+                throw;
+            if (retries-- > 0) {
+                ++entry.degradation.session_retries;
+                resetSlots();
+                continue;
+            }
+        } catch (const std::exception &) {
+            if (options_.fail_fast)
+                throw;
+        }
+        // The pooled path failed even though every cluster body is
+        // contained: the task layer itself is faulty. The serial path
+        // has no pooled tasks, so it bypasses that layer entirely.
+        resetSlots();
+        entry.degradation.serial_fallback = true;
+        parallelFor(1, n, compileOne);
+        break;
+    }
     return entry;
+}
+
+void
+Session::compileEntry(const Graph &graph)
+{
+    if (!options_.use_jit_cache) {
+        commitEntry(std::make_shared<const JitCacheEntry>(
+            compileAllClusters(graph)));
+        return;
+    }
+
+    // getOrCompile dedupes concurrent sessions compiling the same key:
+    // one compiles, the rest share the published entry.
+    const std::string cache_key =
+        JitCache::makeKey(graph, backend_->name(), options_.spec);
+    bool compiled_here = false;
+    const auto compile_fn = [&] {
+        compiled_here = true;
+        return compileAllClusters(graph);
+    };
+
+    std::shared_ptr<const JitCacheEntry> entry;
+    bool cache_bypassed = false;
+    int publish_retries = 0;
+    for (int retries = options_.max_transient_retries;;) {
+        compiled_here = false;
+        try {
+            entry = JitCache::global().getOrCompile(cache_key, compile_fn);
+            break;
+        } catch (const TransientFault &) {
+            if (options_.fail_fast)
+                throw;
+            if (retries-- > 0) {
+                ++publish_retries;
+                continue;
+            }
+        } catch (const InjectedFault &) {
+            if (options_.fail_fast)
+                throw;
+        }
+        // With containment on, getOrCompile only throws from the
+        // cache-publish boundary — cluster and clustering failures are
+        // absorbed inside compile_fn. Losing the cache loses sharing,
+        // not correctness: recompile with the cache bypassed.
+        compiled_here = true;
+        entry = std::make_shared<const JitCacheEntry>(
+            compileAllClusters(graph));
+        cache_bypassed = true;
+        break;
+    }
+
+    // Never serve a degraded cached entry as-is: recompile now (the
+    // fault may have cleared) and republish when strictly better, so
+    // the cache heals instead of pinning the degradation forever.
+    bool degraded_hit = false;
+    bool republished = false;
+    if (!compiled_here && entry->degradation.degraded()) {
+        degraded_hit = true;
+        auto fresh = std::make_shared<const JitCacheEntry>(
+            compileAllClusters(graph));
+        if (!fresh->degradation.degraded() ||
+            fresh->degradation.maxLevel() <
+                entry->degradation.maxLevel()) {
+            JitCache::global().insert(cache_key, fresh);
+            republished = true;
+        }
+        entry = std::move(fresh);
+    }
+
+    commitEntry(std::move(entry));
+
+    degradation_.cache_bypassed |= cache_bypassed;
+    degradation_.session_retries += publish_retries;
+    if (cache_bypassed) {
+        diagnostics_.report("AS605", "<graph>",
+                            "publishing to the JIT cache failed; "
+                            "compilation is not shared across sessions");
+    }
+    if (degraded_hit) {
+        diagnostics_.report(
+            "AS606", "<graph>",
+            strCat("JIT cache held a degraded entry; recompiled",
+                   republished ? " and republished an upgrade"
+                               : " (still degraded, cache unchanged)"));
+    }
 }
 
 void
@@ -184,6 +372,18 @@ Session::commitEntry(std::shared_ptr<const JitCacheEntry> entry)
 {
     entry_ = std::move(entry);
     diagnostics_.clear();
+    degradation_ = entry_->degradation;
+    if (degradation_.clustering_fallback) {
+        diagnostics_.report("AS603", "<graph>",
+                            "cluster identification failed; compiled "
+                            "one singleton cluster per "
+                            "memory-intensive op");
+    }
+    if (degradation_.serial_fallback) {
+        diagnostics_.report("AS604", "<graph>",
+                            "parallel compilation failed at the task "
+                            "layer; recompiled serially");
+    }
     for (const DiagnosticEngine &engine : entry_->cluster_diagnostics) {
         diagnostics_.merge(engine);
 
@@ -288,6 +488,7 @@ Session::execute(const TensorMap *feeds)
     report.backend_name = backend_->name();
     report.compile_ms = compile_ms_;
     report.num_clusters = static_cast<int>(entry_->clusters.size());
+    report.degradation = degradation_;
     report.counters = sim.takeCounters();
     report.breakdown = breakdownOf(report.counters);
     report.end_to_end_us = report.counters.endToEndUs();

@@ -17,6 +17,7 @@
 #include "analysis/diagnostics.h"
 #include "compiler/backend.h"
 #include "compiler/evaluator.h"
+#include "runtime/degradation.h"
 #include "runtime/jit_cache.h"
 #include "runtime/run_report.h"
 
@@ -63,6 +64,26 @@ struct SessionOptions
      * serial (no pool).
      */
     int compile_threads = 0;
+
+    /**
+     * Disable fault containment: the first compilation failure rethrows
+     * to the caller (the pre-ladder behaviour). With containment on
+     * (the default), a failing cluster demotes down the fallback ladder
+     * — Local-only stitching, then loop fusion, then kernel-per-op —
+     * and the compile succeeds degraded; see Session::degradation().
+     */
+    bool fail_fast = false;
+
+    /**
+     * Fault-injection plan installed for the duration of this session's
+     * compile ($ASTITCH_FAULT syntax, see support/fault_injection.h).
+     * A test/CI facility; empty (the default) injects nothing.
+     */
+    std::string fault_plan;
+
+    /** Same-rung retries the recovery paths grant a transient fault
+     * before treating it as permanent and demoting. */
+    int max_transient_retries = 2;
 };
 
 /** Compile-once, run-many execution session. */
@@ -100,15 +121,26 @@ class Session
     /** Analysis findings accumulated while compiling (compiles first). */
     const DiagnosticEngine &diagnostics();
 
+    /** How far compilation degraded down the fallback ladder — clean
+     * (degraded() == false) unless containment kicked in. Compiles
+     * first. */
+    const DegradationReport &degradation();
+
   private:
     RunReport execute(const TensorMap *feeds);
 
     /** Cluster + compile + analyze the whole graph: the parallel
-     * section. Pure with respect to session state. */
+     * section, with per-cluster fallback-ladder containment. Pure with
+     * respect to session state; degradation lands in the entry. */
     JitCacheEntry compileAllClusters(const Graph &graph) const;
 
-    /** Adopt an entry: merge diagnostics in cluster order and apply
-     * this session's validation/strictness policy. */
+    /** Obtain the entry through the JIT cache / fallback ladder and
+     * record session-scope recoveries (cache bypass, retries). */
+    void compileEntry(const Graph &graph);
+
+    /** Adopt an entry: merge diagnostics in cluster order, emit the
+     * AS6xx degradation findings, and apply this session's
+     * validation/strictness policy. */
     void commitEntry(std::shared_ptr<const JitCacheEntry> entry);
 
     /** Map original-graph feeds onto the active graph's parameters. */
@@ -125,6 +157,8 @@ class Session
      * other sessions through the JIT cache (never copied out of it). */
     std::shared_ptr<const JitCacheEntry> entry_;
     DiagnosticEngine diagnostics_;
+    /** entry_->degradation plus session-scope recovery flags. */
+    DegradationReport degradation_;
 
     /** Execution order of units: cluster index (>= 0) or ~node for
      * library/compute nodes (< 0). */

@@ -1,0 +1,321 @@
+#include "support/fault_injection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+InjectedFault::InjectedFault(std::string site, bool transient,
+                             const std::string &message)
+    : std::runtime_error(message), site_(std::move(site)),
+      transient_(transient)
+{
+}
+
+const std::vector<FaultSite> &
+faultSites()
+{
+    // clang-format off
+    static const std::vector<FaultSite> sites = {
+        {"backend-compile", "backend compile",
+         "the configured backend's per-cluster compilation entry "
+         "(fallback-ladder level 0)"},
+        {"cache-publish", "cache publish",
+         "publishing a finished compilation into the JIT cache"},
+        {"clustering", "clustering",
+         "memory-intensive cluster identification + remote stitching"},
+        {"codegen", "stitch codegen",
+         "stitched kernel-plan emission"},
+        {"dominant-analysis", "dominant analysis",
+         "dominant identification and group formation"},
+        {"ladder-local-only", "fallback ladder",
+         "the ladder's Local-only (stitching without Regional/Global "
+         "schemes) recompile attempt (level 1)"},
+        {"ladder-loop-fusion", "fallback ladder",
+         "the ladder's loop-fusion-only recompile attempt (level 2)"},
+        {"launch-config", "launch config",
+         "resource-aware launch configuration (assume-relax-apply)"},
+        {"memory-planner", "memory planning",
+         "shared-memory arena planning and scheme demotion"},
+        {"schedule-propagation", "schedule propagation",
+         "adaptive thread mapping + schedule propagation"},
+        {"thread-pool-task", "thread pool",
+         "a pooled per-cluster compile task (parallel pipeline only)"},
+    };
+    // clang-format on
+    return sites;
+}
+
+const FaultSite *
+findFaultSite(const std::string &name)
+{
+    for (const FaultSite &site : faultSites()) {
+        if (name == site.name)
+            return &site;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** splitmix64: the deterministic per-hit probability gate. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+/** One parsed spec plus its (shared, thread-safe) hit counter. */
+struct FaultPlan::State
+{
+    struct Spec
+    {
+        std::string site;
+        int count = -1; ///< >= 1: transient, first N hits; -1: permanent
+        double probability = 1.0;
+        std::uint64_t seed = 0x5eed;
+        std::atomic<std::int64_t> hits{0};
+    };
+
+    // deque would also work; unique_ptr keeps the atomics pinned.
+    std::vector<std::unique_ptr<Spec>> specs;
+};
+
+FaultPlan
+FaultPlan::parse(const std::string &text)
+{
+    FaultPlan plan;
+    if (text.empty())
+        return plan;
+    plan.state_ = std::make_shared<State>();
+
+    for (const std::string &token : strSplit(text, ',')) {
+        if (token.empty())
+            continue;
+        auto spec = std::make_unique<State::Spec>();
+        // name[:count][~probability][@seed] — suffixes in any order.
+        std::size_t end = token.find_first_of(":~@");
+        spec->site = token.substr(0, end);
+        fatalIf(spec->site.empty(), "fault spec '", token,
+                "' has no site name");
+        fatalIf(findFaultSite(spec->site) == nullptr,
+                "unknown fault-injection site '", spec->site,
+                "' (see `astitch-cli fault-sites`)");
+        while (end != std::string::npos && end < token.size()) {
+            const char kind = token[end];
+            std::size_t next = token.find_first_of(":~@", end + 1);
+            const std::string value =
+                token.substr(end + 1, next == std::string::npos
+                                          ? std::string::npos
+                                          : next - end - 1);
+            try {
+                if (kind == ':') {
+                    spec->count = std::stoi(value);
+                    fatalIf(spec->count < 1, "fault count must be >= 1 ",
+                            "in '", token, "'");
+                } else if (kind == '~') {
+                    spec->probability = std::stod(value);
+                    fatalIf(spec->probability <= 0.0 ||
+                                spec->probability > 1.0,
+                            "fault probability must be in (0, 1] in '",
+                            token, "'");
+                } else {
+                    spec->seed = std::stoull(value);
+                }
+            } catch (const FatalError &) {
+                throw;
+            } catch (const std::exception &) {
+                fatal("unparsable fault spec '", token, "'");
+            }
+            end = next;
+        }
+        plan.state_->specs.push_back(std::move(spec));
+    }
+    if (plan.state_->specs.empty())
+        plan.state_.reset();
+    return plan;
+}
+
+bool
+FaultPlan::empty() const
+{
+    return !state_ || state_->specs.empty();
+}
+
+void
+FaultPlan::check(const char *site) const
+{
+    if (!state_)
+        return;
+    for (const auto &spec : state_->specs) {
+        if (spec->site != site)
+            continue;
+        const std::int64_t hit =
+            spec->hits.fetch_add(1, std::memory_order_relaxed);
+        if (spec->count >= 0 && hit >= spec->count)
+            continue; // transient fault exhausted: the retry succeeds
+        if (spec->probability < 1.0) {
+            const std::uint64_t draw = splitmix64(
+                spec->seed ^ static_cast<std::uint64_t>(hit + 1));
+            const double unit =
+                static_cast<double>(draw >> 11) * 0x1.0p-53;
+            if (unit >= spec->probability)
+                continue;
+        }
+        const std::string message =
+            strCat("injected ", spec->count >= 0 ? "transient" : "permanent",
+                   " fault at ", site, " (hit ", hit + 1, ")");
+        if (spec->count >= 0)
+            throw TransientFault(spec->site, message);
+        throw PermanentFault(spec->site, message);
+    }
+}
+
+std::string
+FaultPlan::summary() const
+{
+    if (empty())
+        return "<no faults>";
+    std::string out;
+    for (const auto &spec : state_->specs) {
+        if (!out.empty())
+            out += ",";
+        out += spec->site;
+        if (spec->count >= 0)
+            out += strCat(":", spec->count);
+        if (spec->probability < 1.0)
+            out += strCat("~", spec->probability);
+    }
+    return out;
+}
+
+namespace {
+
+struct ActivePlans
+{
+    std::mutex mutex;
+    std::uint64_t next_token = 1;
+    std::vector<std::pair<std::uint64_t, FaultPlan>> scopes;
+    bool env_parsed = false;
+    FaultPlan env_plan;
+};
+
+ActivePlans &
+activePlans()
+{
+    static ActivePlans plans;
+    return plans;
+}
+
+/** Count of active non-empty plans: the injection fast path. */
+std::atomic<int> g_active{0};
+
+/** Set once $ASTITCH_FAULT has been inspected. */
+std::atomic<bool> g_env_checked{false};
+
+thread_local int t_shield_depth = 0;
+
+void
+parseEnvPlanOnce()
+{
+    ActivePlans &plans = activePlans();
+    std::lock_guard<std::mutex> lock(plans.mutex);
+    if (plans.env_parsed)
+        return;
+    plans.env_parsed = true;
+    const char *env = std::getenv("ASTITCH_FAULT");
+    if (env && *env) {
+        plans.env_plan = FaultPlan::parse(env);
+        if (!plans.env_plan.empty()) {
+            warn("fault injection active: ASTITCH_FAULT=",
+                 plans.env_plan.summary());
+            g_active.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    g_env_checked.store(true, std::memory_order_release);
+}
+
+} // namespace
+
+FaultScope::FaultScope(FaultPlan plan)
+{
+    if (plan.empty())
+        return;
+    ActivePlans &plans = activePlans();
+    std::lock_guard<std::mutex> lock(plans.mutex);
+    token_ = plans.next_token++;
+    plans.scopes.emplace_back(token_, std::move(plan));
+    g_active.fetch_add(1, std::memory_order_relaxed);
+}
+
+FaultScope::~FaultScope()
+{
+    if (token_ == 0)
+        return;
+    ActivePlans &plans = activePlans();
+    std::lock_guard<std::mutex> lock(plans.mutex);
+    for (auto it = plans.scopes.begin(); it != plans.scopes.end(); ++it) {
+        if (it->first == token_) {
+            plans.scopes.erase(it);
+            g_active.fetch_sub(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+FaultShield::FaultShield()
+{
+    ++t_shield_depth;
+}
+
+FaultShield::~FaultShield()
+{
+    --t_shield_depth;
+}
+
+bool
+faultInjectionIdle()
+{
+    if (!g_env_checked.load(std::memory_order_acquire))
+        parseEnvPlanOnce();
+    return g_active.load(std::memory_order_relaxed) == 0;
+}
+
+void
+faultPoint(const char *site)
+{
+    if (!g_env_checked.load(std::memory_order_acquire))
+        parseEnvPlanOnce();
+    if (g_active.load(std::memory_order_relaxed) == 0)
+        return;
+    if (t_shield_depth > 0)
+        return;
+    panicIf(findFaultSite(site) == nullptr,
+            "faultPoint() on unregistered site '", site, "'");
+
+    // Snapshot the active plans, then fire outside the lock (check()
+    // throws; shared State keeps hit counters alive and thread-safe).
+    std::vector<FaultPlan> active;
+    {
+        ActivePlans &plans = activePlans();
+        std::lock_guard<std::mutex> lock(plans.mutex);
+        for (const auto &[token, plan] : plans.scopes)
+            active.push_back(plan);
+        if (!plans.env_plan.empty())
+            active.push_back(plans.env_plan);
+    }
+    for (const FaultPlan &plan : active)
+        plan.check(site);
+}
+
+} // namespace astitch

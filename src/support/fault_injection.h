@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deterministic fault injection for the compilation pipeline.
+ *
+ * Production JITs must degrade, not die: every error path in the
+ * compiler needs a standing proof that it is survivable. This subsystem
+ * plants *named injection points* at every compile-phase boundary
+ * (clustering, dominant analysis, schedule propagation, memory
+ * planning, launch configuration, codegen, backend compile, the
+ * fallback-ladder attempts, cache publish, pooled compile tasks). A
+ * fault plan — parsed from $ASTITCH_FAULT or installed programmatically
+ * through SessionOptions::fault_plan — makes selected points throw
+ * typed transient or permanent faults on demand, seed-deterministically,
+ * so tests and CI can iterate every registered site and assert the
+ * fallback ladder absorbs it.
+ *
+ * Plan syntax (comma-separated specs):
+ *
+ *   site             fire a PermanentFault on every hit
+ *   site:count       fire a TransientFault on the first `count` hits
+ *   site~p           gate each would-fire hit with probability p,
+ *                    decided deterministically from the seed + hit index
+ *   site@seed        seed for the probability gate (default 0x5eed)
+ *
+ * e.g. ASTITCH_FAULT=memory-planner:2,codegen~0.5@42
+ *
+ * With no plan active the injection points are a single relaxed atomic
+ * load — the registry costs nothing on the happy path.
+ */
+#ifndef ASTITCH_SUPPORT_FAULT_INJECTION_H
+#define ASTITCH_SUPPORT_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace astitch {
+
+/** Base of all injected faults (never thrown by real error paths). */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    InjectedFault(std::string site, bool transient,
+                  const std::string &message);
+
+    /** The injection-point name that fired. */
+    const std::string &site() const { return site_; }
+
+    /** Whether a bounded retry of the same operation may succeed. */
+    bool transient() const { return transient_; }
+
+  private:
+    std::string site_;
+    bool transient_;
+};
+
+/** A fault that clears after a bounded number of hits (retry succeeds). */
+class TransientFault : public InjectedFault
+{
+  public:
+    TransientFault(const std::string &site, const std::string &message)
+        : InjectedFault(site, true, message)
+    {
+    }
+};
+
+/** A fault that fires on every hit (retry never succeeds). */
+class PermanentFault : public InjectedFault
+{
+  public:
+    PermanentFault(const std::string &site, const std::string &message)
+        : InjectedFault(site, false, message)
+    {
+    }
+};
+
+/** One registered injection point. */
+struct FaultSite
+{
+    const char *name;        ///< stable spec name ("memory-planner")
+    const char *phase;       ///< compile phase it interrupts
+    const char *description; ///< what failing here exercises
+};
+
+/** The full site registry (sorted by name; new sites register here). */
+const std::vector<FaultSite> &faultSites();
+
+/** Look up a site by name; nullptr when unregistered. */
+const FaultSite *findFaultSite(const std::string &name);
+
+/** A parsed set of fault specs; copies share one hit-counter state. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Parse the $ASTITCH_FAULT syntax described above. fatal()s on
+     * malformed specs or unregistered site names.
+     */
+    static FaultPlan parse(const std::string &text);
+
+    bool empty() const;
+
+    /**
+     * Count this hit of @p site against the plan and throw the
+     * configured TransientFault/PermanentFault when it fires.
+     */
+    void check(const char *site) const;
+
+    /** Human-readable one-line description of the active specs. */
+    std::string summary() const;
+
+  private:
+    struct State;
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Install @p plan process-wide for the lifetime of the scope. Scopes
+ * stack: every active plan is consulted at each injection point, and a
+ * scope removes exactly the plan it installed on destruction (safe
+ * under out-of-order destruction from concurrent sessions). Fault plans
+ * are a test/CI facility — concurrent scopes see each other's faults.
+ */
+class FaultScope
+{
+  public:
+    explicit FaultScope(FaultPlan plan);
+    ~FaultScope();
+
+    FaultScope(const FaultScope &) = delete;
+    FaultScope &operator=(const FaultScope &) = delete;
+
+  private:
+    std::uint64_t token_ = 0;
+};
+
+/**
+ * Suppress every injection point on the current thread. The fallback
+ * ladder's must-always-succeed baseline paths (kernel-per-op compile,
+ * singleton clustering) run under a shield so a permanent fault cannot
+ * chase the recovery path itself.
+ */
+class FaultShield
+{
+  public:
+    FaultShield();
+    ~FaultShield();
+
+    FaultShield(const FaultShield &) = delete;
+    FaultShield &operator=(const FaultShield &) = delete;
+};
+
+/** True when no fault plan (env or scope) is active. */
+bool faultInjectionIdle();
+
+/**
+ * The injection point. @p site must be a registered FaultSite name
+ * (panics otherwise — sites must register before planting). A single
+ * relaxed atomic load when no plan is active.
+ */
+void faultPoint(const char *site);
+
+} // namespace astitch
+
+#endif // ASTITCH_SUPPORT_FAULT_INJECTION_H

@@ -5,6 +5,7 @@
 #include <exception>
 #include <string>
 
+#include "support/fault_injection.h"
 #include "support/logging.h"
 
 namespace astitch {
@@ -132,6 +133,10 @@ parallelFor(ThreadPool &pool, std::size_t n,
         if (i >= n)
             return false;
         try {
+            // Pooled path only: the serial loops above never pass here,
+            // so a permanent "thread-pool-task" fault is recoverable by
+            // recompiling with threads == 1.
+            faultPoint("thread-pool-task");
             body(i);
         } catch (...) {
             state.errors[i] = std::current_exception();

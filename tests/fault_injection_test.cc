@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests of the deterministic fault-injection subsystem: plan
+ * parsing, transient/permanent firing semantics, scope stacking, the
+ * thread-local shield and the idle fast path.
+ */
+#include <gtest/gtest.h>
+
+#include "support/fault_injection.h"
+#include "support/logging.h"
+
+namespace astitch {
+namespace {
+
+TEST(FaultInjection, RegistryIsSortedAndLookupWorks)
+{
+    const auto &sites = faultSites();
+    ASSERT_FALSE(sites.empty());
+    for (std::size_t i = 1; i < sites.size(); ++i)
+        EXPECT_LT(std::string(sites[i - 1].name), sites[i].name);
+    for (const FaultSite &site : sites) {
+        const FaultSite *found = findFaultSite(site.name);
+        ASSERT_NE(found, nullptr);
+        EXPECT_STREQ(found->name, site.name);
+    }
+    EXPECT_EQ(findFaultSite("no-such-site"), nullptr);
+}
+
+TEST(FaultInjection, EmptyAndBlankPlansAreEmpty)
+{
+    EXPECT_TRUE(FaultPlan().empty());
+    EXPECT_TRUE(FaultPlan::parse("").empty());
+    EXPECT_TRUE(FaultPlan::parse(",,").empty());
+}
+
+TEST(FaultInjection, ParseRejectsUnknownSiteAndBadValues)
+{
+    EXPECT_THROW(FaultPlan::parse("no-such-site"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("codegen:0"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("codegen:-1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("codegen~0"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("codegen~1.5"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("codegen:abc"), FatalError);
+    EXPECT_THROW(FaultPlan::parse(":3"), FatalError);
+}
+
+TEST(FaultInjection, PermanentFiresOnEveryHit)
+{
+    const FaultPlan plan = FaultPlan::parse("codegen");
+    for (int i = 0; i < 3; ++i) {
+        try {
+            plan.check("codegen");
+            FAIL() << "expected a PermanentFault";
+        } catch (const PermanentFault &e) {
+            EXPECT_EQ(e.site(), "codegen");
+            EXPECT_FALSE(e.transient());
+        }
+    }
+    // Other sites never fire.
+    EXPECT_NO_THROW(plan.check("memory-planner"));
+}
+
+TEST(FaultInjection, TransientClearsAfterCount)
+{
+    const FaultPlan plan = FaultPlan::parse("memory-planner:2");
+    EXPECT_THROW(plan.check("memory-planner"), TransientFault);
+    EXPECT_THROW(plan.check("memory-planner"), TransientFault);
+    EXPECT_NO_THROW(plan.check("memory-planner"));
+    EXPECT_NO_THROW(plan.check("memory-planner"));
+}
+
+TEST(FaultInjection, TransientIsAlsoAnInjectedFault)
+{
+    const FaultPlan plan = FaultPlan::parse("clustering:1");
+    try {
+        plan.check("clustering");
+        FAIL() << "expected a TransientFault";
+    } catch (const InjectedFault &e) {
+        EXPECT_TRUE(e.transient());
+        EXPECT_EQ(e.site(), "clustering");
+    }
+}
+
+TEST(FaultInjection, ProbabilityGateIsSeedDeterministic)
+{
+    // Two plans with the same seed must fire on exactly the same hits.
+    auto pattern = [](const FaultPlan &plan) {
+        std::string fired;
+        for (int i = 0; i < 64; ++i) {
+            try {
+                plan.check("codegen");
+                fired += '.';
+            } catch (const InjectedFault &) {
+                fired += 'X';
+            }
+        }
+        return fired;
+    };
+    const std::string a = pattern(FaultPlan::parse("codegen~0.5@42"));
+    const std::string b = pattern(FaultPlan::parse("codegen~0.5@42"));
+    const std::string c = pattern(FaultPlan::parse("codegen~0.5@43"));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c) << "different seeds produced an identical pattern";
+    EXPECT_NE(a.find('X'), std::string::npos);
+    EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST(FaultInjection, SummaryRoundTripsTheSpec)
+{
+    EXPECT_EQ(FaultPlan().summary(), "<no faults>");
+    EXPECT_EQ(FaultPlan::parse("codegen:2,clustering").summary(),
+              "codegen:2,clustering");
+}
+
+TEST(FaultInjection, FaultPointFiresOnlyInsideScope)
+{
+    EXPECT_NO_THROW(faultPoint("codegen"));
+    {
+        FaultScope scope(FaultPlan::parse("codegen"));
+        EXPECT_FALSE(faultInjectionIdle());
+        EXPECT_THROW(faultPoint("codegen"), PermanentFault);
+        EXPECT_NO_THROW(faultPoint("memory-planner"));
+    }
+    EXPECT_TRUE(faultInjectionIdle());
+    EXPECT_NO_THROW(faultPoint("codegen"));
+}
+
+TEST(FaultInjection, ScopesStack)
+{
+    FaultScope outer(FaultPlan::parse("codegen"));
+    {
+        FaultScope inner(FaultPlan::parse("memory-planner"));
+        EXPECT_THROW(faultPoint("codegen"), PermanentFault);
+        EXPECT_THROW(faultPoint("memory-planner"), PermanentFault);
+    }
+    EXPECT_THROW(faultPoint("codegen"), PermanentFault);
+    EXPECT_NO_THROW(faultPoint("memory-planner"));
+}
+
+TEST(FaultInjection, ShieldSuppressesInjection)
+{
+    FaultScope scope(FaultPlan::parse("codegen"));
+    {
+        FaultShield shield;
+        EXPECT_NO_THROW(faultPoint("codegen"));
+    }
+    EXPECT_THROW(faultPoint("codegen"), PermanentFault);
+}
+
+TEST(FaultInjection, UnregisteredFaultPointPanicsWhenActive)
+{
+    FaultScope scope(FaultPlan::parse("codegen"));
+    EXPECT_THROW(faultPoint("not-a-site"), PanicError);
+}
+
+TEST(FaultInjection, EmptyScopeInstallsNothing)
+{
+    FaultScope scope(FaultPlan{});
+    EXPECT_TRUE(faultInjectionIdle());
+    EXPECT_NO_THROW(faultPoint("codegen"));
+}
+
+} // namespace
+} // namespace astitch

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fault-injection sweep: every registered fault site, injected one at a
+ * time over the five paper workloads. Each case must compile without an
+ * uncaught exception, execute, match the kernel-per-op reference
+ * outputs, and report the degradation shape the site implies. The sweep
+ * iterates the live registry, so adding a fault site without
+ * categorizing it here fails the test.
+ */
+#include <gtest/gtest.h>
+
+#include "backends/tf/tf_backend.h"
+#include "core/astitch_backend.h"
+#include "runtime/jit_cache.h"
+#include "runtime/session.h"
+#include "support/fault_injection.h"
+#include "workloads/asr.h"
+#include "workloads/bert.h"
+#include "workloads/common.h"
+#include "workloads/crnn.h"
+#include "workloads/dien.h"
+#include "workloads/transformer.h"
+
+namespace astitch {
+namespace {
+
+/** Session knobs a site needs before its fault point is reachable. */
+SessionOptions
+optionsForSite(const std::string &site)
+{
+    SessionOptions options;
+    options.compile_threads = 1; // deterministic hit order
+    if (site == "thread-pool-task") {
+        options.compile_threads = 2; // serial loops never hit the site
+    } else if (site == "cache-publish") {
+        options.use_jit_cache = true;
+        JitCache::global().clear(); // force a miss so publish runs
+    }
+    return options;
+}
+
+void
+expectSameOutputs(const std::vector<Tensor> &got,
+                  const std::vector<Tensor> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_TRUE(got[i].allClose(want[i], 1e-4, 1e-5))
+            << "output " << i << " diverged from the reference";
+}
+
+/** What a permanent fault at each site must degrade. */
+void
+expectDegradationShape(const std::string &site,
+                       const DegradationReport &report)
+{
+    if (site == "clustering") {
+        EXPECT_TRUE(report.clustering_fallback);
+    } else if (site == "thread-pool-task") {
+        EXPECT_TRUE(report.serial_fallback);
+        EXPECT_EQ(report.maxLevel(), LadderLevel::FullStitch);
+    } else if (site == "cache-publish") {
+        EXPECT_TRUE(report.cache_bypassed);
+        EXPECT_EQ(report.maxLevel(), LadderLevel::FullStitch);
+    } else if (site == "ladder-local-only" ||
+               site == "ladder-loop-fusion") {
+        // Fallback rungs are dead code while rung 0 succeeds.
+        EXPECT_FALSE(report.degraded());
+    } else {
+        // Stitch-pipeline sites (backend-compile, clustering phases,
+        // codegen, planners): clusters demote down the ladder.
+        EXPECT_TRUE(report.degraded());
+        EXPECT_GE(report.maxLevel(), LadderLevel::LocalOnly);
+        EXPECT_GT(report.numDegradedClusters(), 0);
+    }
+}
+
+void
+sweepWorkload(const Graph &graph)
+{
+    const TensorMap feeds = workloads::makeRandomFeeds(graph, 7);
+    std::vector<Tensor> want;
+    {
+        Session reference(graph, std::make_unique<TfBackend>());
+        want = reference.run(feeds).outputs;
+    }
+
+    for (const FaultSite &site : faultSites()) {
+        const std::string name = site.name;
+
+        // Permanent fault: fires on every hit; the ladder must absorb
+        // it and still produce the reference outputs.
+        {
+            SCOPED_TRACE("permanent fault at " + name);
+            SessionOptions options = optionsForSite(name);
+            options.fault_plan = name;
+            Session session(graph, std::make_unique<AStitchBackend>(),
+                            options);
+            ASSERT_NO_THROW(session.compile());
+            expectDegradationShape(name, session.degradation());
+            RunReport report;
+            ASSERT_NO_THROW(report = session.run(feeds));
+            expectSameOutputs(report.outputs, want);
+        }
+
+        // Single transient fault: the recovery paths retry in place, so
+        // nothing may demote below full stitch.
+        {
+            SCOPED_TRACE("transient fault at " + name);
+            SessionOptions options = optionsForSite(name);
+            options.fault_plan = name + ":1";
+            Session session(graph, std::make_unique<AStitchBackend>(),
+                            options);
+            ASSERT_NO_THROW(session.compile());
+            EXPECT_EQ(session.degradation().maxLevel(),
+                      LadderLevel::FullStitch);
+            EXPECT_FALSE(session.degradation().clustering_fallback);
+            RunReport report;
+            ASSERT_NO_THROW(report = session.run(feeds));
+            expectSameOutputs(report.outputs, want);
+        }
+    }
+    JitCache::global().clear();
+}
+
+TEST(FaultSweep, Bert)
+{
+    sweepWorkload(workloads::buildBert(workloads::BertConfig::tiny()));
+}
+
+TEST(FaultSweep, Transformer)
+{
+    sweepWorkload(
+        workloads::buildTransformer(workloads::TransformerConfig::tiny()));
+}
+
+TEST(FaultSweep, Dien)
+{
+    sweepWorkload(workloads::buildDien(workloads::DienConfig::tiny()));
+}
+
+TEST(FaultSweep, Asr)
+{
+    sweepWorkload(workloads::buildAsr(workloads::AsrConfig::tiny()));
+}
+
+TEST(FaultSweep, Crnn)
+{
+    sweepWorkload(workloads::buildCrnn(workloads::CrnnConfig::tiny()));
+}
+
+} // namespace
+} // namespace astitch

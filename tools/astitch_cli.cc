@@ -19,13 +19,23 @@
  *   astitch-cli analyze --model BERT [--format text|json|sarif]
  *       Run the plan analysis subsystem (AS0xx consistency + stitch
  *       sanitizer) over every compiled cluster; exit 1 on errors.
+ *   astitch-cli fault-sites [--names]
+ *       List the registered fault-injection sites.
  *
  * profile also accepts --analyze[=json|sarif] to append the analysis
  * findings to the report.
  *
  * Compiling commands (profile, compare, trace, analyze) accept
  * --compile-threads N to fan per-cluster JIT compilation across N
- * threads (0 = $ASTITCH_COMPILE_THREADS, then hardware concurrency).
+ * threads (0 = $ASTITCH_COMPILE_THREADS, then hardware concurrency),
+ * --fault PLAN to inject compile-phase faults ($ASTITCH_FAULT syntax)
+ * and --fail-fast to disable the fallback ladder (the first compile
+ * failure aborts, as before fault containment existed).
+ *
+ * Exit codes: 0 success — including a degraded-but-successful compile,
+ * which prints its degradation report on stderr; 1 analysis errors or
+ * unclassified failures; 2 user error (FatalError); 3 internal error
+ * (PanicError).
  */
 #include <cstdio>
 #include <cstring>
@@ -43,6 +53,7 @@
 #include "core/cuda_emitter.h"
 #include "graph/dot_export.h"
 #include "runtime/session.h"
+#include "support/fault_injection.h"
 #include "support/logging.h"
 #include "sim/trace_export.h"
 #include "workloads/common.h"
@@ -159,7 +170,24 @@ makeSessionOptions(const Args &args)
         fatal("invalid --compile-threads '", threads, "'");
     }
     fatalIf(options.compile_threads < 0, "--compile-threads must be >= 0");
+    options.fail_fast = args.has("fail-fast");
+    options.fault_plan = args.get("fault", "");
     return options;
+}
+
+/** A degraded-but-successful compile still exits 0, but announces
+ * itself on stderr with the full degradation report. */
+void
+warnIfDegraded(Session &session)
+{
+    const DegradationReport &report = session.degradation();
+    if (!report.degraded())
+        return;
+    std::fprintf(stderr,
+                 "warning: compilation degraded down the fallback "
+                 "ladder (max level: %s)\n%s",
+                 ladderLevelName(report.maxLevel()),
+                 report.renderText().c_str());
 }
 
 Graph
@@ -208,6 +236,7 @@ cmdProfile(const Args &args)
     Session session(graph, makeBackend(args.get("backend", "astitch")),
                     options);
     const RunReport report = session.profile();
+    warnIfDegraded(session);
     std::printf("%s on %s\n%s\n", graph.name().c_str(),
                 options.spec.name.c_str(), report.summary().c_str());
     std::printf("  occupancy (top 80%%): %.2f   sm_efficiency: %.2f\n",
@@ -238,10 +267,26 @@ cmdAnalyze(const Args &args)
     Session session(graph, makeBackend(args.get("backend", "astitch")),
                     options);
     session.compile();
+    warnIfDegraded(session);
     const DiagnosticEngine &engine = session.diagnostics();
     writeOrPrint(args,
                  renderDiagnostics(engine, args.get("format", "text")));
     return engine.hasErrors() ? 1 : 0;
+}
+
+int
+cmdFaultSites(const Args &args)
+{
+    if (args.has("names")) {
+        for (const FaultSite &site : faultSites())
+            std::printf("%s\n", site.name);
+        return 0;
+    }
+    std::printf("%-22s %-18s %s\n", "site", "phase", "description");
+    for (const FaultSite &site : faultSites())
+        std::printf("%-22s %-18s %s\n", site.name, site.phase,
+                    site.description);
+    return 0;
 }
 
 int
@@ -256,6 +301,7 @@ cmdCompare(const Args &args)
           "astitch"}) {
         Session session(graph, makeBackend(name), options);
         const RunReport report = session.profile();
+        warnIfDegraded(session);
         std::printf("%-14s %10.3f %9d %6d %10.2f %6.1fms\n",
                     report.backend_name.c_str(),
                     report.end_to_end_us / 1000.0,
@@ -333,7 +379,9 @@ cmdTrace(const Args &args)
     const SessionOptions options = makeSessionOptions(args);
     Session session(graph, makeBackend(args.get("backend", "astitch")),
                     options);
-    writeOrPrint(args, toChromeTrace(session.profile().counters));
+    const std::string trace = toChromeTrace(session.profile().counters);
+    warnIfDegraded(session);
+    writeOrPrint(args, trace);
     return 0;
 }
 
@@ -368,6 +416,14 @@ main(int argc, char **argv)
             return cmdDot(args);
         if (args.command == "analyze")
             return cmdAnalyze(args);
+        if (args.command == "fault-sites")
+            return cmdFaultSites(args);
+    } catch (const PanicError &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 3;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
@@ -375,8 +431,8 @@ main(int argc, char **argv)
     std::fprintf(
         stderr,
         "usage: astitch-cli <list|profile|compare|explain|emit|trace|"
-        "dot|analyze> [--model M] [--backend B] [--gpu G] [--cluster N] "
-        "[--compile-threads N] [--format text|json|sarif] "
-        "[--analyze[=json]] [--out FILE]\n");
+        "dot|analyze|fault-sites> [--model M] [--backend B] [--gpu G] "
+        "[--cluster N] [--compile-threads N] [--fault PLAN] [--fail-fast] "
+        "[--format text|json|sarif] [--analyze[=json]] [--out FILE]\n");
     return args.command.empty() ? 1 : 2;
 }
