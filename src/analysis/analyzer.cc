@@ -17,6 +17,10 @@ analyzeCompiledCluster(const Graph &graph, const Cluster &cluster,
         sanitizeCompiledCluster(graph, compiled, spec, engine,
                                 options.sanitizer);
     }
+    if (options.verify) {
+        verifyCompiledCluster(graph, compiled, spec, engine,
+                              options.verifier);
+    }
     return engine.count(Severity::Error) == errors_before;
 }
 

@@ -2,16 +2,20 @@
  * @file
  * Unified entry point of the kernel-plan analysis subsystem.
  *
- * One call runs both halves over a compiled cluster: the AS0xx
- * structural consistency checks (the original plan validator) and the
- * AS1xx..AS5xx SIMT hazard sanitizer. The pipeline (Session, the
- * stitching backend, the CLI) calls this; individual check families
- * remain callable directly from plan_consistency.h and sanitizer.h.
+ * One call dispatches every check family over a compiled cluster: the
+ * AS0xx structural consistency checks (the original plan validator),
+ * the AS1xx..AS5xx SIMT hazard sanitizer, and the AS7xx kernel-access
+ * verifier over the emitted access summaries. The pipeline (Session,
+ * the stitching backend, the CLI) and the legacy plan_validator shim
+ * all route through this one path; individual check families remain
+ * callable directly from plan_consistency.h, sanitizer.h and
+ * kernel_verifier.h.
  */
 #ifndef ASTITCH_ANALYSIS_ANALYZER_H
 #define ASTITCH_ANALYSIS_ANALYZER_H
 
 #include "analysis/diagnostics.h"
+#include "analysis/kernel_verifier.h"
 #include "analysis/sanitizer.h"
 #include "compiler/clustering.h"
 #include "compiler/kernel_plan.h"
@@ -24,7 +28,19 @@ struct AnalysisOptions
 {
     bool consistency = true;    ///< AS0xx structural checks
     bool sanitize = true;       ///< AS1xx..AS5xx hazard checks
+    bool verify = true;         ///< AS7xx access verification
     SanitizerOptions sanitizer; ///< per-family sanitizer switches
+    VerifierOptions verifier;   ///< per-family verifier switches
+
+    /** Everything off: the cheap consistency-only configuration the
+     * legacy plan-validator entry points use. */
+    static AnalysisOptions consistencyOnly()
+    {
+        AnalysisOptions options;
+        options.sanitize = false;
+        options.verify = false;
+        return options;
+    }
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "analysis/diagnostics.h"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 
 #include "support/logging.h"
@@ -123,9 +124,62 @@ diagnosticCodes()
         {"AS606", Severity::Note, "degraded-cache-entry",
          "a cached compilation was degraded; the session retried it to "
          "upgrade the entry instead of serving it as a full result"},
+
+        // -- AS7xx: kernel-access verification (symbolic analysis of
+        //    the emitted per-op access summaries) --
+        {"AS701", Severity::Error, "global-access-out-of-bounds",
+         "a global or scratch access can reach an index past the "
+         "buffer's extent under the planned launch dimensions"},
+        {"AS702", Severity::Error, "shared-access-out-of-bounds",
+         "a shared-arena access can reach past the kernel's declared "
+         "shared-memory size"},
+        {"AS703", Severity::Error, "negative-access-index",
+         "an access's affine index can evaluate below zero"},
+        {"AS704", Severity::Error, "output-under-coverage",
+         "writes to an off-chip buffer do not cover its full extent; "
+         "a shrunken task-loop or launch bound leaves a stale tail"},
+        {"AS711", Severity::Error, "write-write-race",
+         "two ops write overlapping elements of one buffer under "
+         "different thread mappings with no ordering barrier between "
+         "them"},
+        {"AS712", Severity::Error, "unsynchronized-read-write",
+         "a staging-buffer write and a read of the same elements by "
+         "another op are not separated by a barrier of the buffer's "
+         "required scope"},
+        {"AS721", Severity::Warning, "uncoalesced-global-access",
+         "a warp's global access needs several times the DRAM sectors "
+         "of an ideally coalesced one"},
+        {"AS731", Severity::Warning, "shared-bank-conflict",
+         "a warp's shared-memory access stride serializes lanes onto "
+         "the same banks"},
+        {"AS741", Severity::Warning, "broadcast-recompute-blowup",
+         "an op's per-element recompute factor exceeds the broadcast "
+         "blowup threshold (Fig. 5-style inlining redundancy)"},
+        {"AS751", Severity::Warning, "cost-model-transaction-mismatch",
+         "the verifier's statically derived DRAM transaction count "
+         "disagrees with the analytical cost model beyond tolerance"},
     };
     // clang-format on
     return codes;
+}
+
+std::string
+familyOf(const std::string &code)
+{
+    // Canonical shape: "AS" + first digit, case-insensitively; any
+    // trailing digits select nothing extra. "AS71" and "AS712" are the
+    // AS7xx family; "XS7", "AS" and "" are no family at all.
+    if (code.size() < 3)
+        return "";
+    const auto upper = [](char c) {
+        return static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+    };
+    if (upper(code[0]) != 'A' || upper(code[1]) != 'S' ||
+        !std::isdigit(static_cast<unsigned char>(code[2]))) {
+        return "";
+    }
+    return std::string("AS") + code[2];
 }
 
 const DiagnosticCode *
@@ -181,6 +235,20 @@ DiagnosticEngine::withCodePrefix(const std::string &prefix) const
     for (const Diagnostic &d : diags_) {
         if (d.code.rfind(prefix, 0) == 0)
             out.push_back(d);
+    }
+    return out;
+}
+
+DiagnosticEngine
+DiagnosticEngine::withFamily(const std::string &family) const
+{
+    const std::string wanted = familyOf(family);
+    DiagnosticEngine out;
+    if (wanted.empty())
+        return out;
+    for (const Diagnostic &d : diags_) {
+        if (familyOf(d.code) == wanted)
+            out.diags_.push_back(d);
     }
     return out;
 }

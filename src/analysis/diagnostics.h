@@ -19,7 +19,10 @@
  *   AS4xx  shared-arena buffer-lifetime overlaps;
  *   AS5xx  barrier divergence lints (packed-task-loop trip counts);
  *   AS6xx  fault-tolerant compilation (fallback-ladder demotions,
- *          transient retries, session-level recovery events).
+ *          transient retries, session-level recovery events);
+ *   AS7xx  kernel-access verification (symbolic bounds/race/coalescing
+ *          checks over the emitted access summaries and the cost-model
+ *          transaction cross-check).
  */
 #ifndef ASTITCH_ANALYSIS_DIAGNOSTICS_H
 #define ASTITCH_ANALYSIS_DIAGNOSTICS_H
@@ -72,6 +75,16 @@ const std::vector<DiagnosticCode> &diagnosticCodes();
 /** Look up a code; nullptr when unregistered. */
 const DiagnosticCode *findDiagnosticCode(const std::string &code);
 
+/**
+ * Canonical family of a diagnostic code: "AS712", "as712" and "AS7"
+ * all map to "AS7". Returns "" for strings that do not start with the
+ * AS prefix and a digit. Prefer this over raw string-prefix matching,
+ * which is case- and width-fragile for three-digit families (the
+ * prefix "AS7" accidentally matches nothing when codes are lowercase,
+ * and "AS71" silently selects a sub-range).
+ */
+std::string familyOf(const std::string &code);
+
 /** One finding. */
 struct Diagnostic
 {
@@ -111,6 +124,13 @@ class DiagnosticEngine
 
     /** Findings whose code starts with @p prefix (e.g. "AS1"). */
     std::vector<Diagnostic> withCodePrefix(const std::string &prefix) const;
+
+    /**
+     * Engine holding only the findings of @p family, matched through
+     * familyOf() — "AS7", "as7" and "AS712" all select the whole AS7xx
+     * family. An unparseable @p family selects nothing.
+     */
+    DiagnosticEngine withFamily(const std::string &family) const;
 
     /** Absorb another engine's findings (bucketed sessions, clusters). */
     void merge(const DiagnosticEngine &other);

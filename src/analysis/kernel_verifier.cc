@@ -1,0 +1,284 @@
+#include "analysis/kernel_verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sim/cost_model.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+namespace {
+
+/** Coverage accumulator for one written off-chip buffer. */
+struct WriteCoverage
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = -1;
+    std::int64_t extent = 0;
+    bool any = false;
+};
+
+/**
+ * True when a barrier of sufficient scope orders schedule positions
+ * @p p and @p q: shared-arena exchanges are satisfied by any barrier
+ * (block or device), off-chip staging needs a device-wide one.
+ */
+bool
+orderedByBarrier(const KernelPlan &plan, int p, int q, bool needs_device)
+{
+    const int lo = std::min(p, q);
+    const int hi = std::max(p, q);
+    return std::any_of(plan.barriers.begin(), plan.barriers.end(),
+                       [&](const BarrierPoint &b) {
+                           if (b.after_op < lo || b.after_op >= hi)
+                               return false;
+                           return !needs_device ||
+                                  b.scope == BarrierScope::Device;
+                       });
+}
+
+void
+checkBounds(const KernelPlan &plan, DiagnosticEngine &engine)
+{
+    std::map<std::string, WriteCoverage> covered;
+    for (const OpAccess &a : plan.accesses) {
+        const std::int64_t lo = a.index.minIndex();
+        const std::int64_t hi = a.effectiveMax();
+        if (lo < 0) {
+            engine.report("AS703", plan.name,
+                          strCat("access reaches negative index ", lo,
+                                 ": ", a.toString()),
+                          a.node);
+        }
+        if (hi >= a.extent) {
+            engine.report(a.space == AccessSpace::Shared ? "AS702"
+                                                         : "AS701",
+                          plan.name,
+                          strCat("access reaches index ", hi,
+                                 " past extent ", a.extent, ": ",
+                                 a.toString()),
+                          a.node);
+        }
+        if (a.kind == AccessKind::Write &&
+            a.space != AccessSpace::Shared) {
+            WriteCoverage &cov = covered[a.buffer];
+            if (!cov.any) {
+                cov.lo = lo;
+                cov.hi = hi;
+            } else {
+                cov.lo = std::min(cov.lo, lo);
+                cov.hi = std::max(cov.hi, hi);
+            }
+            cov.extent = a.extent;
+            cov.any = true;
+        }
+    }
+    // An off-chip buffer the kernel writes must be written *fully*: a
+    // shrunken task-loop or launch bound leaves a stale tail behind.
+    for (const auto &[buffer, cov] : covered) {
+        if (cov.lo <= 0 && cov.hi >= cov.extent - 1)
+            continue;
+        engine.report("AS704", plan.name,
+                      strCat("writes to ", buffer, " cover only [",
+                             cov.lo, ", ", cov.hi, "] of extent ",
+                             cov.extent));
+    }
+}
+
+void
+checkRaces(const KernelPlan &plan, DiagnosticEngine &engine)
+{
+    const auto &accesses = plan.accesses;
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+            const OpAccess &a = accesses[i];
+            const OpAccess &b = accesses[j];
+            if (a.op_index == b.op_index)
+                continue; // program order within one op's emission
+            if (a.kind == AccessKind::Read && b.kind == AccessKind::Read)
+                continue;
+            if (!rangesOverlap(a, b))
+                continue;
+            const bool needs_device = a.space != AccessSpace::Shared;
+            if (a.kind == AccessKind::Write &&
+                b.kind == AccessKind::Write) {
+                // Identical mappings keep both writes inside one
+                // thread, ordered by that thread's program order.
+                if (sameMapping(a, b))
+                    continue;
+                if (!orderedByBarrier(plan, a.op_index, b.op_index,
+                                      needs_device)) {
+                    engine.report(
+                        "AS711", plan.name,
+                        strCat("unordered overlapping writes to ",
+                               a.buffer, " by ops ", a.op_index,
+                               " and ", b.op_index),
+                        a.node);
+                }
+                continue;
+            }
+            // Write-read (either order) on a staging buffer: the value
+            // crosses threads by design, so a barrier of the buffer's
+            // scope must separate the two schedule positions.
+            if (a.space != AccessSpace::Shared &&
+                a.space != AccessSpace::Scratch) {
+                continue; // inputs/outputs have no in-kernel pairing
+            }
+            if (!orderedByBarrier(plan, a.op_index, b.op_index,
+                                  needs_device)) {
+                const OpAccess &w =
+                    a.kind == AccessKind::Write ? a : b;
+                const OpAccess &r =
+                    a.kind == AccessKind::Write ? b : a;
+                engine.report(
+                    "AS712", plan.name,
+                    strCat("write of ", w.buffer, " by op ",
+                           w.op_index, " and read by op ", r.op_index,
+                           " are not separated by a ",
+                           needs_device ? "device" : "block",
+                           "-scope barrier"),
+                    w.node);
+            }
+        }
+    }
+}
+
+void
+checkCoalescing(const KernelPlan &plan, DiagnosticEngine &engine,
+                const VerifierOptions &options)
+{
+    for (const OpAccess &a : plan.accesses) {
+        if (a.space == AccessSpace::Shared || !a.counts_traffic)
+            continue;
+        const std::int64_t ideal = sectorsPerWarp(1, a.elem_bytes);
+        const std::int64_t actual =
+            sectorsPerWarp(a.warp_stride, a.elem_bytes);
+        if (static_cast<double>(actual) >=
+            options.coalescing_slack * static_cast<double>(ideal)) {
+            engine.report(
+                "AS721", plan.name,
+                strCat("warp needs ", actual, " sectors (ideal ", ideal,
+                       ") at stride ", a.warp_stride, ": ",
+                       a.toString()),
+                a.node);
+        }
+    }
+}
+
+void
+checkBankConflicts(const KernelPlan &plan, DiagnosticEngine &engine)
+{
+    for (const OpAccess &a : plan.accesses) {
+        if (a.space != AccessSpace::Shared)
+            continue;
+        const int degree = bankConflictDegree(a.warp_stride, a.elem_bytes);
+        if (degree >= 2) {
+            engine.report("AS731", plan.name,
+                          strCat(degree, "-way bank conflict at stride ",
+                                 a.warp_stride, ": ", a.toString()),
+                          a.node);
+        }
+    }
+}
+
+void
+checkRecompute(const KernelPlan &plan, DiagnosticEngine &engine,
+               const VerifierOptions &options)
+{
+    for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+        const ScheduledOp &op = plan.ops[i];
+        if (op.recompute_factor > options.recompute_blowup) {
+            engine.report(
+                "AS741", plan.name,
+                strCat("op ", i, " recomputes every element ",
+                       strFixed(op.recompute_factor, 1),
+                       "x (broadcast blowup threshold ",
+                       strFixed(options.recompute_blowup, 1), ")"),
+                op.node);
+        }
+    }
+}
+
+void
+checkCostModel(const Graph &graph, const KernelPlan &plan,
+               const GpuSpec &spec, DiagnosticEngine &engine,
+               const VerifierOptions &options)
+{
+    const TransactionEstimate est = staticTransactionCounts(plan);
+    KernelRecord record;
+    try {
+        record = CostModel(spec).priceKernel(workDescFor(graph, plan));
+    } catch (const FatalError &) {
+        // An unpriceable configuration is the consistency family's
+        // finding (AS005..AS008), not a model disagreement.
+        return;
+    }
+    auto compare = [&](const char *what, double verifier, double model) {
+        const double allowed = std::max(options.cost_tolerance * model,
+                                        options.cost_min_slack);
+        if (std::abs(verifier - model) > allowed) {
+            engine.report(
+                "AS751", plan.name,
+                strCat("verifier derives ", strFixed(verifier, 0), " ",
+                       what, " transactions but the cost model prices ",
+                       strFixed(model, 0), " (tolerance ",
+                       strFixed(allowed, 0), ")"));
+        }
+    };
+    compare("read",
+            est.read_transactions,
+            static_cast<double>(record.dram_read_transactions));
+    compare("write",
+            est.write_transactions,
+            static_cast<double>(record.dram_write_transactions));
+}
+
+} // namespace
+
+TransactionEstimate
+staticTransactionCounts(const KernelPlan &plan)
+{
+    TransactionEstimate est;
+    for (const OpAccess &a : plan.accesses) {
+        const double txn = accessTransactions(a);
+        if (a.kind == AccessKind::Read)
+            est.read_transactions += txn;
+        else
+            est.write_transactions += txn;
+    }
+    return est;
+}
+
+void
+verifyKernelPlan(const Graph &graph, const KernelPlan &plan,
+                 const GpuSpec &spec, DiagnosticEngine &engine,
+                 const VerifierOptions &options)
+{
+    if (plan.accesses.empty())
+        return; // no summaries recorded (non-stitch backend / fallback)
+    if (options.bounds)
+        checkBounds(plan, engine);
+    if (options.races)
+        checkRaces(plan, engine);
+    if (options.coalescing)
+        checkCoalescing(plan, engine, options);
+    if (options.bank_conflicts)
+        checkBankConflicts(plan, engine);
+    if (options.recompute)
+        checkRecompute(plan, engine, options);
+    if (options.cost_check)
+        checkCostModel(graph, plan, spec, engine, options);
+}
+
+void
+verifyCompiledCluster(const Graph &graph, const CompiledCluster &compiled,
+                      const GpuSpec &spec, DiagnosticEngine &engine,
+                      const VerifierOptions &options)
+{
+    for (const KernelPlan &plan : compiled.kernels)
+        verifyKernelPlan(graph, plan, spec, engine, options);
+}
+
+} // namespace astitch

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The kernel-access verifier: symbolic interpretation over the per-op
+ * access summaries stitch codegen emits (analysis/access_model.h).
+ *
+ * The sanitizer (AS1xx-AS5xx) checks the *plan metadata* codegen
+ * claims; this pass independently verifies the *index arithmetic* of
+ * the emitted kernel. Four check families over KernelPlan::accesses:
+ *
+ *   AS70x  bounds: evaluate every access's affine index over its
+ *          variable ranges (interval abstract domain) and prove it
+ *          stays inside [0, extent) under the recorded guard; writes
+ *          to off-chip buffers must additionally *cover* the buffer
+ *          (a shrunken task-loop bound leaves a tail unwritten);
+ *   AS71x  races: overlapping accesses to one buffer from different
+ *          scheduled ops must be ordered by a barrier of sufficient
+ *          scope (block for the shared arena, device for global
+ *          scratch) between their schedule positions — write-write
+ *          on any buffer, write-read/read-write on staging buffers;
+ *   AS72x-AS74x  performance lints: warp-sector transaction counting
+ *          flags uncoalesced global access, bank arithmetic flags
+ *          shared-memory conflicts, and recompute factors beyond the
+ *          broadcast-blowup threshold flag Fig. 5-style inlining;
+ *   AS75x  cost-model cross-check: the verifier's statically derived
+ *          DRAM transaction counts must agree with sim/cost_model's
+ *          pricing of the same plan within tolerance, making the
+ *          analytical model itself a checked artifact.
+ *
+ * Plans without access summaries (comparator backends, fallback-ladder
+ * rungs below full stitching) produce zero findings by construction.
+ */
+#ifndef ASTITCH_ANALYSIS_KERNEL_VERIFIER_H
+#define ASTITCH_ANALYSIS_KERNEL_VERIFIER_H
+
+#include "analysis/access_model.h"
+#include "analysis/diagnostics.h"
+#include "compiler/kernel_plan.h"
+#include "sim/gpu_spec.h"
+
+namespace astitch {
+
+/** Per-family switches (all on by default). */
+struct VerifierOptions
+{
+    bool bounds = true;         ///< AS701..AS704
+    bool races = true;          ///< AS711, AS712
+    bool coalescing = true;     ///< AS721
+    bool bank_conflicts = true; ///< AS731
+    bool recompute = true;      ///< AS741
+    bool cost_check = true;     ///< AS751
+
+    /**
+     * AS721 fires when a warp needs at least this many times the
+     * sectors of an ideal stride-1 access. 4x keeps the legitimate
+     * stride-2 transpose/column classes (priced by the cost model at
+     * 0.5 coalescing) below the lint.
+     */
+    double coalescing_slack = 4.0;
+
+    /** AS741 fires above this per-element recompute factor. */
+    double recompute_blowup = 16.0;
+
+    /** AS751 relative tolerance against the cost model. */
+    double cost_tolerance = 0.05;
+
+    /**
+     * AS751 absolute slack (transactions): per-access sector rounding
+     * legitimately diverges from the model's aggregate rounding by up
+     * to one transaction per access, so tiny kernels need a floor.
+     */
+    double cost_min_slack = 16.0;
+};
+
+/** Statically derived DRAM transaction counts of one plan. */
+struct TransactionEstimate
+{
+    double read_transactions = 0.0;
+    double write_transactions = 0.0;
+};
+
+/**
+ * Sum the per-access sector counts of every traffic-counting off-chip
+ * access in @p plan (the verifier's side of the AS751 cross-check).
+ */
+TransactionEstimate staticTransactionCounts(const KernelPlan &plan);
+
+/**
+ * Verify one kernel plan's access summaries, reporting findings into
+ * @p engine. Plans with no recorded accesses are skipped entirely.
+ */
+void verifyKernelPlan(const Graph &graph, const KernelPlan &plan,
+                      const GpuSpec &spec, DiagnosticEngine &engine,
+                      const VerifierOptions &options = {});
+
+/** Verify every kernel of a compiled cluster. */
+void verifyCompiledCluster(const Graph &graph,
+                           const CompiledCluster &compiled,
+                           const GpuSpec &spec, DiagnosticEngine &engine,
+                           const VerifierOptions &options = {});
+
+} // namespace astitch
+
+#endif // ASTITCH_ANALYSIS_KERNEL_VERIFIER_H

@@ -1,6 +1,6 @@
 #include "compiler/plan_validator.h"
 
-#include "analysis/plan_consistency.h"
+#include "analysis/analyzer.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -11,8 +11,11 @@ validateCompiledCluster(const Graph &graph, const Cluster &cluster,
                         const CompiledCluster &compiled,
                         const GpuSpec &spec)
 {
+    // One dispatch path for every check family: the legacy API is the
+    // analyzer restricted to the AS0xx consistency checks it predates.
     DiagnosticEngine engine;
-    checkPlanConsistency(graph, cluster, compiled, spec, engine);
+    analyzeCompiledCluster(graph, cluster, compiled, spec, engine,
+                           AnalysisOptions::consistencyOnly());
     std::vector<PlanDefect> defects;
     defects.reserve(engine.size());
     for (const Diagnostic &diag : engine.diagnostics())

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/access_model.h"
 #include "graph/graph.h"
 #include "sim/cost_model.h"
 
@@ -164,6 +165,17 @@ struct KernelPlan
 
     /** Shared-arena slot assignments (Regional intermediates). */
     std::vector<SharedSlot> shared_slots;
+
+    /**
+     * Per-op memory-access summaries: affine index expressions over the
+     * kernel's induction variables for every global/scratch/shared
+     * access the generated code performs, the kernel-access verifier's
+     * (analysis/kernel_verifier.h) ground truth. Shared-arena entries
+     * are recorded in 4-byte word units (the arena is one float array);
+     * all other entries use the accessed node's element size. Empty for
+     * backends that do not record index structure.
+     */
+    std::vector<OpAccess> accesses;
 
     /** Global atomics (column-reduce, cross-block split reduction). */
     double atomic_operations = 0.0;

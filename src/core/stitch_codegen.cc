@@ -1,9 +1,12 @@
 #include "core/stitch_codegen.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <set>
 #include <unordered_map>
 
+#include "analysis/kernel_verifier.h"
 #include "analysis/sanitizer.h"
 #include "support/fault_injection.h"
 #include "support/logging.h"
@@ -98,6 +101,7 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
 
     int num_reduce = 0;
     bool has_transpose = false;
+    std::unordered_map<NodeId, int> remat_extra;
     for (NodeId id : cluster.nodes) {
         const Node &node = graph.node(id);
         if (isReduce(node.kind()))
@@ -136,6 +140,7 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
             }
             const int extra =
                 static_cast<int>(consumer_groups.size());
+            remat_extra.emplace(id, extra);
             op.recompute_factor =
                 std::max(op.recompute_factor, 1.0 + extra);
             plan.extra_bytes_read +=
@@ -289,13 +294,185 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
             dtypeSizeBytes(node.dtype());
     }
 
+    // ---- Per-op access summaries (the kernel-access verifier's and
+    // the CUDA emitter's shared view of the index arithmetic). Emitted
+    // after the atomics pass so the final coalescing classes are known.
+    {
+        // The cost model prices coalescing as one divisor over all
+        // reads/writes; the equivalent intra-warp stride class is its
+        // reciprocal (1.0 -> stride 1, 0.5 -> stride 2).
+        const auto stride_class = [](double coalescing) {
+            if (coalescing >= 1.0)
+                return std::int64_t{1};
+            return static_cast<std::int64_t>(
+                std::llround(1.0 / std::max(0.05, coalescing)));
+        };
+        const std::int64_t read_stride =
+            stride_class(plan.read_coalescing);
+        const std::int64_t write_stride =
+            stride_class(plan.write_coalescing);
+
+        const auto dims_of = [&](const OpPartition &part) {
+            if (part.known()) {
+                return std::array<std::int64_t, 3>{
+                    part.launch.grid, part.tasks_per_block,
+                    static_cast<std::int64_t>(part.launch.block)};
+            }
+            return std::array<std::int64_t, 3>{
+                plan.launch.grid, 1,
+                static_cast<std::int64_t>(plan.launch.block)};
+        };
+        const auto linear_access =
+            [&](NodeId id, int pos, AccessKind kind, AccessSpace space,
+                std::string buffer, const OpPartition &part,
+                double repeat, std::int64_t stride, bool traffic) {
+                const Node &node = graph.node(id);
+                OpAccess access;
+                access.node = id;
+                access.op_index = pos;
+                access.kind = kind;
+                access.space = space;
+                access.buffer = std::move(buffer);
+                access.elem_bytes = dtypeSizeBytes(node.dtype());
+                access.extent = node.shape().numElements();
+                const auto dims = dims_of(part);
+                access.index = linearEnumeration(access.extent, dims[0],
+                                                 dims[1], dims[2]);
+                if (access.index.maxIndex() >= access.extent)
+                    access.guard = access.extent;
+                access.warp_stride = stride;
+                access.repeat = repeat;
+                access.counts_traffic = traffic;
+                plan.accesses.push_back(std::move(access));
+            };
+        // The shared arena is one float array; its accesses are
+        // recorded in 4-byte word units regardless of the value dtype.
+        const auto smem_access = [&](NodeId id, int pos,
+                                     AccessKind kind) {
+            const auto slot = std::find_if(
+                plan.shared_slots.begin(), plan.shared_slots.end(),
+                [id](const SharedSlot &s) { return s.node == id; });
+            if (slot == plan.shared_slots.end())
+                return;
+            OpAccess access;
+            access.node = id;
+            access.op_index = pos;
+            access.kind = kind;
+            access.space = AccessSpace::Shared;
+            access.buffer = "smem";
+            access.elem_bytes = 4;
+            access.extent = (plan.smem_per_block + 3) / 4;
+            access.index.offset = slot->offset_bytes / 4;
+            access.index.coeff_thread = 1;
+            access.index.num_threads =
+                std::max<std::int64_t>(1, slot->size_bytes / 4);
+            access.warp_stride = 1;
+            access.counts_traffic = false;
+            plan.accesses.push_back(std::move(access));
+        };
+
+        // Kernel inputs: one full-tensor load per consuming group,
+        // attributed to the first scheduled consumer's mapping.
+        for (const KernelInput &input : plan.inputs) {
+            int consumer = -1;
+            for (NodeId u : graph.users(input.node)) {
+                const auto p = op_pos.find(u);
+                if (p != op_pos.end() &&
+                    (consumer < 0 || p->second < consumer)) {
+                    consumer = p->second;
+                }
+            }
+            linear_access(input.node, std::max(0, consumer),
+                          AccessKind::Read, AccessSpace::Global,
+                          strCat("input:%", input.node),
+                          consumer >= 0 ? plan.ops[consumer].partition
+                                        : OpPartition{},
+                          input.load_factor, read_stride, true);
+        }
+
+        // Scheduled ops: each result's store per its stitching scheme,
+        // and the loads its in-kernel consumers perform. Off-chip
+        // read-backs carry traffic once (the cost model counts one
+        // read-back per Global intermediate).
+        std::set<NodeId> scratch_read_counted;
+        for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+            const ScheduledOp &op = plan.ops[i];
+            const int pos = static_cast<int>(i);
+            switch (op.out_space) {
+              case BufferSpace::Register:
+                break; // register-carried, no memory access
+              case BufferSpace::Shared:
+                smem_access(op.node, pos, AccessKind::Write);
+                break;
+              case BufferSpace::Global:
+                linear_access(op.node, pos, AccessKind::Write,
+                              AccessSpace::Scratch,
+                              strCat("scratch:%", op.node),
+                              op.partition, 1.0, write_stride, true);
+                break;
+              case BufferSpace::Output:
+                linear_access(op.node, pos, AccessKind::Write,
+                              AccessSpace::Global,
+                              strCat("out:%", op.node), op.partition,
+                              1.0, write_stride, true);
+                break;
+            }
+            for (NodeId operand : graph.node(op.node).operands()) {
+                const auto p = op_pos.find(operand);
+                if (p == op_pos.end())
+                    continue; // kernel input, recorded above
+                const ScheduledOp &producer = plan.ops[p->second];
+                if (producer.out_space == BufferSpace::Shared) {
+                    smem_access(operand, pos, AccessKind::Read);
+                } else if (producer.out_space == BufferSpace::Global) {
+                    linear_access(
+                        operand, pos, AccessKind::Read,
+                        AccessSpace::Scratch,
+                        strCat("scratch:%", operand), op.partition,
+                        1.0, read_stride,
+                        scratch_read_counted.insert(operand).second);
+                }
+            }
+        }
+
+        // Rematerialized boundary chains re-read their ancestors once
+        // per extra consuming group (the extra_bytes_read term).
+        for (const auto &[id, extra] : remat_extra) {
+            if (extra <= 0)
+                continue;
+            const int pos = op_pos.at(id);
+            linear_access(id, pos, AccessKind::Read,
+                          AccessSpace::Global, strCat("remat:%", id),
+                          plan.ops[pos].partition,
+                          static_cast<double>(extra), read_stride,
+                          true);
+        }
+
+        // A Global-scheme value with no in-kernel consumer is still
+        // read back downstream; mirror workDescFor's accounting so the
+        // AS751 cross-check holds by construction.
+        for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+            const ScheduledOp &op = plan.ops[i];
+            if (op.out_space != BufferSpace::Global ||
+                scratch_read_counted.count(op.node)) {
+                continue;
+            }
+            linear_access(op.node, static_cast<int>(i),
+                          AccessKind::Read, AccessSpace::Scratch,
+                          strCat("scratch:%", op.node), op.partition,
+                          1.0, read_stride, true);
+        }
+    }
+
     compiled.global_scratch_bytes = memory.global_scratch_bytes;
     compiled.kernels.push_back(std::move(plan));
 
-    // ---- Stitch sanitizer: prove the emitted plan hazard-free. ----
+    // ---- Stitch sanitizer + kernel-access verifier: prove the
+    // emitted plan hazard-free and its index arithmetic sound. ----
     if (options.analyze) {
         DiagnosticEngine engine;
         sanitizeCompiledCluster(graph, compiled, spec, engine);
+        verifyCompiledCluster(graph, compiled, spec, engine);
         if (options.strict && engine.hasErrors()) {
             // A policy rejection, not a user error: the fallback ladder
             // recompiles the cluster less aggressively instead of dying.

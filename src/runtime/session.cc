@@ -186,10 +186,12 @@ Session::compileAllClusters(const Graph &graph) const
     }
 
     const std::size_t n = entry.clusters.size();
-    const AnalysisOptions analysis{
-        options_.validate_plans || options_.analyze_plans,
-        options_.analyze_plans, SanitizerOptions{}};
-    const bool analyze = analysis.consistency || analysis.sanitize;
+    AnalysisOptions analysis;
+    analysis.consistency = options_.validate_plans || options_.analyze_plans;
+    analysis.sanitize = options_.analyze_plans;
+    analysis.verify = options_.analyze_plans;
+    const bool analyze =
+        analysis.consistency || analysis.sanitize || analysis.verify;
 
     // Every cluster compiles and analyzes independently — the
     // embarrassingly-parallel half of the pipeline. Results land in

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Golden test of the SARIF 2.1.0 renderer across the registry's code
+ * families: rule identity (ruleId <-> kebab-case rule name), severity
+ * mapping to SARIF levels, and logical-location stability are contract
+ * surface for CI consumers (GitHub code scanning ingests this output),
+ * so any drift must be a deliberate diff here.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostics.h"
+
+namespace astitch {
+namespace {
+
+/** One representative per family: AS0xx consistency (error), AS6xx
+ * fault tolerance (warning/note), AS7xx access verification. */
+DiagnosticEngine
+populatedEngine()
+{
+    DiagnosticEngine engine;
+    engine.report("AS001", "stitch_k0", "node %3 is never scheduled");
+    engine.report("AS601", "<cluster>", "demoted to kernel-per-op");
+    engine.report("AS701", "stitch_k0", "access reaches index 4096");
+    engine.report("AS721", "stitch_k1", "warp needs 32 sectors");
+    return engine;
+}
+
+TEST(SarifGolden, ResultsAreStable)
+{
+    const std::string sarif = populatedEngine().renderSarif();
+
+    // Envelope.
+    EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\":\"astitch-stitch-sanitizer\""),
+              std::string::npos);
+
+    // Each finding becomes one result with the code as ruleId, the
+    // registered severity as level and the kernel as logical location.
+    const char *expected[] = {
+        "{\"ruleId\":\"AS001\",\"level\":\"error\","
+        "\"message\":{\"text\":\"node %3 is never scheduled\"},"
+        "\"locations\":[{\"logicalLocations\":[{\"name\":\"stitch_k0\","
+        "\"kind\":\"kernel\"}]}]}",
+        "{\"ruleId\":\"AS601\",\"level\":\"warning\","
+        "\"message\":{\"text\":\"demoted to kernel-per-op\"},"
+        "\"locations\":[{\"logicalLocations\":[{\"name\":\"<cluster>\","
+        "\"kind\":\"kernel\"}]}]}",
+        "{\"ruleId\":\"AS701\",\"level\":\"error\","
+        "\"message\":{\"text\":\"access reaches index 4096\"},"
+        "\"locations\":[{\"logicalLocations\":[{\"name\":\"stitch_k0\","
+        "\"kind\":\"kernel\"}]}]}",
+        "{\"ruleId\":\"AS721\",\"level\":\"warning\","
+        "\"message\":{\"text\":\"warp needs 32 sectors\"},"
+        "\"locations\":[{\"logicalLocations\":[{\"name\":\"stitch_k1\","
+        "\"kind\":\"kernel\"}]}]}",
+    };
+    for (const char *result : expected)
+        EXPECT_NE(sarif.find(result), std::string::npos)
+            << "missing result: " << result << "\nin: " << sarif;
+
+    // Results preserve report order (SARIF consumers diff positionally).
+    EXPECT_LT(sarif.find("\"ruleId\":\"AS001\""),
+              sarif.find("\"ruleId\":\"AS601\""));
+    EXPECT_LT(sarif.find("\"ruleId\":\"AS601\""),
+              sarif.find("\"ruleId\":\"AS701\""));
+}
+
+TEST(SarifGolden, RuleTableCoversEveryRegisteredCode)
+{
+    const std::string sarif = populatedEngine().renderSarif();
+    for (const DiagnosticCode &info : diagnosticCodes()) {
+        EXPECT_NE(sarif.find(std::string("{\"id\":\"") + info.code +
+                             "\",\"name\":\"" + info.title + "\""),
+                  std::string::npos)
+            << info.code << " missing from the SARIF rule table";
+    }
+}
+
+TEST(SarifGolden, RuleNamesForTheVerifierFamilyAreStable)
+{
+    // The kebab-case rule names are the user-facing identity of the
+    // AS7xx family in code-scanning UIs; keep them frozen.
+    const std::pair<const char *, const char *> rules[] = {
+        {"AS701", "global-access-out-of-bounds"},
+        {"AS702", "shared-access-out-of-bounds"},
+        {"AS703", "negative-access-index"},
+        {"AS704", "output-under-coverage"},
+        {"AS711", "write-write-race"},
+        {"AS712", "unsynchronized-read-write"},
+        {"AS721", "uncoalesced-global-access"},
+        {"AS731", "shared-bank-conflict"},
+        {"AS741", "broadcast-recompute-blowup"},
+        {"AS751", "cost-model-transaction-mismatch"},
+    };
+    for (const auto &[code, title] : rules) {
+        const DiagnosticCode *info = findDiagnosticCode(code);
+        ASSERT_NE(info, nullptr) << code;
+        EXPECT_STREQ(info->title, title);
+    }
+}
+
+TEST(SarifGolden, EmptyEngineRendersAnEmptyRun)
+{
+    const std::string sarif = DiagnosticEngine().renderSarif();
+    EXPECT_NE(sarif.find("\"results\":[]"), std::string::npos);
+}
+
+} // namespace
+} // namespace astitch

@@ -17,10 +17,19 @@
  *   astitch-cli dot --model Transformer --out graph.dot
  *       Export the computation graph in Graphviz DOT.
  *   astitch-cli analyze --model BERT [--format text|json|sarif]
- *       Run the plan analysis subsystem (AS0xx consistency + stitch
- *       sanitizer) over every compiled cluster; exit 1 on errors.
+ *       Run the plan analysis subsystem (AS0xx consistency, stitch
+ *       sanitizer, AS7xx access verifier) over every compiled cluster;
+ *       exit 1 on errors. --access additionally dumps the structured
+ *       per-op access summaries of every stitched kernel.
+ *   astitch-cli verify --model BERT [--format text|json|sarif]
+ *       Kernel-access verification only: compile, then report the
+ *       AS7xx family (bounds, races, coalescing, cost cross-check).
+ *       Exit 0 iff the verifier proves the plans clean.
  *   astitch-cli fault-sites [--names]
  *       List the registered fault-injection sites.
+ *
+ * analyze and verify accept --diag-filter FAMILY (e.g. AS7) to restrict
+ * the rendered findings to one AS-code family.
  *
  * profile also accepts --analyze[=json|sarif] to append the analysis
  * findings to the report.
@@ -55,6 +64,7 @@
 #include "runtime/session.h"
 #include "support/fault_injection.h"
 #include "support/logging.h"
+#include "support/strings.h"
 #include "sim/trace_export.h"
 #include "workloads/common.h"
 
@@ -114,6 +124,39 @@ renderDiagnostics(const DiagnosticEngine &engine, const std::string &format)
     }
     fatal("unknown diagnostics format '", format,
           "' (try: text, json, sarif)");
+}
+
+/** Apply --diag-filter FAMILY (if given) to the session's findings. */
+DiagnosticEngine
+applyDiagFilter(const DiagnosticEngine &engine, const Args &args,
+                const std::string &fallback = "")
+{
+    const std::string family = args.get("diag-filter", fallback);
+    if (family.empty())
+        return engine;
+    fatalIf(familyOf(family).empty(), "invalid --diag-filter '", family,
+            "' (expected an AS-code family like AS7)");
+    return engine.withFamily(family);
+}
+
+/** One line per structured access summary of every stitched kernel. */
+std::string
+renderAccessSummaries(const std::vector<CompiledCluster> &clusters)
+{
+    std::string out;
+    for (const CompiledCluster &cluster : clusters) {
+        for (const KernelPlan &plan : cluster.kernels) {
+            if (plan.accesses.empty())
+                continue;
+            out += strCat(plan.name, " (", plan.accesses.size(),
+                          " accesses):\n");
+            for (const OpAccess &access : plan.accesses)
+                out += strCat("  op", access.op_index, ": ",
+                              access.toString(), "\n");
+        }
+    }
+    return out.empty() ? std::string("no access summaries recorded\n")
+                       : out;
 }
 
 std::unique_ptr<Backend>
@@ -268,10 +311,38 @@ cmdAnalyze(const Args &args)
                     options);
     session.compile();
     warnIfDegraded(session);
-    const DiagnosticEngine &engine = session.diagnostics();
-    writeOrPrint(args,
-                 renderDiagnostics(engine, args.get("format", "text")));
+    const DiagnosticEngine engine =
+        applyDiagFilter(session.diagnostics(), args);
+    std::string output =
+        renderDiagnostics(engine, args.get("format", "text"));
+    if (args.has("access"))
+        output += renderAccessSummaries(session.compiled());
+    writeOrPrint(args, output);
     return engine.hasErrors() ? 1 : 0;
+}
+
+int
+cmdVerify(const Args &args)
+{
+    const Graph graph = buildModel(args.get("model", "BERT"));
+    const SessionOptions options = makeSessionOptions(args);
+    Session session(graph, makeBackend(args.get("backend", "astitch")),
+                    options);
+    session.compile();
+    warnIfDegraded(session);
+    // Default to the AS7xx kernel-access family; --diag-filter widens
+    // or narrows the verdict scope.
+    const DiagnosticEngine engine =
+        applyDiagFilter(session.diagnostics(), args, "AS7");
+    std::string output =
+        renderDiagnostics(engine, args.get("format", "text"));
+    if (args.has("access"))
+        output += renderAccessSummaries(session.compiled());
+    writeOrPrint(args, output);
+    // Verification succeeds only when the filtered family is silent:
+    // a warning-severity AS721 still means the proof obligations did
+    // not all discharge.
+    return engine.empty() && !session.diagnostics().hasErrors() ? 0 : 1;
 }
 
 int
@@ -416,6 +487,8 @@ main(int argc, char **argv)
             return cmdDot(args);
         if (args.command == "analyze")
             return cmdAnalyze(args);
+        if (args.command == "verify")
+            return cmdVerify(args);
         if (args.command == "fault-sites")
             return cmdFaultSites(args);
     } catch (const PanicError &e) {
@@ -431,8 +504,9 @@ main(int argc, char **argv)
     std::fprintf(
         stderr,
         "usage: astitch-cli <list|profile|compare|explain|emit|trace|"
-        "dot|analyze|fault-sites> [--model M] [--backend B] [--gpu G] "
-        "[--cluster N] [--compile-threads N] [--fault PLAN] [--fail-fast] "
-        "[--format text|json|sarif] [--analyze[=json]] [--out FILE]\n");
+        "dot|analyze|verify|fault-sites> [--model M] [--backend B] "
+        "[--gpu G] [--cluster N] [--compile-threads N] [--fault PLAN] "
+        "[--fail-fast] [--format text|json|sarif] [--analyze[=json]] "
+        "[--diag-filter ASn] [--access] [--out FILE]\n");
     return args.command.empty() ? 1 : 2;
 }
