@@ -102,6 +102,35 @@ printCompileOverhead()
                 "search-based tuning)\n");
 }
 
+void
+printPassBreakdown()
+{
+    printHeader("Per-pass compile breakdown "
+                "(Session::passTimings(), AStitch backend)");
+    std::printf("%-8s %8s %11s %9s %10s %10s %9s %9s\n", "nodes",
+                "threads", "clustering", "stitch", "backend*",
+                "analysis*", "parallel", "schedule");
+    for (int nodes : {5000, 10000}) {
+        const Graph graph = sweepGraph(nodes, 17);
+        for (int threads : {1, 8}) {
+            SessionOptions options;
+            options.compile_threads = threads;
+            options.max_cluster_nodes = kSweepMaxClusterNodes;
+            Session session(graph, makeBackend(Which::AStitch), options);
+            session.compile();
+            const CompilePassTimings &t = session.passTimings();
+            std::printf("%-8d %8d %8.1f ms %6.1f ms %7.1f ms %7.1f ms "
+                        "%6.1f ms %6.1f ms\n",
+                        nodes, threads, t.clustering_ms,
+                        t.remote_stitch_ms, t.backend_compile_ms,
+                        t.analysis_ms, t.parallel_section_ms,
+                        t.scheduling_ms);
+        }
+    }
+    std::printf("(* CPU time summed across pool workers — can exceed "
+                "the wall-clock parallel column)\n");
+}
+
 /** One sweep record: compile latency of one configuration. */
 struct SweepRecord
 {
@@ -272,6 +301,7 @@ int
 main(int argc, char **argv)
 {
     printCompileOverhead();
+    printPassBreakdown();
     std::vector<SweepRecord> records;
     printThreadSweep(records);
     writeCompileJson(records);

@@ -61,13 +61,62 @@ std::vector<Cluster> fallbackSingletonClusters(const Graph &graph);
  * can never create a cycle). Returns the reduced cluster list. @p
  * max_cluster_nodes bounds the merged size (resource guard); <= 0 means
  * unbounded.
+ *
+ * Scaling: cluster-to-cluster reachability is computed over a condensed
+ * DAG (one vertex per cluster plus only the external nodes lying on a
+ * cluster-to-cluster path) and closure-equal grouping is resolved
+ * through a hash of the closure bitset, so the expected cost is
+ * O(V + E + c^2/64) instead of the reference implementation's
+ * O(V*c) memory and O(c^2) group scans. Output is bit-identical to
+ * remoteStitchReference() on any input satisfying the documented
+ * precondition (clusters from findMemoryIntensiveClusters(), i.e. not
+ * cyclic through external nodes); if that precondition is violated the
+ * condensed graph is cyclic and the implementation detects it and falls
+ * back to the reference reachability computation.
  */
 std::vector<Cluster> remoteStitch(const Graph &graph,
                                   std::vector<Cluster> clusters,
                                   int max_cluster_nodes = 0);
 
-/** Recompute the input/output frontiers of a node set. */
+/** Recompute the input/output frontiers of a node set. Membership tests
+ * switch from per-edge binary search to a stamped bitmap once the
+ * cluster is large enough for the bitmap to amortize. */
 Cluster makeCluster(const Graph &graph, std::vector<NodeId> nodes);
+
+// ---------------------------------------------------------------------
+// Reference implementations (pre-optimization), retained verbatim so the
+// equivalence property tests and bench/ext_compile_scale can prove the
+// optimized passes bit-identical and measure the speedup against the
+// true pre-PR code paths.
+// ---------------------------------------------------------------------
+
+/** Reference findMemoryIntensiveClusters(): recursive splitCyclic with
+ * per-call O(numNodes) scratch vectors and whole-graph bridge scans. */
+std::vector<Cluster> findMemoryIntensiveClustersReference(const Graph &graph);
+
+/** Reference remoteStitch(): one BitRow(num_clusters) per node and
+ * linear first-fit scans over all closure groups. */
+std::vector<Cluster> remoteStitchReference(const Graph &graph,
+                                           std::vector<Cluster> clusters,
+                                           int max_cluster_nodes = 0);
+
+// ---------------------------------------------------------------------
+// Scratch-memory accounting (bench/ext_compile_scale's "peak scratch
+// bytes" column). Thread-local, so the PR-2 compile pool never races it.
+// ---------------------------------------------------------------------
+
+struct ClusteringScratchStats
+{
+    /** High-water mark of live clustering scratch since the last reset. */
+    std::size_t peak_bytes = 0;
+
+    /** Currently live scratch (0 outside the clustering passes). */
+    std::size_t current_bytes = 0;
+};
+
+/** Counters for this thread (optimized and reference passes both). */
+ClusteringScratchStats clusteringScratchStats();
+void resetClusteringScratchStats();
 
 } // namespace astitch
 

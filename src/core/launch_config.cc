@@ -7,9 +7,16 @@
 
 namespace astitch {
 
+namespace {
+
+/** Shared steps 1 and 3: the occupancy probe is pluggable so the
+ * optimized and reference paths stay textually identical otherwise. */
+template <typename OccupancyFn, typename RelaxFn>
 LaunchConfig
-configureLaunch(const GpuSpec &spec, std::int64_t logical_grid, int block,
-                std::int64_t smem_per_block, bool needs_global_barrier)
+configureLaunchImpl(const GpuSpec &spec, std::int64_t logical_grid,
+                    int block, std::int64_t smem_per_block,
+                    bool needs_global_barrier, OccupancyFn &&occupancy,
+                    RelaxFn &&relax)
 {
     faultPoint("launch-config");
     LaunchConfig config;
@@ -19,7 +26,7 @@ configureLaunch(const GpuSpec &spec, std::int64_t logical_grid, int block,
     // Step 1 (assume): a conservative 32-register bound.
     constexpr int assumed_regs = 32;
     const Occupancy assumed =
-        computeOccupancy(spec, block, assumed_regs, smem_per_block);
+        occupancy(spec, block, assumed_regs, smem_per_block);
     fatalIf(assumed.blocks_per_sm == 0,
             "stitched kernel cannot launch: block ", block, ", smem ",
             smem_per_block);
@@ -27,16 +34,7 @@ configureLaunch(const GpuSpec &spec, std::int64_t logical_grid, int block,
     // Step 2 (relax): find the largest register budget that keeps the
     // assumed residency — occupancy may be bounded by shared memory, in
     // which case registers are free to grow.
-    int relaxed = assumed_regs;
-    for (int regs = assumed_regs; regs <= spec.max_regs_per_thread;
-         ++regs) {
-        const Occupancy occ =
-            computeOccupancy(spec, block, regs, smem_per_block);
-        if (occ.blocks_per_sm >= assumed.blocks_per_sm)
-            relaxed = regs;
-        else
-            break;
-    }
+    const int relaxed = relax(assumed);
 
     // Step 3 (apply): the relaxed bound becomes the compiler annotation.
     config.regs_per_thread = relaxed;
@@ -51,6 +49,59 @@ configureLaunch(const GpuSpec &spec, std::int64_t logical_grid, int block,
     }
     config.launch = LaunchDims{grid, block};
     return config;
+}
+
+} // namespace
+
+LaunchConfig
+configureLaunch(const GpuSpec &spec, std::int64_t logical_grid, int block,
+                std::int64_t smem_per_block, bool needs_global_barrier)
+{
+    constexpr int assumed_regs = 32;
+    return configureLaunchImpl(
+        spec, logical_grid, block, smem_per_block, needs_global_barrier,
+        computeOccupancyCached, [&](const Occupancy &assumed) {
+            // blocks_per_sm(regs) is non-increasing in regs (the
+            // register limit tightens while every other limiter is
+            // constant), so "keeps the assumed residency" is a monotone
+            // predicate: binary-search the largest register budget that
+            // still satisfies it instead of scanning every value.
+            int lo = assumed_regs;
+            int hi = spec.max_regs_per_thread;
+            while (lo < hi) {
+                const int mid = lo + (hi - lo + 1) / 2;
+                const Occupancy occ = computeOccupancyCached(
+                    spec, block, mid, smem_per_block);
+                if (occ.blocks_per_sm >= assumed.blocks_per_sm)
+                    lo = mid;
+                else
+                    hi = mid - 1;
+            }
+            return lo;
+        });
+}
+
+LaunchConfig
+configureLaunchReference(const GpuSpec &spec, std::int64_t logical_grid,
+                         int block, std::int64_t smem_per_block,
+                         bool needs_global_barrier)
+{
+    constexpr int assumed_regs = 32;
+    return configureLaunchImpl(
+        spec, logical_grid, block, smem_per_block, needs_global_barrier,
+        computeOccupancy, [&](const Occupancy &assumed) {
+            int relaxed = assumed_regs;
+            for (int regs = assumed_regs;
+                 regs <= spec.max_regs_per_thread; ++regs) {
+                const Occupancy occ =
+                    computeOccupancy(spec, block, regs, smem_per_block);
+                if (occ.blocks_per_sm >= assumed.blocks_per_sm)
+                    relaxed = regs;
+                else
+                    break;
+            }
+            return relaxed;
+        });
 }
 
 } // namespace astitch

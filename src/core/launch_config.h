@@ -41,6 +41,19 @@ LaunchConfig configureLaunch(const GpuSpec &spec, std::int64_t logical_grid,
                              int block, std::int64_t smem_per_block,
                              bool needs_global_barrier);
 
+/**
+ * Reference (pre-optimization) implementation of configureLaunch(): the
+ * relax step scans register budgets linearly and every occupancy query
+ * recomputes. Retained for the equivalence property tests and the
+ * compile-scale benchmark; configureLaunch() must return bit-identical
+ * LaunchConfigs (the relaxed predicate is monotone in regs, so binary
+ * search finds the same bound the scan does).
+ */
+LaunchConfig configureLaunchReference(const GpuSpec &spec,
+                                      std::int64_t logical_grid, int block,
+                                      std::int64_t smem_per_block,
+                                      bool needs_global_barrier);
+
 } // namespace astitch
 
 #endif // ASTITCH_CORE_LAUNCH_CONFIG_H

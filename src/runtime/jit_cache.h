@@ -30,6 +30,7 @@
 #include "analysis/diagnostics.h"
 #include "compiler/clustering.h"
 #include "compiler/kernel_plan.h"
+#include "runtime/compile_timings.h"
 #include "runtime/degradation.h"
 #include "sim/gpu_spec.h"
 
@@ -55,6 +56,10 @@ struct JitCacheEntry
      * recompiled rather than silently served as full-stitch.
      */
     DegradationReport degradation;
+
+    /** Per-pass breakdown of the compile that produced this entry
+     * (excludes scheduling, which is session-scoped). */
+    CompilePassTimings timings;
 };
 
 /** Thread-safe LRU cache of compiled graphs. */

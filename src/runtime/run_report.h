@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/compile_timings.h"
 #include "runtime/degradation.h"
 #include "sim/perf_counters.h"
 #include "sim/timeline.h"
@@ -31,6 +32,10 @@ struct RunReport
 
     /** Wall-clock JIT compilation time (ms), measured, not simulated. */
     double compile_ms = 0.0;
+
+    /** Per-pass breakdown of compile_ms (cache hits report the timings
+     * of the compile that produced the cached entry). */
+    CompilePassTimings pass_timings;
 
     /** Graph output tensors (empty for profile-only runs). */
     std::vector<Tensor> outputs;

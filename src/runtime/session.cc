@@ -19,6 +19,20 @@
 
 namespace astitch {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+msSince(SteadyClock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(SteadyClock::now() -
+                                                     t0)
+        .count();
+}
+
+} // namespace
+
 Session::Session(const Graph &graph, std::unique_ptr<Backend> backend,
                  SessionOptions options)
     : graph_(graph), backend_(std::move(backend)), options_(options)
@@ -50,6 +64,8 @@ Session::compile()
 
     compileEntry(graph);
     const std::vector<Cluster> &clusters = entry_->clusters;
+    pass_timings_ = entry_->timings;
+    const auto scheduling_t0 = SteadyClock::now();
 
     // ---- Unit scheduling: clusters + compute-intensive nodes. ----
     // unit encoding: [0, C) are clusters; C + i enumerates the i-th
@@ -113,6 +129,7 @@ Session::compile()
     fatalIf(static_cast<int>(unit_order_.size()) != num_units,
             "cyclic dependence between stitch ops and library ops — ",
             "clustering produced an illegal partition");
+    pass_timings_.scheduling_ms = msSince(scheduling_t0);
 
     const auto t1 = std::chrono::steady_clock::now();
     compile_ms_ =
@@ -149,6 +166,13 @@ Session::degradation()
     return degradation_;
 }
 
+const CompilePassTimings &
+Session::passTimings()
+{
+    compile();
+    return pass_timings_;
+}
+
 JitCacheEntry
 Session::compileAllClusters(const Graph &graph) const
 {
@@ -157,13 +181,20 @@ Session::compileAllClusters(const Graph &graph) const
     JitCacheEntry entry;
 
     // ---- Clustering, with containment. ----
+    // Timings overwrite per attempt, so they describe the attempt that
+    // actually produced the clusters.
     for (int retries = options_.max_transient_retries;;) {
         try {
+            const auto cluster_t0 = SteadyClock::now();
             entry.clusters = findMemoryIntensiveClusters(graph);
+            entry.timings.clustering_ms = msSince(cluster_t0);
+            entry.timings.remote_stitch_ms = 0.0;
             if (backend_->wantsRemoteStitching()) {
+                const auto stitch_t0 = SteadyClock::now();
                 entry.clusters =
                     remoteStitch(graph, std::move(entry.clusters),
                                  options_.max_cluster_nodes);
+                entry.timings.remote_stitch_ms = msSince(stitch_t0);
             }
             break;
         } catch (const TransientFault &) {
@@ -180,7 +211,10 @@ Session::compileAllClusters(const Graph &graph) const
         // Last resort: one singleton cluster per memory-intensive node.
         // Shielded so a fault cannot chase the recovery path itself.
         FaultShield shield;
+        const auto fallback_t0 = SteadyClock::now();
         entry.clusters = fallbackSingletonClusters(graph);
+        entry.timings.clustering_ms = msSince(fallback_t0);
+        entry.timings.remote_stitch_ms = 0.0;
         entry.degradation.clustering_fallback = true;
         break;
     }
@@ -199,10 +233,27 @@ Session::compileAllClusters(const Graph &graph) const
     // graph/backend/spec. The ladder contains each cluster's failures
     // inside its own body, so (fail_fast aside) nothing propagates
     // through parallelFor except faults of the task layer itself.
+    // CPU time per pass, summed across pool workers. Accumulated in
+    // integer nanoseconds: atomic<double>::fetch_add is not universally
+    // lock-free and loses precision under contention.
+    std::atomic<std::int64_t> backend_compile_ns{0};
+    std::atomic<std::int64_t> analysis_ns{0};
+    const auto addNs = [](std::atomic<std::int64_t> &counter,
+                          SteadyClock::time_point t0) {
+        counter.fetch_add(std::chrono::duration_cast<
+                              std::chrono::nanoseconds>(
+                              SteadyClock::now() - t0)
+                              .count(),
+                          std::memory_order_relaxed);
+    };
+
     auto compileOne = [&](std::size_t i) {
+        const auto ladder_t0 = SteadyClock::now();
         LadderOutcome outcome = compileClusterWithLadder(
             graph, entry.clusters[i], options_.spec, *backend_, policy);
+        addNs(backend_compile_ns, ladder_t0);
         DiagnosticEngine &engine = entry.cluster_diagnostics[i];
+        const auto analysis_t0 = SteadyClock::now();
         if (analyze) {
             try {
                 analyzeCompiledCluster(graph, entry.clusters[i],
@@ -227,6 +278,7 @@ Session::compileAllClusters(const Graph &graph) const
                                        engine, analysis);
             }
         }
+        addNs(analysis_ns, analysis_t0);
         if (outcome.degradation.level != LadderLevel::FullStitch) {
             engine.report(
                 "AS601", "<cluster>",
@@ -253,10 +305,14 @@ Session::compileAllClusters(const Graph &graph) const
         entry.compiled.assign(n, CompiledCluster{});
         entry.cluster_diagnostics.assign(n, DiagnosticEngine{});
         entry.degradation.clusters.assign(n, ClusterDegradation{});
+        // Timings track the attempt whose results were kept.
+        backend_compile_ns.store(0, std::memory_order_relaxed);
+        analysis_ns.store(0, std::memory_order_relaxed);
     };
     resetSlots();
 
     const int threads = resolveCompileThreads(options_.compile_threads);
+    const auto parallel_t0 = SteadyClock::now();
     for (int retries = options_.max_transient_retries;;) {
         try {
             parallelFor(threads, n, compileOne);
@@ -281,6 +337,14 @@ Session::compileAllClusters(const Graph &graph) const
         parallelFor(1, n, compileOne);
         break;
     }
+    entry.timings.parallel_section_ms = msSince(parallel_t0);
+    entry.timings.backend_compile_ms =
+        static_cast<double>(
+            backend_compile_ns.load(std::memory_order_relaxed)) *
+        1e-6;
+    entry.timings.analysis_ms =
+        static_cast<double>(analysis_ns.load(std::memory_order_relaxed)) *
+        1e-6;
     return entry;
 }
 
@@ -489,6 +553,7 @@ Session::execute(const TensorMap *feeds)
     RunReport report;
     report.backend_name = backend_->name();
     report.compile_ms = compile_ms_;
+    report.pass_timings = pass_timings_;
     report.num_clusters = static_cast<int>(entry_->clusters.size());
     report.degradation = degradation_;
     report.counters = sim.takeCounters();

@@ -126,6 +126,10 @@ class Session
      * first. */
     const DegradationReport &degradation();
 
+    /** Per-pass breakdown of the compile (entry timings + this
+     * session's scheduling span). Compiles first. */
+    const CompilePassTimings &passTimings();
+
   private:
     RunReport execute(const TensorMap *feeds);
 
@@ -159,6 +163,8 @@ class Session
     DiagnosticEngine diagnostics_;
     /** entry_->degradation plus session-scope recovery flags. */
     DegradationReport degradation_;
+    /** entry_->timings plus this session's scheduling span. */
+    CompilePassTimings pass_timings_;
 
     /** Execution order of units: cluster index (>= 0) or ~node for
      * library/compute nodes (< 0). */

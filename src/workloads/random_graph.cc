@@ -29,6 +29,8 @@ buildRandomGraph(const RandomGraphConfig &config)
             rng.uniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
     };
 
+    int next_segment = config.segment_size;
+
     while (graph.numNodes() < config.num_nodes) {
         const double roll = rng.uniformDouble();
         const NodeId a = pick();
@@ -104,6 +106,16 @@ buildRandomGraph(const RandomGraphConfig &config)
         if (pool.size() > 64)
             pool.erase(pool.begin(),
                        pool.begin() + static_cast<std::ptrdiff_t>(16));
+
+        // Segment boundary: cut all connectivity to earlier nodes so
+        // the next region grows from fresh parameters.
+        if (config.segment_size > 0 &&
+            graph.numNodes() >= next_segment) {
+            pool.clear();
+            for (int i = 0; i < 4; ++i)
+                pool.push_back(b.parameter({rand_dim(), rand_dim()}));
+            next_segment = graph.numNodes() + config.segment_size;
+        }
     }
 
     // Every dead end becomes a graph output so each cluster has roots.

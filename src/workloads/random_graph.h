@@ -37,6 +37,17 @@ struct RandomGraphConfig
     /** Rows/cols bounds for generated 2-D tensors. */
     std::int64_t min_dim = 2;
     std::int64_t max_dim = 64;
+
+    /**
+     * Restart the operand pool with fresh parameters every this many
+     * nodes (0 = never). The sliding pool otherwise chains every
+     * element-wise op into one giant connected region, so cluster
+     * *size* grows with num_nodes but cluster *count* saturates;
+     * segmenting emulates large serving graphs built from many
+     * independent branches, where the cluster count scales with the
+     * graph — the regime the compile-scalability bench sweeps.
+     */
+    int segment_size = 0;
 };
 
 /** Build a random DAG of memory-intensive ops. */

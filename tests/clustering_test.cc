@@ -11,9 +11,25 @@
 #include "graph/graph_builder.h"
 #include "graph/traversal.h"
 #include "test_graphs.h"
+#include "workloads/random_graph.h"
 
 namespace astitch {
 namespace {
+
+bool
+clustersEqual(const std::vector<Cluster> &a,
+              const std::vector<Cluster> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].nodes != b[i].nodes || a[i].inputs != b[i].inputs ||
+            a[i].outputs != b[i].outputs) {
+            return false;
+        }
+    }
+    return true;
+}
 
 TEST(Clustering, SingleChainIsOneCluster)
 {
@@ -189,6 +205,110 @@ TEST(RemoteStitch, HonorsSizeBound)
     EXPECT_EQ(merged.size(), 2u);
     for (const Cluster &c : merged)
         EXPECT_LE(c.nodes.size(), 2u);
+}
+
+TEST(Clustering, BitmapMembershipPathMatchesFrontierSemantics)
+{
+    // 100-node chain: makeCluster takes the stamped-bitmap membership
+    // path (>= 64 members). Frontiers must still be exact.
+    Graph g = testing::buildElementwiseChain(8, 100);
+    const auto clusters = findMemoryIntensiveClusters(g);
+    ASSERT_EQ(clusters.size(), 1u);
+    const Cluster &c = clusters[0];
+    ASSERT_GE(c.nodes.size(), 64u);
+    for (NodeId in : c.inputs) {
+        EXPECT_FALSE(c.contains(in));
+        EXPECT_TRUE(isSource(g.node(in).kind()));
+    }
+    for (NodeId out : c.outputs) {
+        EXPECT_TRUE(c.contains(out));
+        bool escapes = g.isOutput(out);
+        for (NodeId u : g.users(out))
+            escapes |= !c.contains(u);
+        EXPECT_TRUE(escapes);
+    }
+    // Interior chain nodes must not be outputs.
+    EXPECT_EQ(c.outputs.size(), 1u);
+}
+
+TEST(Clustering, ScratchStatsTrackPeakAndDrainToZero)
+{
+    resetClusteringScratchStats();
+    EXPECT_EQ(clusteringScratchStats().peak_bytes, 0u);
+    Graph g = testing::buildElementwiseChain(8, 100);
+    findMemoryIntensiveClusters(g);
+    EXPECT_GT(clusteringScratchStats().peak_bytes, 0u);
+    EXPECT_EQ(clusteringScratchStats().current_bytes, 0u);
+}
+
+TEST(ClusteringEquivalence, MatchesReferenceOnSeededRandomGraphs)
+{
+    for (std::uint64_t seed : {1, 2, 3, 4, 5, 6, 7, 8}) {
+        for (int segment : {0, 50}) {
+            workloads::RandomGraphConfig config;
+            config.num_nodes = 400;
+            config.seed = seed;
+            config.max_dim = 32;
+            config.matmul_probability = 0.1;
+            config.segment_size = segment;
+            const Graph g = workloads::buildRandomGraph(config);
+            EXPECT_TRUE(
+                clustersEqual(findMemoryIntensiveClusters(g),
+                              findMemoryIntensiveClustersReference(g)))
+                << "seed " << seed << " segment " << segment;
+        }
+    }
+}
+
+TEST(RemoteStitchEquivalence, MatchesReferenceAcrossBudgets)
+{
+    // Budget edge cases: 0 (unbounded), 1 (nothing fits with anything),
+    // tiny budgets that reject most merges, and a budget larger than
+    // the graph (equivalent to unbounded but through the guarded path).
+    for (std::uint64_t seed : {3, 11, 29}) {
+        workloads::RandomGraphConfig config;
+        config.num_nodes = 500;
+        config.seed = seed;
+        config.max_dim = 32;
+        config.matmul_probability = 0.1;
+        config.segment_size = 40;
+        const Graph g = workloads::buildRandomGraph(config);
+        const auto clusters = findMemoryIntensiveClusters(g);
+        for (int budget : {0, 1, 2, 3, 5, 8, 64, 1000000}) {
+            EXPECT_TRUE(clustersEqual(
+                remoteStitch(g, clusters, budget),
+                remoteStitchReference(g, clusters, budget)))
+                << "seed " << seed << " budget " << budget;
+        }
+    }
+}
+
+TEST(RemoteStitchEquivalence, FallsBackOnCyclicThroughExternalInput)
+{
+    // Violate remoteStitch's precondition on purpose: hand it a cluster
+    // that reaches itself through an external matmul (splitCyclic would
+    // have split it). The condensed graph is cyclic, so the optimized
+    // path must detect that and still match the reference bit-for-bit.
+    Graph g;
+    GraphBuilder b(g);
+    NodeId p = b.parameter({8, 8});
+    NodeId a = b.neg(p);
+    NodeId w = b.parameter({8, 8});
+    NodeId mm = b.matmul(a, w);
+    NodeId c = b.add(a, mm);
+    NodeId d = b.abs(b.parameter({16}));
+    g.markOutput(c);
+    g.markOutput(d);
+
+    std::vector<Cluster> clusters;
+    clusters.push_back(makeCluster(g, {a, c})); // cyclic through mm
+    clusters.push_back(makeCluster(g, {d}));
+    for (int budget : {0, 2}) {
+        EXPECT_TRUE(clustersEqual(
+            remoteStitch(g, clusters, budget),
+            remoteStitchReference(g, clusters, budget)))
+            << "budget " << budget;
+    }
 }
 
 TEST(RemoteStitch, Fig7StaysOneCluster)

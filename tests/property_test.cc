@@ -10,6 +10,7 @@
 #include "backends/tvm/tvm_backend.h"
 #include "backends/xla/xla_backend.h"
 #include "core/astitch_backend.h"
+#include "core/launch_config.h"
 #include "runtime/session.h"
 #include "workloads/common.h"
 #include "workloads/random_graph.h"
@@ -182,9 +183,118 @@ TEST_P(RandomGraphProperty, FunctionalEquivalenceAcrossBackends)
     }
 }
 
+TEST_P(RandomGraphProperty, OptimizedCompilePassesMatchReferences)
+{
+    const Graph g = makeGraph();
+    const auto clusters = findMemoryIntensiveClusters(g);
+    const auto reference = findMemoryIntensiveClustersReference(g);
+    ASSERT_EQ(clusters.size(), reference.size());
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+        EXPECT_EQ(clusters[i].nodes, reference[i].nodes);
+        EXPECT_EQ(clusters[i].inputs, reference[i].inputs);
+        EXPECT_EQ(clusters[i].outputs, reference[i].outputs);
+    }
+    for (int budget : {0, 1, 7, 64}) {
+        const auto stitched = remoteStitch(g, clusters, budget);
+        const auto stitched_ref =
+            remoteStitchReference(g, reference, budget);
+        ASSERT_EQ(stitched.size(), stitched_ref.size())
+            << "budget " << budget;
+        for (std::size_t i = 0; i < stitched.size(); ++i)
+            EXPECT_EQ(stitched[i].nodes, stitched_ref[i].nodes)
+                << "budget " << budget;
+    }
+}
+
+TEST_P(RandomGraphProperty, PassTimingsAreCoherent)
+{
+    const Graph g = makeGraph();
+    Session session(g, std::make_unique<AStitchBackend>());
+    const double compile_ms = session.compile();
+    const CompilePassTimings &t = session.passTimings();
+    EXPECT_GE(t.clustering_ms, 0.0);
+    EXPECT_GE(t.remote_stitch_ms, 0.0);
+    EXPECT_GE(t.backend_compile_ms, 0.0);
+    EXPECT_GE(t.analysis_ms, 0.0);
+    EXPECT_GT(t.parallel_section_ms, 0.0);
+    EXPECT_GE(t.scheduling_ms, 0.0);
+    // The disjoint wall spans cannot exceed the whole compile.
+    EXPECT_LE(t.accountedWallMs(), compile_ms + 1.0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9,
                                            10));
+
+// ---------------------------------------------------------------------
+// Launch-configuration equivalence: the binary-search relax step and
+// the memoized occupancy cache must reproduce the reference
+// linear-scan/uncached results bit-for-bit on every device model.
+// ---------------------------------------------------------------------
+
+TEST(LaunchConfigEquivalence, MatchesReferenceAcrossDevicesAndShapes)
+{
+    clearOccupancyCache();
+    for (const GpuSpec &spec :
+         {GpuSpec::v100(), GpuSpec::t4(), GpuSpec::a100()}) {
+        for (int block : {32, 64, 128, 192, 256, 512, 1024}) {
+            if (block > spec.max_threads_per_block)
+                continue;
+            for (std::int64_t smem : {0L, 2048L, 16384L, 49152L}) {
+                if (smem > spec.smem_per_block_bytes)
+                    continue;
+                for (bool barrier : {false, true}) {
+                    for (std::int64_t grid : {1L, 1000L, 1L << 20}) {
+                        const LaunchConfig opt = configureLaunch(
+                            spec, grid, block, smem, barrier);
+                        const LaunchConfig ref = configureLaunchReference(
+                            spec, grid, block, smem, barrier);
+                        EXPECT_EQ(opt.launch, ref.launch);
+                        EXPECT_EQ(opt.regs_per_thread,
+                                  ref.regs_per_thread)
+                            << spec.name << " block " << block << " smem "
+                            << smem;
+                        EXPECT_EQ(opt.blocks_per_wave,
+                                  ref.blocks_per_wave);
+                        EXPECT_EQ(opt.grid_packing, ref.grid_packing);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(OccupancyCache, HitsReturnTheUncachedResult)
+{
+    clearOccupancyCache();
+    const GpuSpec spec = GpuSpec::v100();
+    const auto baseline = occupancyCacheStats();
+    EXPECT_EQ(baseline.entries, 0u);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int block : {64, 256, 1024}) {
+            for (int regs : {0, 32, 96}) { // 0 normalizes like the direct path
+                for (std::int64_t smem : {0L, 8192L}) {
+                    const Occupancy cached =
+                        computeOccupancyCached(spec, block, regs, smem);
+                    const Occupancy direct =
+                        computeOccupancy(spec, block, regs, smem);
+                    EXPECT_EQ(cached.blocks_per_sm, direct.blocks_per_sm);
+                    EXPECT_EQ(cached.warps_per_sm, direct.warps_per_sm);
+                    EXPECT_DOUBLE_EQ(cached.theoretical,
+                                     direct.theoretical);
+                }
+            }
+        }
+    }
+    const auto stats = occupancyCacheStats();
+    // regs 0 and 32 normalize to the same key: 3 blocks x 2 distinct
+    // register budgets x 2 smem budgets.
+    EXPECT_EQ(stats.entries, 12u);
+    EXPECT_EQ(stats.misses, 12);
+    EXPECT_EQ(stats.hits, 24); // the 0/32 aliases + the whole 2nd pass
+    clearOccupancyCache();
+    EXPECT_EQ(occupancyCacheStats().entries, 0u);
+}
 
 // ---------------------------------------------------------------------
 // Adaptive-mapping invariants over a shape grid.
