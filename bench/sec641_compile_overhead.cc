@@ -16,16 +16,28 @@
  * fault-injection points and the recompile cost of demoting the whole
  * graph to each fallback-ladder rung. Written to BENCH_robustness.json
  * (override with $ASTITCH_BENCH_ROBUSTNESS_JSON).
+ *
+ * A verification column prices shape-parametric (AS8xx) certification:
+ * warming K=16 power-of-two buckets and serving several shapes per
+ * bucket under Proven certificates vs the per-concrete-shape baseline
+ * that re-runs the AS7xx verifier for every distinct served shape. The
+ * verifierPlanRuns() deltas go to BENCH_verify.json (override with
+ * $ASTITCH_BENCH_VERIFY_JSON).
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "analysis/kernel_verifier.h"
 #include "bench_common.h"
+#include "graph/graph_builder.h"
+#include "runtime/dynamic_session.h"
 #include "support/strings.h"
 #include "workloads/random_graph.h"
 
@@ -276,6 +288,167 @@ writeRobustnessJson(const std::vector<RobustnessRecord> &records)
                 path.c_str());
 }
 
+/** Dynamic-dim element-wise chain: certifies Proven in every bucket,
+ * so the sweep isolates the verifier-run accounting from proof
+ * fallbacks. */
+Graph
+dynamicChain(std::int64_t n)
+{
+    Graph graph("chain");
+    GraphBuilder b(graph);
+    NodeId x = b.parameter({n});
+    for (int i = 0; i < 8; ++i)
+        x = b.add(b.mul(x, b.constantScalar(1.5f)),
+                  b.constantScalar(0.25f));
+    graph.markOutput(x);
+    return graph;
+}
+
+/** One verification record: verifier-run accounting of one mode. */
+struct VerifyRecord
+{
+    std::string mode;
+    int buckets;
+    int serves;
+    std::int64_t verifier_runs;
+    double wall_ms;
+};
+
+/**
+ * Verification column: what shape-parametric certificates save. Both
+ * modes warm K=16 power-of-two buckets of one dynamic-dim template and
+ * serve kServesPerBucket shapes per bucket. "certified" proves each
+ * bucket's whole rounding range once at compile time, so the serves
+ * ride the certificates; "per-shape" is the pre-AS8xx baseline that
+ * re-runs the concrete AS7xx verifier for every distinct served shape
+ * beyond the compile shape.
+ */
+void
+printVerifyOverhead(std::vector<VerifyRecord> &records)
+{
+    constexpr int kBuckets = 16;
+    constexpr int kServesPerBucket = 4;
+
+    printHeader(strCat("Shape-parametric verification: certified "
+                       "buckets vs per-shape verifier runs (K=",
+                       kBuckets, " buckets, ", kServesPerBucket,
+                       " serves each)"));
+
+    // Serve shapes spread through bucket (lo, key]: lo+1, midpoint,
+    // key-1, key. Dims double so every round lands in a fresh bucket.
+    const auto servedShapes = [](std::int64_t key) {
+        const std::int64_t lo = std::max<std::int64_t>(1, key / 2 + 1);
+        return std::vector<std::int64_t>{
+            std::min(lo + 1, key), (lo + key) / 2, key - 1, key};
+    };
+
+    using Clock = std::chrono::steady_clock;
+    const auto elapsedMs = [](Clock::time_point start) {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         start)
+            .count();
+    };
+
+    // Certified mode: one DynamicSession, certificates carry every
+    // serve after the bucket's single compile-time verification.
+    {
+        const std::int64_t runs_before = verifierPlanRuns();
+        const Clock::time_point start = Clock::now();
+        DynamicSessionOptions options;
+        options.bucket_to_power_of_two = true;
+        options.dim_names = {"n"};
+        DynamicSession session(
+            [](const std::vector<std::int64_t> &dims) {
+                return dynamicChain(dims.at(0));
+            },
+            [] { return std::make_unique<AStitchBackend>(); }, options);
+        std::int64_t dim = 100;
+        int serves = 0;
+        for (int k = 0; k < kBuckets; ++k, dim *= 2) {
+            for (std::int64_t shape :
+                 servedShapes(session.bucketFor({dim}).at(0))) {
+                session.profile({shape});
+                ++serves;
+            }
+        }
+        records.push_back(VerifyRecord{
+            "certified", kBuckets, serves,
+            verifierPlanRuns() - runs_before, elapsedMs(start)});
+    }
+
+    // Baseline mode: the same buckets and serves, but safety comes
+    // from re-running the concrete verifier at every distinct served
+    // shape (what recordServe's fallback path does when no
+    // certificate holds).
+    {
+        const std::int64_t runs_before = verifierPlanRuns();
+        const Clock::time_point start = Clock::now();
+        const SessionOptions session_options;
+        std::int64_t dim = 100;
+        int serves = 0;
+        for (int k = 0; k < kBuckets; ++k, dim *= 2) {
+            std::int64_t key = 1;
+            while (key < dim)
+                key <<= 1;
+            const Graph graph = dynamicChain(key);
+            Session session(graph, std::make_unique<AStitchBackend>(),
+                            session_options);
+            session.compile(); // verifies the key shape concretely
+            for (std::int64_t shape : servedShapes(key)) {
+                session.profile();
+                ++serves;
+                if (shape == key)
+                    continue; // compile already verified the key
+                DiagnosticEngine scratch;
+                for (const CompiledCluster &compiled :
+                     session.compiled())
+                    verifyCompiledCluster(session.activeGraph(),
+                                          compiled,
+                                          session_options.spec,
+                                          scratch);
+            }
+        }
+        records.push_back(VerifyRecord{
+            "per-shape", kBuckets, serves,
+            verifierPlanRuns() - runs_before, elapsedMs(start)});
+    }
+
+    std::printf("%-12s %8s %7s %14s %10s\n", "mode", "buckets",
+                "serves", "verifier runs", "wall");
+    for (const VerifyRecord &r : records)
+        std::printf("%-12s %8d %7d %14lld %7.1f ms\n", r.mode.c_str(),
+                    r.buckets, r.serves,
+                    static_cast<long long>(r.verifier_runs), r.wall_ms);
+    std::printf("(certified verifies each bucket once for its whole "
+                "rounding range; per-shape pays one verifier pass per "
+                "distinct served shape)\n");
+}
+
+/** mode -> verifier runs, for regression tracking. */
+void
+writeVerifyJson(const std::vector<VerifyRecord> &records)
+{
+    const char *env = std::getenv("ASTITCH_BENCH_VERIFY_JSON");
+    const std::string path = env ? env : "BENCH_verify.json";
+    std::ofstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    file << "{\"records\":[";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const VerifyRecord &r = records[i];
+        file << (i ? "," : "") << "{\"mode\":\"" << r.mode
+             << "\",\"buckets\":" << r.buckets
+             << ",\"serves\":" << r.serves
+             << ",\"verifier_runs\":" << r.verifier_runs
+             << ",\"wall_ms\":" << r.wall_ms << "}";
+    }
+    file << "]}\n";
+    std::printf("wrote %zu verify records to %s\n", records.size(),
+                path.c_str());
+}
+
 void
 BM_CompileRandomGraph(benchmark::State &state)
 {
@@ -308,6 +481,9 @@ main(int argc, char **argv)
     std::vector<RobustnessRecord> robustness;
     printRobustness(robustness);
     writeRobustnessJson(robustness);
+    std::vector<VerifyRecord> verify;
+    printVerifyOverhead(verify);
+    writeVerifyJson(verify);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -226,4 +226,178 @@ bool rangesOverlap(const OpAccess &a, const OpAccess &b)
     return a_lo <= b_hi && b_lo <= a_hi;
 }
 
+// ---------------------------------------------------------------------
+// Shape-parametric extensions
+// ---------------------------------------------------------------------
+
+std::string ShapeDim::toString() const
+{
+    std::ostringstream out;
+    out << name << "=" << value << " in [" << lo << "," << hi << "]";
+    if (divisor > 1) {
+        out << "/" << divisor;
+    }
+    return out.str();
+}
+
+LinExpr LinExpr::constant(std::int64_t c)
+{
+    LinExpr e;
+    e.c0 = c;
+    return e;
+}
+
+LinExpr LinExpr::dim(int dim_index, std::int64_t coeff, std::int64_t c0)
+{
+    LinExpr e;
+    e.c0 = c0;
+    if (coeff != 0) {
+        e.terms.emplace_back(dim_index, coeff);
+    }
+    return e;
+}
+
+std::int64_t LinExpr::evalAt(const std::vector<std::int64_t> &values) const
+{
+    std::int64_t v = c0;
+    for (const auto &[dim_index, coeff] : terms) {
+        panicIf(dim_index < 0 ||
+                    dim_index >= static_cast<int>(values.size()),
+                "LinExpr::evalAt: dim index ", dim_index,
+                " outside the bound value vector");
+        v += coeff * values[static_cast<std::size_t>(dim_index)];
+    }
+    return v;
+}
+
+std::int64_t LinExpr::atCompilePoint(const std::vector<ShapeDim> &dims) const
+{
+    std::int64_t v = c0;
+    for (const auto &[dim_index, coeff] : terms) {
+        panicIf(dim_index < 0 || dim_index >= static_cast<int>(dims.size()),
+                "LinExpr::atCompilePoint: dim index ", dim_index,
+                " outside the declared dims");
+        v += coeff * dims[static_cast<std::size_t>(dim_index)].value;
+    }
+    return v;
+}
+
+SymInterval LinExpr::interval(const std::vector<ShapeDim> &dims) const
+{
+    SymInterval range{c0, c0};
+    for (const auto &[dim_index, coeff] : terms) {
+        panicIf(dim_index < 0 || dim_index >= static_cast<int>(dims.size()),
+                "LinExpr::interval: dim index ", dim_index,
+                " outside the declared dims");
+        const ShapeDim &d = dims[static_cast<std::size_t>(dim_index)];
+        if (coeff >= 0) {
+            range.lo += coeff * d.lo;
+            range.hi += coeff * d.hi;
+        } else {
+            range.lo += coeff * d.hi;
+            range.hi += coeff * d.lo;
+        }
+    }
+    return range;
+}
+
+std::int64_t LinExpr::divisibility(const std::vector<ShapeDim> &dims) const
+{
+    std::int64_t g = c0 < 0 ? -c0 : c0;
+    for (const auto &[dim_index, coeff] : terms) {
+        panicIf(dim_index < 0 || dim_index >= static_cast<int>(dims.size()),
+                "LinExpr::divisibility: dim index ", dim_index,
+                " outside the declared dims");
+        const ShapeDim &d = dims[static_cast<std::size_t>(dim_index)];
+        const std::int64_t step = coeff * std::max<std::int64_t>(1, d.divisor);
+        g = std::gcd(g, step < 0 ? -step : step);
+    }
+    return g;
+}
+
+std::string LinExpr::toString(const std::vector<ShapeDim> &dims) const
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto &[dim_index, coeff] : terms) {
+        const std::string name =
+            dim_index >= 0 && dim_index < static_cast<int>(dims.size())
+                ? dims[static_cast<std::size_t>(dim_index)].name
+                : "d?";
+        if (!first) {
+            out << " + ";
+        }
+        if (coeff != 1) {
+            out << coeff << "*";
+        }
+        out << name;
+        first = false;
+    }
+    if (c0 != 0 || first) {
+        if (!first) {
+            out << " + ";
+        }
+        out << c0;
+    }
+    return out.str();
+}
+
+std::string SymbolicAccess::toString(const std::vector<ShapeDim> &dims) const
+{
+    std::ostringstream out;
+    out << "access#" << access_index << " extent=" << extent.toString(dims)
+        << " offset=" << offset.toString(dims);
+    if (value_extent != extent) {
+        out << " value=" << value_extent.toString(dims);
+    }
+    return out.str();
+}
+
+bool ShapeCertificate::covers(const std::vector<std::int64_t> &values) const
+{
+    if (verdict != Verdict::Proven ||
+        values.size() != dims.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (!dims[i].admits(values[i])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string ShapeCertificate::toString() const
+{
+    std::ostringstream out;
+    out << "certificate " << certificateVerdictName(verdict);
+    if (!dims.empty()) {
+        out << " over {";
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+            out << (i ? ", " : "") << dims[i].toString();
+        }
+        out << "}";
+    }
+    out << " (" << obligations_proven << " obligation(s) proven";
+    if (obligations_fallback > 0) {
+        out << ", " << obligations_fallback << " fallback";
+    }
+    out << ")";
+    for (const std::string &a : assumptions) {
+        out << "\nassumes: " << a;
+    }
+    return out.str();
+}
+
+std::string certificateVerdictName(ShapeCertificate::Verdict verdict)
+{
+    switch (verdict) {
+    case ShapeCertificate::Verdict::None: return "none";
+    case ShapeCertificate::Verdict::Proven: return "proven";
+    case ShapeCertificate::Verdict::Fallback: return "fallback";
+    case ShapeCertificate::Verdict::Refuted: return "refuted";
+    }
+    return "?";
+}
+
 } // namespace astitch

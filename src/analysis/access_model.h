@@ -220,6 +220,146 @@ bool sameMapping(const OpAccess &a, const OpAccess &b);
  */
 bool rangesOverlap(const OpAccess &a, const OpAccess &b);
 
+// ---------------------------------------------------------------------
+// Shape-parametric extensions: symbolic extents/offsets over named
+// dimension variables, and the certificate the parametric verifier
+// attaches to a plan once it has discharged its proof obligations for
+// every shape in a declared range.
+// ---------------------------------------------------------------------
+
+/**
+ * One named dynamic dimension variable with its admissible range. The
+ * plan under certification was compiled with the dimension bound to
+ * `value`; the certificate claims safety for every integer in
+ * [lo, hi] that is a multiple of `divisor`.
+ */
+struct ShapeDim
+{
+    std::string name;         ///< e.g. "batch"
+    std::int64_t value = 1;   ///< concrete binding at compile time
+    std::int64_t lo = 1;      ///< smallest admissible value (inclusive)
+    std::int64_t hi = 1;      ///< largest admissible value (inclusive)
+    std::int64_t divisor = 1; ///< admissible values are multiples of this
+
+    /** A point range certifies nothing beyond the compile shape. */
+    bool point() const { return lo == hi; }
+
+    /** True when @p v lies in the admissible set. */
+    bool admits(std::int64_t v) const
+    {
+        return v >= lo && v <= hi && divisor > 0 && v % divisor == 0;
+    }
+
+    /** "batch=200 in [101,200]" (plus "/4" when divisor > 1). */
+    std::string toString() const;
+};
+
+/** Closed integer interval [lo, hi] (empty iff hi < lo). */
+struct SymInterval
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+};
+
+/**
+ * A linear term `c0 + sum ci * dim_i` over a declared ShapeDim vector.
+ * Terms hold (dim index, coefficient) pairs sorted by dim index with
+ * no zero coefficients, so structural equality is extensional equality
+ * over any non-degenerate range.
+ */
+struct LinExpr
+{
+    std::int64_t c0 = 0;
+    std::vector<std::pair<int, std::int64_t>> terms;
+
+    static LinExpr constant(std::int64_t c);
+    static LinExpr dim(int dim_index, std::int64_t coeff,
+                       std::int64_t c0 = 0);
+
+    bool isConstant() const { return terms.empty(); }
+
+    /** Value with every dim bound to the given concrete values. */
+    std::int64_t evalAt(const std::vector<std::int64_t> &values) const;
+
+    /** Value at the dims' compile-time bindings. */
+    std::int64_t atCompilePoint(const std::vector<ShapeDim> &dims) const;
+
+    /** Tight bounds of the expression over the dims' ranges. */
+    SymInterval interval(const std::vector<ShapeDim> &dims) const;
+
+    /**
+     * A positive d such that every admissible evaluation of the
+     * expression is a multiple of d (gcd of c0 and each ci * divisor_i;
+     * 0 when the expression is identically zero).
+     */
+    std::int64_t divisibility(const std::vector<ShapeDim> &dims) const;
+
+    bool operator==(const LinExpr &other) const
+    {
+        return c0 == other.c0 && terms == other.terms;
+    }
+    bool operator!=(const LinExpr &other) const { return !(*this == other); }
+
+    /** "64*batch + 128" (dim names resolved through @p dims). */
+    std::string toString(const std::vector<ShapeDim> &dims) const;
+};
+
+/**
+ * Shape-parametric twin of one OpAccess: the accessed buffer's extent
+ * and the index expression's constant offset as linear terms over the
+ * kernel's declared shape dims. `access_index` pairs the twin with its
+ * entry in KernelPlan::accesses; accesses without a twin (non-linear
+ * or ambiguous extents) fall back to concrete verification (AS831).
+ */
+struct SymbolicAccess
+{
+    int access_index = -1;
+    LinExpr extent; ///< accessed buffer extent (arena: 4-byte words)
+    LinExpr offset; ///< constant index term (arena slot offsets)
+
+    /**
+     * Extent of the value the access stages, when it differs from the
+     * buffer extent (shared-arena accesses stage a node value into a
+     * fixed-capacity slot; the arena-overflow proof needs the value's
+     * growth, not the arena's). Equals `extent` for off-chip accesses.
+     */
+    LinExpr value_extent;
+
+    /** One-line rendering for the emitter's symbolic summary. */
+    std::string toString(const std::vector<ShapeDim> &dims) const;
+};
+
+/**
+ * The parametric verifier's verdict for one kernel plan over a
+ * declared shape range.
+ */
+struct ShapeCertificate
+{
+    enum class Verdict {
+        None,     ///< no parametric verification was attempted
+        Proven,   ///< every obligation discharged for the whole range
+        Fallback, ///< some obligation did not close (AS831): concrete
+                  ///< AS7xx verification remains the authority
+        Refuted,  ///< a witness shape in the range violates an
+                  ///< obligation (AS80x/AS81x/AS821 reported)
+    };
+
+    Verdict verdict = Verdict::None;
+    std::vector<ShapeDim> dims;            ///< certified ranges
+    std::vector<std::string> assumptions;  ///< conditions the proof uses
+    int obligations_proven = 0;
+    int obligations_fallback = 0;
+
+    /** True when the certificate proves safety at @p values. */
+    bool covers(const std::vector<std::int64_t> &values) const;
+
+    /** Multi-line rendering for the emitter and CLI. */
+    std::string toString() const;
+};
+
+/** Printable name of a certificate verdict. */
+std::string certificateVerdictName(ShapeCertificate::Verdict verdict);
+
 } // namespace astitch
 
 #endif // ASTITCH_ANALYSIS_ACCESS_MODEL_H

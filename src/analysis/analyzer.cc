@@ -24,4 +24,22 @@ analyzeCompiledCluster(const Graph &graph, const Cluster &cluster,
     return engine.count(Severity::Error) == errors_before;
 }
 
+bool
+analyzeCompiledCluster(const Graph &graph, const Cluster &cluster,
+                       CompiledCluster &compiled, const GpuSpec &spec,
+                       DiagnosticEngine &engine,
+                       const AnalysisOptions &options)
+{
+    const CompiledCluster &immutable = compiled;
+    bool clean = analyzeCompiledCluster(graph, cluster, immutable, spec,
+                                        engine, options);
+    if (options.verify && !options.shape_params.empty()) {
+        const int errors_before = engine.count(Severity::Error);
+        certifyCompiledCluster(graph, compiled, options.shape_params,
+                               engine, options.verifier);
+        clean = clean && engine.count(Severity::Error) == errors_before;
+    }
+    return clean;
+}
+
 } // namespace astitch

@@ -32,6 +32,14 @@ struct AnalysisOptions
     SanitizerOptions sanitizer; ///< per-family sanitizer switches
     VerifierOptions verifier;   ///< per-family verifier switches
 
+    /**
+     * Declared dynamic-dimension ranges for shape-parametric (AS8xx)
+     * certification. Empty (the default) disables the parametric pass;
+     * non-empty makes the mutable-cluster analyzeCompiledCluster
+     * overload attach a ShapeCertificate to every verifiable plan.
+     */
+    std::vector<ShapeDim> shape_params;
+
     /** Everything off: the cheap consistency-only configuration the
      * legacy plan-validator entry points use. */
     static AnalysisOptions consistencyOnly()
@@ -51,6 +59,18 @@ struct AnalysisOptions
 bool analyzeCompiledCluster(const Graph &graph, const Cluster &cluster,
                             const CompiledCluster &compiled,
                             const GpuSpec &spec, DiagnosticEngine &engine,
+                            const AnalysisOptions &options = {});
+
+/**
+ * Mutable-cluster overload: runs the same check families and, when
+ * options.shape_params is non-empty, additionally certifies every
+ * kernel plan for the declared shape ranges (writing the resulting
+ * ShapeCertificates into @p compiled). AS831 fallback notes do not
+ * fail the analysis; parametric refutations (Error severity) do.
+ */
+bool analyzeCompiledCluster(const Graph &graph, const Cluster &cluster,
+                            CompiledCluster &compiled, const GpuSpec &spec,
+                            DiagnosticEngine &engine,
                             const AnalysisOptions &options = {});
 
 } // namespace astitch

@@ -158,6 +158,33 @@ diagnosticCodes()
         {"AS751", Severity::Warning, "cost-model-transaction-mismatch",
          "the verifier's statically derived DRAM transaction count "
          "disagrees with the analytical cost model beyond tolerance"},
+
+        // -- AS8xx: shape-parametric verification (proofs over whole
+        //    dimension ranges, discharged once per shape bucket) --
+        {"AS801", Severity::Error, "parametric-scratch-capacity-exceeded",
+         "a scratch buffer's symbolic extent can exceed its "
+         "compile-time allocation at a shape inside the declared range"},
+        {"AS802", Severity::Error, "parametric-shared-out-of-bounds",
+         "a shared-arena access's symbolic offset can push its span "
+         "past the arena at a shape inside the declared range"},
+        {"AS803", Severity::Error, "parametric-negative-or-empty-index",
+         "an access's symbolic offset or extent can evaluate below its "
+         "lower bound at a shape inside the declared range"},
+        {"AS804", Severity::Error, "parametric-output-under-coverage",
+         "writes to an off-chip buffer cannot cover its symbolic "
+         "extent at a shape inside the declared range"},
+        {"AS811", Severity::Error, "parametric-write-write-race",
+         "two writes that share one mapping at the compile shape "
+         "provably diverge at another shape in the declared range"},
+        {"AS812", Severity::Error, "parametric-read-write-overlap",
+         "a staging write and an unsynchronized read that are disjoint "
+         "at the compile shape overlap at another shape in the range"},
+        {"AS821", Severity::Error, "parametric-arena-overflow",
+         "a shared-arena slot's symbolic footprint outgrows its "
+         "fixed-capacity slot at a shape inside the declared range"},
+        {"AS831", Severity::Note, "parametric-proof-fallback",
+         "a parametric proof obligation did not close; the shape "
+         "bucket falls back to concrete per-shape verification"},
     };
     // clang-format on
     return codes;
@@ -182,6 +209,42 @@ familyOf(const std::string &code)
     return std::string("AS") + code[2];
 }
 
+std::vector<std::string>
+parseFamilyList(const std::string &expression)
+{
+    std::vector<std::string> families;
+    for (const std::string &raw : strSplit(expression, ',')) {
+        std::string item = strTrim(raw);
+        fatalIf(item.empty(), "empty item in diagnostic family list '",
+                expression, "'");
+        const std::size_t dash = item.find('-');
+        if (dash == std::string::npos) {
+            const std::string family = familyOf(item);
+            fatalIf(family.empty(), "unknown diagnostic family '", item,
+                    "' (expected e.g. AS7 or AS7xx)");
+            families.push_back(family);
+            continue;
+        }
+        const std::string first = familyOf(strTrim(item.substr(0, dash)));
+        const std::string last = familyOf(strTrim(item.substr(dash + 1)));
+        fatalIf(first.empty() || last.empty(),
+                "unknown diagnostic family range '", item,
+                "' (expected e.g. AS1-AS5 or AS1xx-AS5xx)");
+        const int lo = first[2] - '0';
+        const int hi = last[2] - '0';
+        fatalIf(lo > hi, "inverted diagnostic family range '", item, "'");
+        for (int digit = lo; digit <= hi; ++digit)
+            families.push_back(strCat("AS", digit));
+    }
+    // De-duplicate while keeping first-mention order.
+    std::vector<std::string> unique;
+    for (const std::string &f : families) {
+        if (std::find(unique.begin(), unique.end(), f) == unique.end())
+            unique.push_back(f);
+    }
+    return unique;
+}
+
 const DiagnosticCode *
 findDiagnosticCode(const std::string &code)
 {
@@ -195,8 +258,11 @@ findDiagnosticCode(const std::string &code)
 std::string
 Diagnostic::toString() const
 {
-    return strCat("[", code, "] ", severityName(severity), " ", kernel,
-                  ": ", message);
+    std::string line = strCat("[", code, "] ", severityName(severity), " ",
+                              kernel, ": ", message);
+    if (!provenance.empty())
+        line += strCat("  (seen in: ", strJoin(provenance, ", "), ")");
+    return line;
 }
 
 void
@@ -253,10 +319,49 @@ DiagnosticEngine::withFamily(const std::string &family) const
     return out;
 }
 
+DiagnosticEngine
+DiagnosticEngine::withFamilies(const std::vector<std::string> &families) const
+{
+    DiagnosticEngine out;
+    for (const Diagnostic &d : diags_) {
+        const std::string family = familyOf(d.code);
+        if (std::find(families.begin(), families.end(), family) !=
+            families.end())
+            out.diags_.push_back(d);
+    }
+    return out;
+}
+
 void
 DiagnosticEngine::merge(const DiagnosticEngine &other)
 {
     diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+void
+DiagnosticEngine::mergeDeduped(const DiagnosticEngine &other,
+                               const std::string &origin)
+{
+    for (const Diagnostic &incoming : other.diags_) {
+        Diagnostic *match = nullptr;
+        for (Diagnostic &held : diags_) {
+            if (held.code == incoming.code &&
+                held.kernel == incoming.kernel &&
+                held.message == incoming.message &&
+                held.node == incoming.node) {
+                match = &held;
+                break;
+            }
+        }
+        if (!match) {
+            diags_.push_back(incoming);
+            match = &diags_.back();
+        }
+        if (!origin.empty() &&
+            std::find(match->provenance.begin(), match->provenance.end(),
+                      origin) == match->provenance.end())
+            match->provenance.push_back(origin);
+    }
 }
 
 std::string
@@ -292,6 +397,14 @@ DiagnosticEngine::renderJson() const
             << jsonEscape(d.message) << "\"";
         if (d.node != kInvalidNodeId)
             oss << ",\"node\":" << d.node;
+        if (!d.provenance.empty()) {
+            oss << ",\"provenance\":[";
+            for (std::size_t i = 0; i < d.provenance.size(); ++i) {
+                oss << (i ? "," : "") << "\"" << jsonEscape(d.provenance[i])
+                    << "\"";
+            }
+            oss << "]";
+        }
         oss << "}";
     }
     oss << "],\"summary\":{\"errors\":" << count(Severity::Error)

@@ -22,7 +22,10 @@
  *          transient retries, session-level recovery events);
  *   AS7xx  kernel-access verification (symbolic bounds/race/coalescing
  *          checks over the emitted access summaries and the cost-model
- *          transaction cross-check).
+ *          transaction cross-check);
+ *   AS8xx  shape-parametric verification (bounds/races/arena proofs
+ *          over declared dimension ranges, plus the AS831 fallback
+ *          note when a parametric proof does not close).
  */
 #ifndef ASTITCH_ANALYSIS_DIAGNOSTICS_H
 #define ASTITCH_ANALYSIS_DIAGNOSTICS_H
@@ -85,6 +88,15 @@ const DiagnosticCode *findDiagnosticCode(const std::string &code);
  */
 std::string familyOf(const std::string &code);
 
+/**
+ * Parse a family filter expression into canonical families: a
+ * comma-separated list of family names or inclusive family ranges —
+ * "AS7", "AS7xx,AS8xx", "AS1-AS5", "AS1xx-AS5xx" all work. Throws
+ * FatalError on anything unparseable (empty items, non-AS tokens,
+ * inverted ranges), so the CLI surfaces bad filters as usage errors.
+ */
+std::vector<std::string> parseFamilyList(const std::string &expression);
+
 /** One finding. */
 struct Diagnostic
 {
@@ -93,6 +105,13 @@ struct Diagnostic
     std::string kernel;  ///< kernel name, or "<cluster>" for cluster scope
     std::string message; ///< human-readable description
     NodeId node = kInvalidNodeId; ///< primary node involved, if any
+
+    /**
+     * Origins of a deduplicated finding: when identical findings from
+     * several sources (shape buckets) merge into one record, each
+     * source's label is kept here. Empty for ordinary findings.
+     */
+    std::vector<std::string> provenance;
 
     /** "[AS101] kernel_name: message" */
     std::string toString() const;
@@ -132,8 +151,27 @@ class DiagnosticEngine
      */
     DiagnosticEngine withFamily(const std::string &family) const;
 
+    /**
+     * Engine holding the findings of any of @p families (canonical
+     * family names as produced by parseFamilyList / familyOf). Order
+     * of the surviving findings is preserved.
+     */
+    DiagnosticEngine
+    withFamilies(const std::vector<std::string> &families) const;
+
     /** Absorb another engine's findings (bucketed sessions, clusters). */
     void merge(const DiagnosticEngine &other);
+
+    /**
+     * Absorb another engine's findings, folding any finding identical
+     * to an already-held one (same code, kernel, message and node)
+     * into the existing record instead of duplicating it. @p origin
+     * labels where the incoming findings came from (e.g. a bucket
+     * signature) and is appended to the merged record's provenance —
+     * on both the existing record and fresh inserts.
+     */
+    void mergeDeduped(const DiagnosticEngine &other,
+                      const std::string &origin);
 
     void clear() { diags_.clear(); }
 

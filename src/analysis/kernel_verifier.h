@@ -28,6 +28,15 @@
  *
  * Plans without access summaries (comparator backends, fallback-ladder
  * rungs below full stitching) produce zero findings by construction.
+ *
+ * The AS8xx family extends the same obligations to whole *shape
+ * ranges*: verifyKernelPlanSymbolic interprets the plan's symbolic
+ * access twins (KernelPlan::sym_accesses) over declared ShapeDim
+ * ranges in an interval/affine abstract domain with divisibility
+ * reasoning, and either proves each obligation for every admissible
+ * shape, refutes it with a concrete witness shape (AS801-AS804,
+ * AS811/AS812, AS821), or declares it unclosed (one AS831 note; the
+ * concrete AS7xx verifier stays the authority for such plans).
  */
 #ifndef ASTITCH_ANALYSIS_KERNEL_VERIFIER_H
 #define ASTITCH_ANALYSIS_KERNEL_VERIFIER_H
@@ -97,6 +106,46 @@ void verifyCompiledCluster(const Graph &graph,
                            const CompiledCluster &compiled,
                            const GpuSpec &spec, DiagnosticEngine &engine,
                            const VerifierOptions &options = {});
+
+/**
+ * Process-wide count of concrete plan verifications performed so far
+ * (verifyKernelPlan calls on plans that actually carried access
+ * summaries). The verify bench takes deltas of this counter to show
+ * that certified shape buckets skip per-shape verifier runs.
+ */
+std::int64_t verifierPlanRuns();
+
+/** Process-wide count of parametric certifications performed so far. */
+std::int64_t symbolicPlanCertifications();
+
+/**
+ * Parametric proof mode: discharge the bounds (AS801-AS804), race
+ * (AS811/AS812) and shared-arena (AS802/AS821) obligations of @p plan
+ * for every shape admitted by @p dims, using the plan's symbolic
+ * access twins. Refutations are reported with a concrete witness
+ * shape; obligations that do not close produce a single AS831 note
+ * and a Fallback verdict (never a false alarm). Plans without access
+ * summaries return a Verdict::None certificate. The graph is not
+ * consulted — everything needed is in the plan — so synthetic plans
+ * can be verified directly in tests.
+ */
+ShapeCertificate
+verifyKernelPlanSymbolic(const KernelPlan &plan,
+                         const std::vector<ShapeDim> &dims,
+                         DiagnosticEngine &engine,
+                         const VerifierOptions &options = {});
+
+/**
+ * Certify every kernel of a compiled cluster for the declared dims:
+ * attaches symbolic access twins first when codegen did not (via
+ * analysis/shape_symbolic.h) and stores each plan's ShapeCertificate
+ * in place. Plans already carrying a non-None certificate are left
+ * untouched (codegen may have certified them during emission).
+ */
+void certifyCompiledCluster(const Graph &graph, CompiledCluster &compiled,
+                            const std::vector<ShapeDim> &dims,
+                            DiagnosticEngine &engine,
+                            const VerifierOptions &options = {});
 
 } // namespace astitch
 

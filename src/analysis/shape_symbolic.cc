@@ -1,0 +1,204 @@
+#include "analysis/shape_symbolic.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace astitch {
+
+namespace {
+
+constexpr std::size_t kMaxUnsymbolizedReasons = 8;
+
+void
+noteUnsymbolized(SymbolizedShapes &result, const std::string &reason)
+{
+    if (result.unsymbolized.size() < kMaxUnsymbolizedReasons)
+        result.unsymbolized.push_back(reason);
+}
+
+} // namespace
+
+SymbolizedShapes
+symbolizeExtents(const Graph &graph, const std::vector<ShapeDim> &dims)
+{
+    SymbolizedShapes result;
+    result.extents.assign(static_cast<std::size_t>(graph.numNodes()),
+                          std::nullopt);
+
+    // Free dims are the ones with a genuine range; point dims are
+    // constants and never produce terms. A free dim whose compile
+    // value is 0 or 1 matches every degenerate axis (and nothing
+    // meaningfully), and two free dims with equal compile values are
+    // indistinguishable — both make attribution unsound, so refuse to
+    // symbolize anything rather than guess.
+    std::vector<int> free_dims;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (!dims[i].point())
+            free_dims.push_back(static_cast<int>(i));
+    }
+    if (free_dims.empty()) {
+        // Everything is a compile-time constant; extents are exact.
+        for (NodeId n = 0; n < graph.numNodes(); ++n) {
+            result.extents[static_cast<std::size_t>(n)] =
+                LinExpr::constant(graph.node(n).shape().numElements());
+        }
+        result.usable = true;
+        return result;
+    }
+    for (int f : free_dims) {
+        const ShapeDim &d = dims[static_cast<std::size_t>(f)];
+        if (d.value < 2) {
+            noteUnsymbolized(result,
+                             strCat("free dim ", d.name, "=", d.value,
+                                    " is too degenerate to attribute "
+                                    "axes to"));
+            return result;
+        }
+        for (int g : free_dims) {
+            if (g < f &&
+                dims[static_cast<std::size_t>(g)].value == d.value) {
+                noteUnsymbolized(
+                    result,
+                    strCat("free dims ",
+                           dims[static_cast<std::size_t>(g)].name, " and ",
+                           d.name, " share compile value ", d.value));
+                return result;
+            }
+        }
+        result.assumptions.push_back(
+            strCat("every tensor axis divisible by ", d.value,
+                   " scales linearly with ", d.name));
+    }
+    result.usable = true;
+
+    for (NodeId n = 0; n < graph.numNodes(); ++n) {
+        const Shape &shape = graph.node(n).shape();
+        int matched_dim = -1;
+        std::int64_t const_factor = 1;
+        bool linear = true;
+        for (std::int64_t axis : shape.dims()) {
+            // An axis that is a multiple of exactly one free dim's
+            // compile value is attributed to that dim with the
+            // quotient as coefficient — this covers flattened
+            // composites like [batch*seq, hidden]. An axis several
+            // free dims divide is ambiguous; attribution mistakes
+            // either way are caught by the probe cross-check.
+            int match = -1;
+            std::int64_t coeff = 1;
+            bool ambiguous = false;
+            for (int f : free_dims) {
+                const std::int64_t v =
+                    dims[static_cast<std::size_t>(f)].value;
+                if (axis % v != 0)
+                    continue;
+                if (match >= 0) {
+                    ambiguous = true;
+                    break;
+                }
+                match = f;
+                coeff = axis / v;
+            }
+            if (ambiguous) {
+                noteUnsymbolized(
+                    result,
+                    strCat("node %", n, " ", shape.toString(),
+                           " has an axis several free dims divide"));
+                linear = false;
+                break;
+            }
+            if (match < 0) {
+                const_factor *= axis;
+            } else if (matched_dim >= 0) {
+                // Two dynamic axes multiply (seq x seq attention, or
+                // batch x frames): not linear in any one dim.
+                noteUnsymbolized(
+                    result,
+                    strCat("node %", n, " ", shape.toString(),
+                           " has two dynamic axes"));
+                linear = false;
+                break;
+            } else {
+                matched_dim = match;
+                const_factor *= coeff;
+            }
+        }
+        if (!linear)
+            continue;
+        result.extents[static_cast<std::size_t>(n)] =
+            matched_dim < 0
+                ? LinExpr::constant(shape.numElements())
+                : LinExpr::dim(matched_dim, const_factor);
+    }
+    return result;
+}
+
+void
+attachSymbolicAccesses(const Graph &graph, KernelPlan &plan,
+                       const std::vector<ShapeDim> &dims)
+{
+    plan.sym_accesses.clear();
+    if (plan.accesses.empty())
+        return;
+    const SymbolizedShapes sym = symbolizeExtents(graph, dims);
+    if (!sym.usable)
+        return;
+
+    for (std::size_t i = 0; i < plan.accesses.size(); ++i) {
+        const OpAccess &access = plan.accesses[i];
+        if (access.node < 0 ||
+            access.node >= static_cast<NodeId>(sym.extents.size()))
+            continue;
+        const std::optional<LinExpr> &node_extent =
+            sym.extents[static_cast<std::size_t>(access.node)];
+        if (!node_extent)
+            continue;
+
+        SymbolicAccess twin;
+        twin.access_index = static_cast<int>(i);
+        if (access.space == AccessSpace::Shared) {
+            // The arena and its slot offsets are fixed at compile
+            // time; only the staged value's extent is shape-dependent.
+            twin.extent = LinExpr::constant(access.extent);
+            twin.offset = LinExpr::constant(access.index.offset);
+            twin.value_extent = *node_extent;
+        } else {
+            // The symbolization must reproduce the concrete summary at
+            // the compile point, or the twin is meaningless (e.g. an
+            // access covering only a slice of the node).
+            if (node_extent->atCompilePoint(dims) != access.extent)
+                continue;
+            twin.extent = *node_extent;
+            twin.offset = LinExpr::constant(access.index.offset);
+            twin.value_extent = *node_extent;
+        }
+        plan.sym_accesses.push_back(std::move(twin));
+    }
+}
+
+bool
+crossCheckSymbolization(const Graph &compiled, const Graph &probe,
+                        const std::vector<ShapeDim> &dims,
+                        const std::vector<std::int64_t> &probe_values)
+{
+    if (probe.numNodes() != compiled.numNodes() ||
+        probe_values.size() != dims.size())
+        return false;
+    const SymbolizedShapes sym = symbolizeExtents(compiled, dims);
+    if (!sym.usable)
+        return false;
+    for (NodeId n = 0; n < compiled.numNodes(); ++n) {
+        if (probe.node(n).kind() != compiled.node(n).kind())
+            return false;
+        const std::optional<LinExpr> &extent =
+            sym.extents[static_cast<std::size_t>(n)];
+        if (!extent)
+            continue; // unsymbolized nodes fall back concretely anyway
+        if (extent->evalAt(probe_values) !=
+            probe.node(n).shape().numElements())
+            return false;
+    }
+    return true;
+}
+
+} // namespace astitch

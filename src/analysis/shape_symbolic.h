@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shape symbolization: lift a graph's concrete node extents into
+ * linear terms over declared dimension variables.
+ *
+ * The parametric verifier (analysis/kernel_verifier.h) reasons over
+ * LinExpr extents, but graphs are built at one concrete shape. This
+ * module recovers the symbolic structure by factoring each node's
+ * shape axes against the declared dims' compile-time values: an axis
+ * that is a multiple of exactly one free dim's value is attributed to
+ * that dim (quotient as coefficient, covering [batch*seq, hidden]
+ * flattenings), everything else folds into the constant factor. A
+ * node whose extent cannot be
+ * expressed as `c * dim` or a constant (two free axes multiply, or an
+ * axis matches several declared dims) gets no symbolic form and falls
+ * back to concrete verification (AS831).
+ *
+ * The attribution is a *claim*, not a proof — an axis can equal a free
+ * dim's value coincidentally. DynamicSession closes the gap by
+ * cross-checking the claim against a probe instantiation of the graph
+ * template at the range's low endpoint (crossCheckSymbolization); a
+ * mismatch disables symbolic certification for the whole bucket.
+ */
+#ifndef ASTITCH_ANALYSIS_SHAPE_SYMBOLIC_H
+#define ASTITCH_ANALYSIS_SHAPE_SYMBOLIC_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/access_model.h"
+#include "compiler/kernel_plan.h"
+#include "graph/graph.h"
+
+namespace astitch {
+
+/** Per-node symbolic extents recovered from one graph. */
+struct SymbolizedShapes
+{
+    /** Extent of node n as a linear term, or nullopt when no linear
+     * form exists (indexed by NodeId). */
+    std::vector<std::optional<LinExpr>> extents;
+
+    /** Conditions under which the attribution is meaningful. */
+    std::vector<std::string> assumptions;
+
+    /** Human-readable reasons for nodes left unsymbolized (bounded). */
+    std::vector<std::string> unsymbolized;
+
+    /** False when the declared dims themselves cannot be matched
+     * (free dims with colliding or degenerate compile values). */
+    bool usable = false;
+};
+
+/**
+ * Factor every node extent of @p graph over @p dims. Point dims
+ * (lo == hi) fold into constants; only free dims produce terms.
+ */
+SymbolizedShapes symbolizeExtents(const Graph &graph,
+                                  const std::vector<ShapeDim> &dims);
+
+/**
+ * Populate @p plan.sym_accesses with symbolic twins of its concrete
+ * access summaries: off-chip accesses get the owning node's symbolic
+ * extent; shared-arena accesses keep their constant arena extent and
+ * slot offset but carry the staged node's symbolic extent as
+ * value_extent (the arena-overflow proof's input). Accesses whose node
+ * could not be symbolized — or whose symbolic extent fails to
+ * reproduce the concrete extent at the compile point — are left
+ * untwinned. Clears any previous twins.
+ */
+void attachSymbolicAccesses(const Graph &graph, KernelPlan &plan,
+                            const std::vector<ShapeDim> &dims);
+
+/**
+ * Validate a symbolization against a probe instantiation of the same
+ * graph template at @p probe_values: every symbolized node extent,
+ * evaluated at the probe point, must equal the probe graph's concrete
+ * extent (and the graphs must be structurally parallel). Returns false
+ * on any mismatch — the caller must then disable symbolic
+ * certification for the range.
+ */
+bool crossCheckSymbolization(const Graph &compiled, const Graph &probe,
+                             const std::vector<ShapeDim> &dims,
+                             const std::vector<std::int64_t> &probe_values);
+
+} // namespace astitch
+
+#endif // ASTITCH_ANALYSIS_SHAPE_SYMBOLIC_H

@@ -177,6 +177,24 @@ struct KernelPlan
      */
     std::vector<OpAccess> accesses;
 
+    /**
+     * Shape-parametric twins of `accesses`: symbolic extents/offsets
+     * over the named dimension variables the plan was compiled under
+     * (AStitchOptions/SessionOptions shape_params). Keyed into
+     * `accesses` by SymbolicAccess::access_index; accesses without a
+     * twin could not be expressed linearly and fall back to concrete
+     * verification. Empty when no shape params were declared.
+     */
+    std::vector<SymbolicAccess> sym_accesses;
+
+    /**
+     * The parametric verifier's verdict for this plan over the declared
+     * dimension ranges (verdict None when parametric verification never
+     * ran). Carried through the JIT cache with the plan, so a cached
+     * compilation stays certified for the shape range it serves.
+     */
+    ShapeCertificate certificate;
+
     /** Global atomics (column-reduce, cross-block split reduction). */
     double atomic_operations = 0.0;
 

@@ -8,6 +8,7 @@
 
 #include "analysis/kernel_verifier.h"
 #include "analysis/sanitizer.h"
+#include "analysis/shape_symbolic.h"
 #include "support/fault_injection.h"
 #include "support/logging.h"
 #include "support/strings.h"
@@ -467,12 +468,24 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
     compiled.global_scratch_bytes = memory.global_scratch_bytes;
     compiled.kernels.push_back(std::move(plan));
 
+    // ---- Shape-parametric twins: when dynamic dims are declared,
+    // emit symbolic extents/offsets alongside the concrete summaries
+    // so the plan can be certified for its whole shape range. ----
+    if (!options.shape_params.empty()) {
+        attachSymbolicAccesses(graph, compiled.kernels.back(),
+                               options.shape_params);
+    }
+
     // ---- Stitch sanitizer + kernel-access verifier: prove the
     // emitted plan hazard-free and its index arithmetic sound. ----
     if (options.analyze) {
         DiagnosticEngine engine;
         sanitizeCompiledCluster(graph, compiled, spec, engine);
         verifyCompiledCluster(graph, compiled, spec, engine);
+        if (!options.shape_params.empty()) {
+            certifyCompiledCluster(graph, compiled, options.shape_params,
+                                   engine);
+        }
         if (options.strict && engine.hasErrors()) {
             // A policy rejection, not a user error: the fallback ladder
             // recompiles the cluster less aggressively instead of dying.

@@ -11,6 +11,7 @@
 #ifndef ASTITCH_CORE_STITCH_CODEGEN_H
 #define ASTITCH_CORE_STITCH_CODEGEN_H
 
+#include "analysis/access_model.h"
 #include "analysis/diagnostics.h"
 #include "core/launch_config.h"
 #include "core/memory_planner.h"
@@ -41,6 +42,13 @@ struct AStitchOptions
 
     /** Promote sanitizer errors to fatal() instead of warnings. */
     bool strict = false;
+
+    /**
+     * Declared dynamic-dimension ranges. When non-empty, codegen emits
+     * shape-parametric twins of its access summaries (and, with
+     * `analyze` on, certifies the plan for the whole range — AS8xx).
+     */
+    std::vector<ShapeDim> shape_params;
 };
 
 /** Introspection output for tests and the compiler-explorer example. */

@@ -1,10 +1,28 @@
 #include "runtime/dynamic_session.h"
 
+#include <algorithm>
+
+#include "analysis/kernel_verifier.h"
+#include "analysis/shape_symbolic.h"
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace astitch {
 
 namespace {
+
+/** Human-readable bucket identity for diagnostic provenance. */
+std::string
+bucketLabel(const std::vector<std::int64_t> &key)
+{
+    std::string label = "bucket ";
+    for (std::size_t i = 0; i < key.size(); ++i) {
+        if (i > 0)
+            label += "x";
+        label += std::to_string(key[i]);
+    }
+    return label;
+}
 
 /**
  * Smallest power of two >= v. Clamped to the largest int64 power of two
@@ -22,6 +40,13 @@ nextPowerOfTwo(std::int64_t v)
     while (p < v)
         p <<= 1;
     return p;
+}
+
+/** Smallest multiple of @p m that is >= v (m >= 1). */
+std::int64_t
+roundUpToMultiple(std::int64_t v, std::int64_t m)
+{
+    return (v + m - 1) / m * m;
 }
 
 } // namespace
@@ -49,13 +74,49 @@ DynamicSession::~DynamicSession()
 std::vector<std::int64_t>
 DynamicSession::bucketFor(const std::vector<std::int64_t> &dims) const
 {
-    if (!options_.bucket_to_power_of_two)
-        return dims;
     std::vector<std::int64_t> rounded;
     rounded.reserve(dims.size());
-    for (std::int64_t d : dims)
-        rounded.push_back(nextPowerOfTwo(std::max<std::int64_t>(1, d)));
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        std::int64_t d = dims[i];
+        if (options_.bucket_to_power_of_two)
+            d = nextPowerOfTwo(std::max<std::int64_t>(1, d));
+        // A constrained dim pads up to its granularity so the template
+        // accepts the key (power-of-two keys >= a power-of-two divisor
+        // are already multiples; everything else genuinely pads).
+        if (i < options_.dim_divisors.size() &&
+            options_.dim_divisors[i] > 1)
+            d = roundUpToMultiple(d, options_.dim_divisors[i]);
+        rounded.push_back(d);
+    }
     return rounded;
+}
+
+std::vector<ShapeDim>
+DynamicSession::shapeDimsFor(const std::vector<std::int64_t> &key) const
+{
+    std::vector<ShapeDim> dims;
+    dims.reserve(key.size());
+    for (std::size_t i = 0; i < key.size(); ++i) {
+        ShapeDim d;
+        d.name = i < options_.dim_names.size() ? options_.dim_names[i]
+                                               : strCat("d", i);
+        d.value = key[i];
+        d.divisor = i < options_.dim_divisors.size()
+                        ? std::max<std::int64_t>(1, options_.dim_divisors[i])
+                        : 1;
+        // Power-of-two rounding maps every dim in (key/2, key] onto
+        // this bucket, so that half-open interval is exactly what the
+        // certificate must cover; the compile point sits at hi. A
+        // granularity constraint narrows the claim to the multiples
+        // the template accepts.
+        d.hi = key[i];
+        d.lo = options_.bucket_to_power_of_two
+                   ? std::max<std::int64_t>(1, key[i] / 2 + 1)
+                   : key[i];
+        d.lo = std::min(roundUpToMultiple(d.lo, d.divisor), d.hi);
+        dims.push_back(std::move(d));
+    }
+    return dims;
 }
 
 DynamicSession::BucketPtr
@@ -63,11 +124,107 @@ DynamicSession::compileBucket(const std::vector<std::int64_t> &key)
 {
     auto bucket = std::make_shared<Bucket>();
     bucket->graph = std::make_unique<Graph>(template_(key));
+
+    SessionOptions session_options = options_.session;
+    std::vector<ShapeDim> dims = options_.symbolic_verify
+                                     ? shapeDimsFor(key)
+                                     : std::vector<ShapeDim>{};
+    const bool has_range =
+        std::any_of(dims.begin(), dims.end(),
+                    [](const ShapeDim &d) { return !d.point(); });
+    if (has_range) {
+        // The symbolization attributes axes to dims by matching
+        // compile-time values — a claim that can hold coincidentally.
+        // Validate it against a probe instantiation of the template at
+        // the range's low endpoint before trusting any certificate.
+        std::vector<std::int64_t> probe_values;
+        probe_values.reserve(dims.size());
+        for (const ShapeDim &d : dims)
+            probe_values.push_back(d.lo);
+        if (crossCheckSymbolization(*bucket->graph,
+                                    template_(probe_values), dims,
+                                    probe_values)) {
+            bucket->symbolized = true;
+            bucket->dims = dims;
+            session_options.shape_params = dims;
+        } else {
+            buckets_unsymbolized_.fetch_add(1, std::memory_order_relaxed);
+            std::string ranges;
+            for (const ShapeDim &d : dims)
+                ranges += strCat(ranges.empty() ? "" : ", ", d.toString());
+            bucket->extra.report(
+                "AS831", "<bucket>",
+                strCat("probe cross-check refuted the shape "
+                       "symbolization over {",
+                       ranges,
+                       "}; concrete per-shape verification remains in "
+                       "effect for this bucket"));
+        }
+    }
+
     bucket->session = std::make_unique<Session>(*bucket->graph, backend_(),
-                                                options_.session);
+                                                session_options);
     bucket->session->compile();
+    // The compile itself ran the concrete verifier at exactly the key
+    // shape; a later serve of that shape needs no second pass even when
+    // no certificate holds (point buckets, fallbacks, unsymbolized).
+    bucket->reverified.insert(key);
+    if (bucket->symbolized) {
+        const Session::CertificateSummary summary =
+            bucket->session->certificateSummary();
+        bucket->all_proven = summary.refuted == 0 && summary.fallback == 0;
+        if (bucket->all_proven)
+            buckets_proven_.fetch_add(1, std::memory_order_relaxed);
+        else
+            buckets_fallback_.fetch_add(1, std::memory_order_relaxed);
+    }
     compiled_buckets_.fetch_add(1, std::memory_order_relaxed);
     return bucket;
+}
+
+void
+DynamicSession::recordServe(Bucket &bucket,
+                            const std::vector<std::int64_t> &dims)
+{
+    if (!options_.symbolic_verify)
+        return;
+    if (bucket.symbolized && bucket.all_proven) {
+        // The serve is certified when every access-carrying plan's
+        // certificate admits the *requested* dims (not the rounded
+        // key): the proof ranged over the rounding preimage, so any
+        // shape inside it executes without another verifier pass.
+        bool covered = true;
+        for (const CompiledCluster &compiled : bucket.session->compiled()) {
+            for (const KernelPlan &plan : compiled.kernels) {
+                if (plan.accesses.empty())
+                    continue;
+                if (!plan.certificate.covers(dims)) {
+                    covered = false;
+                    break;
+                }
+            }
+            if (!covered)
+                break;
+        }
+        if (covered) {
+            certified_hits_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+    // Fallback: concrete AS7xx verification of the compiled plans,
+    // once per distinct served shape. The plans and graph are the
+    // bucket's own (identical to what compile-time analysis saw), so
+    // any findings this pass would produce are already recorded in the
+    // session's diagnostics — the run exists to restore per-shape
+    // verification coverage, and its cost is what certificates save.
+    std::lock_guard<std::mutex> lock(bucket.reverify_mutex);
+    if (!bucket.reverified.insert(dims).second)
+        return;
+    concrete_reverifications_.fetch_add(1, std::memory_order_relaxed);
+    DiagnosticEngine scratch;
+    for (const CompiledCluster &compiled : bucket.session->compiled())
+        verifyCompiledCluster(bucket.session->activeGraph(), compiled,
+                              options_.session.spec, scratch);
 }
 
 DynamicSession::BucketFuture
@@ -102,8 +259,9 @@ DynamicSession::profile(const std::vector<std::int64_t> &dims)
 {
     // get() waits only for this bucket's compilation (inline or a
     // previously warmed one) and rethrows its compile error, if any.
-    return bucketFuture(dims, /*background=*/false).get()
-        ->session->profile();
+    const BucketPtr bucket = bucketFuture(dims, /*background=*/false).get();
+    recordServe(*bucket, dims);
+    return bucket->session->profile();
 }
 
 void
@@ -128,6 +286,47 @@ DiagnosticEngine
 DynamicSession::diagnostics()
 {
     waitForWarmups();
+    std::vector<std::pair<std::vector<std::int64_t>, BucketFuture>> entries;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries.reserve(buckets_.size());
+        for (const auto &[key, future] : buckets_)
+            entries.emplace_back(key, future);
+    }
+    // Buckets of one template mostly produce the *same* plan-level
+    // findings (the template's structure, not the shape, triggers
+    // them); fold identical records into one, tagged with every bucket
+    // it appeared in, so a 16-bucket sweep reads like one report.
+    DiagnosticEngine merged;
+    for (const auto &[key, future] : entries) {
+        const std::string label = bucketLabel(key);
+        const BucketPtr bucket = future.get();
+        merged.mergeDeduped(bucket->session->diagnostics(), label);
+        merged.mergeDeduped(bucket->extra, label);
+    }
+    return merged;
+}
+
+DynamicSession::SymbolicStats
+DynamicSession::symbolicStats()
+{
+    waitForWarmups();
+    SymbolicStats stats;
+    stats.certified_hits = certified_hits_.load(std::memory_order_relaxed);
+    stats.concrete_reverifications =
+        concrete_reverifications_.load(std::memory_order_relaxed);
+    stats.buckets_proven = buckets_proven_.load(std::memory_order_relaxed);
+    stats.buckets_fallback =
+        buckets_fallback_.load(std::memory_order_relaxed);
+    stats.buckets_unsymbolized =
+        buckets_unsymbolized_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+std::vector<ShapeCertificate>
+DynamicSession::certificates()
+{
+    waitForWarmups();
     std::vector<BucketFuture> futures;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -135,10 +334,16 @@ DynamicSession::diagnostics()
         for (const auto &[key, future] : buckets_)
             futures.push_back(future);
     }
-    DiagnosticEngine merged;
-    for (const BucketFuture &future : futures)
-        merged.merge(future.get()->session->diagnostics());
-    return merged;
+    std::vector<ShapeCertificate> certs;
+    for (const BucketFuture &future : futures) {
+        const BucketPtr bucket = future.get();
+        for (const CompiledCluster &compiled : bucket->session->compiled())
+            for (const KernelPlan &plan : compiled.kernels)
+                if (plan.certificate.verdict !=
+                    ShapeCertificate::Verdict::None)
+                    certs.push_back(plan.certificate);
+    }
+    return certs;
 }
 
 DegradationReport

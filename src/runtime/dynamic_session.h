@@ -15,16 +15,30 @@
  * profile() for one bucket never blocks on a neighbor bucket compiling
  * in the background — it waits only for its own bucket, serving
  * requests that hit already-compiled shapes immediately.
+ *
+ * With symbolic verification enabled (the default), each bucket's
+ * compilation also runs the AS8xx shape-parametric verifier over the
+ * bucket's whole rounding range: the dims the bucket serves become
+ * declared ShapeDim ranges, the symbolization is cross-checked against
+ * a probe instantiation of the template at the range's low endpoint,
+ * and a Proven ShapeCertificate lets every later profile() inside the
+ * range skip per-shape re-verification (a *certified hit*). When the
+ * proof does not close — or the cross-check refutes the symbolization
+ * — the bucket degrades to memoized concrete AS7xx re-verification per
+ * distinct served shape, reported as an AS831 note, never an error.
  */
 #ifndef ASTITCH_RUNTIME_DYNAMIC_SESSION_H
 #define ASTITCH_RUNTIME_DYNAMIC_SESSION_H
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -50,6 +64,30 @@ struct DynamicSessionOptions
      * bucketing). The padded graph does at most 2x the work.
      */
     bool bucket_to_power_of_two = false;
+
+    /**
+     * Certify each rounded bucket for its whole preimage range with
+     * the AS8xx shape-parametric verifier: bucket key 2^k serves
+     * (2^(k-1), 2^k], so dim i gets the declared range
+     * [max(1, key/2 + 1), key]. Point buckets (rounding disabled) skip
+     * the pass — the compile-time AS7xx run already covers the single
+     * shape they serve.
+     */
+    bool symbolic_verify = true;
+
+    /**
+     * Names for the dynamic dims, positionally matching the dims
+     * vectors passed to profile()/warmup(); "d<i>" when absent.
+     */
+    std::vector<std::string> dim_names;
+
+    /**
+     * Granularity of each dynamic dim (positional; 1 when absent):
+     * bucket keys round up to a multiple of it, and certificates only
+     * claim multiples — for templates that constrain a dim (e.g. CRNN
+     * requires conv_rows % (16 * time_steps) == 0).
+     */
+    std::vector<std::int64_t> dim_divisors;
 };
 
 /** Compile-per-shape-signature session with a bucket cache. */
@@ -84,9 +122,39 @@ class DynamicSession
     std::vector<std::int64_t>
     bucketFor(const std::vector<std::int64_t> &dims) const;
 
-    /** Analysis findings merged across every compiled bucket (waits for
-     * in-flight warmups). */
+    /**
+     * Analysis findings merged across every compiled bucket (waits for
+     * in-flight warmups). Findings identical at the plan level across
+     * buckets are deduplicated into one record whose provenance lists
+     * every bucket that produced it.
+     */
     DiagnosticEngine diagnostics();
+
+    /** How shape-parametric certification fared across the session. */
+    struct SymbolicStats
+    {
+        /** profile() calls served entirely under Proven certificates
+         * covering the requested dims — no verifier ran. */
+        std::int64_t certified_hits = 0;
+
+        /** Distinct served shapes that fell back to a concrete AS7xx
+         * verifier pass (memoized: a repeat of the same shape does not
+         * re-verify). */
+        std::int64_t concrete_reverifications = 0;
+
+        int buckets_proven = 0;   ///< every access-carrying plan Proven
+        int buckets_fallback = 0; ///< certified with >= 1 AS831 fallback
+        /** Symbolization refuted by the probe cross-check; the bucket
+         * runs concrete-only. */
+        int buckets_unsymbolized = 0;
+    };
+
+    /** Certification counters (waits for in-flight warmups). */
+    SymbolicStats symbolicStats();
+
+    /** Every certificate attached to a compiled plan, across buckets
+     * in key order (waits for in-flight warmups). */
+    std::vector<ShapeCertificate> certificates();
 
     /** Fallback-ladder state merged across every compiled bucket
      * (waits for in-flight warmups). */
@@ -97,12 +165,37 @@ class DynamicSession
     {
         std::unique_ptr<Graph> graph;
         std::unique_ptr<Session> session;
+
+        /** Declared ranges the bucket was certified over (empty when
+         * symbolic verification is off or the bucket is a point). */
+        std::vector<ShapeDim> dims;
+        /** Probe cross-check passed and shape_params reached the
+         * session — certificates on the plans are meaningful. */
+        bool symbolized = false;
+        /** True when every access-carrying plan ended Proven. */
+        bool all_proven = false;
+        /** Bucket-scope findings (probe cross-check AS831 note). */
+        DiagnosticEngine extra;
+
+        /** Served shapes already re-verified concretely. */
+        std::mutex reverify_mutex;
+        std::set<std::vector<std::int64_t>> reverified;
     };
     using BucketPtr = std::shared_ptr<Bucket>;
     using BucketFuture = std::shared_future<BucketPtr>;
 
     /** Build + compile one bucket (runs inline or on a warmup thread). */
     BucketPtr compileBucket(const std::vector<std::int64_t> &key);
+
+    /** The ShapeDim ranges bucket @p key serves (rounding preimage). */
+    std::vector<ShapeDim>
+    shapeDimsFor(const std::vector<std::int64_t> &key) const;
+
+    /** Account one served request against the bucket's certificate:
+     * a covered Proven bucket counts a certified hit; anything else
+     * re-verifies the compiled plans concretely, once per distinct
+     * served shape. */
+    void recordServe(Bucket &bucket, const std::vector<std::int64_t> &dims);
 
     /** The future for @p dims' bucket, registering a new compilation if
      * none exists. @p background compiles on a detached-from-caller
@@ -121,6 +214,12 @@ class DynamicSession
     /** Threads running background warmups (joined on wait/destruct). */
     std::vector<std::thread> warmers_;
     std::atomic<int> compiled_buckets_{0};
+
+    std::atomic<std::int64_t> certified_hits_{0};
+    std::atomic<std::int64_t> concrete_reverifications_{0};
+    std::atomic<int> buckets_proven_{0};
+    std::atomic<int> buckets_fallback_{0};
+    std::atomic<int> buckets_unsymbolized_{0};
 };
 
 } // namespace astitch

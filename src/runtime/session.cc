@@ -173,6 +173,28 @@ Session::passTimings()
     return pass_timings_;
 }
 
+Session::CertificateSummary
+Session::certificateSummary()
+{
+    compile();
+    CertificateSummary summary;
+    for (const CompiledCluster &cluster : compiled()) {
+        for (const KernelPlan &plan : cluster.kernels) {
+            switch (plan.certificate.verdict) {
+            case ShapeCertificate::Verdict::Proven: ++summary.proven; break;
+            case ShapeCertificate::Verdict::Fallback:
+                ++summary.fallback;
+                break;
+            case ShapeCertificate::Verdict::Refuted:
+                ++summary.refuted;
+                break;
+            case ShapeCertificate::Verdict::None: ++summary.none; break;
+            }
+        }
+    }
+    return summary;
+}
+
 JitCacheEntry
 Session::compileAllClusters(const Graph &graph) const
 {
@@ -224,6 +246,9 @@ Session::compileAllClusters(const Graph &graph) const
     analysis.consistency = options_.validate_plans || options_.analyze_plans;
     analysis.sanitize = options_.analyze_plans;
     analysis.verify = options_.analyze_plans;
+    // Declared dynamic dims route through the mutable-cluster analyzer
+    // overload below, which certifies each plan for the whole range.
+    analysis.shape_params = options_.shape_params;
     const bool analyze =
         analysis.consistency || analysis.sanitize || analysis.verify;
 
@@ -358,9 +383,15 @@ Session::compileEntry(const Graph &graph)
     }
 
     // getOrCompile dedupes concurrent sessions compiling the same key:
-    // one compiles, the rest share the published entry.
-    const std::string cache_key =
+    // one compiles, the rest share the published entry. Declared shape
+    // ranges are part of the compilation's identity — the certificates
+    // riding in the cached plans are only valid for their own ranges.
+    std::string cache_key =
         JitCache::makeKey(graph, backend_->name(), options_.spec);
+    for (const ShapeDim &d : options_.shape_params) {
+        cache_key += strCat("|dim:", d.name, "=", d.value, "[", d.lo, ",",
+                            d.hi, "]/", d.divisor);
+    }
     bool compiled_here = false;
     const auto compile_fn = [&] {
         compiled_here = true;

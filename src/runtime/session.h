@@ -84,6 +84,16 @@ struct SessionOptions
     /** Same-rung retries the recovery paths grant a transient fault
      * before treating it as permanent and demoting. */
     int max_transient_retries = 2;
+
+    /**
+     * Declared dynamic-dimension ranges for shape-parametric (AS8xx)
+     * certification. When non-empty, every compiled kernel plan gets
+     * symbolic access twins and a ShapeCertificate over these ranges
+     * (carried through the JIT cache with the plans); the parametric
+     * findings accumulate in Session::diagnostics(). Empty disables
+     * the pass.
+     */
+    std::vector<ShapeDim> shape_params;
 };
 
 /** Compile-once, run-many execution session. */
@@ -129,6 +139,17 @@ class Session
     /** Per-pass breakdown of the compile (entry timings + this
      * session's scheduling span). Compiles first. */
     const CompilePassTimings &passTimings();
+
+    /** Tally of per-plan certificate verdicts (see ShapeCertificate);
+     * all zeros unless shape_params were declared. Compiles first. */
+    struct CertificateSummary
+    {
+        int proven = 0;
+        int fallback = 0;
+        int refuted = 0;
+        int none = 0;
+    };
+    CertificateSummary certificateSummary();
 
   private:
     RunReport execute(const TensorMap *feeds);

@@ -29,6 +29,21 @@ strStartsWith(const std::string &text, const std::string &prefix)
 }
 
 std::string
+strTrim(const std::string &text)
+{
+    const auto is_space = [](char c) {
+        return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    };
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && is_space(text[begin]))
+        ++begin;
+    while (end > begin && is_space(text[end - 1]))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string
 strFixed(double value, int digits)
 {
     std::ostringstream oss;

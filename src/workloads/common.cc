@@ -240,6 +240,49 @@ inferenceWorkloads(DType dtype)
     };
 }
 
+std::vector<DynamicWorkloadSpec>
+dynamicInferenceWorkloads()
+{
+    // Reduced-scale configs: the dynamic dim must stay LARGER than the
+    // model's fixed axis sizes in the interesting range, so the shape
+    // symbolizer attributes only genuinely scaling axes to it (a fixed
+    // axis a dim value divides would be refuted by the probe
+    // cross-check, costing the whole bucket its certificate).
+    return {
+        {"CRNN", "conv_rows", 96, /*divisor=*/32,
+         [](const std::vector<std::int64_t> &dims) {
+             CrnnConfig c = CrnnConfig::tiny();
+             c.time_steps = 2; // divisor 16*2 keeps pow2 keys valid
+             c.conv_rows = static_cast<int>(dims.at(0));
+             return buildCrnn(c);
+         }},
+        {"ASR", "frames", 100, /*divisor=*/1,
+         [](const std::vector<std::int64_t> &dims) {
+             AsrConfig c = AsrConfig::tiny();
+             c.frames = static_cast<int>(dims.at(0));
+             return buildAsr(c);
+         }},
+        {"BERT", "batch", 100, /*divisor=*/1,
+         [](const std::vector<std::int64_t> &dims) {
+             BertConfig c = BertConfig::tiny();
+             c.batch = static_cast<int>(dims.at(0));
+             return buildBert(c);
+         }},
+        {"Transformer", "batch", 40, /*divisor=*/1,
+         [](const std::vector<std::int64_t> &dims) {
+             TransformerConfig c = TransformerConfig::tiny();
+             c.batch = static_cast<int>(dims.at(0));
+             return buildTransformer(c);
+         }},
+        {"DIEN", "batch", 72, /*divisor=*/1,
+         [](const std::vector<std::int64_t> &dims) {
+             DienConfig c = DienConfig::tiny();
+             c.batch = static_cast<int>(dims.at(0));
+             return buildDien(c);
+         }},
+    };
+}
+
 std::vector<WorkloadSpec>
 trainingWorkloads()
 {

@@ -80,6 +80,25 @@ std::vector<WorkloadSpec> inferenceWorkloads(DType dtype = DType::F32);
 /** The three training workloads (BERT, Transformer, DIEN). */
 std::vector<WorkloadSpec> trainingWorkloads();
 
+/**
+ * A workload template over one dynamic dimension, for DynamicSession
+ * bucketing and shape-parametric (AS8xx) certification. Built at
+ * reduced scale so sweeps over many shapes stay cheap; the dynamic dim
+ * is the one production serving actually varies (batch for the
+ * batch-parallel models, frames/rows for the sequence models).
+ */
+struct DynamicWorkloadSpec
+{
+    std::string name;
+    std::string dim_name;       ///< what the dynamic dim means
+    std::int64_t default_dim;   ///< representative served size
+    std::int64_t divisor = 1;   ///< template granularity constraint
+    std::function<Graph(const std::vector<std::int64_t> &dims)> build;
+};
+
+/** The five inference workloads as single-dim dynamic templates. */
+std::vector<DynamicWorkloadSpec> dynamicInferenceWorkloads();
+
 /** Deterministic random feeds for every parameter of @p graph. */
 TensorMap makeRandomFeeds(const Graph &graph, std::uint64_t seed = 7);
 

@@ -15,6 +15,7 @@
 #include "support/logging.h"
 #include "support/strings.h"
 #include "test_graphs.h"
+#include "workloads/common.h"
 
 namespace astitch {
 namespace {
@@ -161,6 +162,113 @@ TEST(DynamicSession, ConcurrentProfilesShareBuckets)
     for (std::thread &t : threads)
         t.join();
     EXPECT_EQ(session.numCompiledBuckets(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Shape-parametric certification (AS8xx) through DynamicSession
+// ---------------------------------------------------------------------
+
+GraphTemplate
+chainTemplate()
+{
+    return [](const std::vector<std::int64_t> &dims) {
+        return testing::buildElementwiseChain(dims.at(0), 4);
+    };
+}
+
+TEST(DynamicSessionSymbolic, ElementwiseChainCertifiesWholeBucket)
+{
+    DynamicSessionOptions options;
+    options.bucket_to_power_of_two = true;
+    options.dim_names = {"n"};
+    DynamicSession session(chainTemplate(), astitchFactory(), options);
+    session.profile({100});
+
+    DynamicSession::SymbolicStats stats = session.symbolicStats();
+    ASSERT_EQ(stats.buckets_proven, 1);
+    EXPECT_EQ(stats.buckets_fallback, 0);
+    EXPECT_EQ(stats.buckets_unsymbolized, 0);
+
+    const std::vector<ShapeCertificate> certs = session.certificates();
+    ASSERT_FALSE(certs.empty());
+    for (const ShapeCertificate &cert : certs) {
+        EXPECT_EQ(cert.verdict, ShapeCertificate::Verdict::Proven);
+        ASSERT_EQ(cert.dims.size(), 1u);
+        EXPECT_EQ(cert.dims[0].name, "n");
+        EXPECT_EQ(cert.dims[0].lo, 65);
+        EXPECT_EQ(cert.dims[0].hi, 128);
+        EXPECT_TRUE(cert.covers({100}));
+        EXPECT_FALSE(cert.covers({64}));
+    }
+
+    // Serves inside the certified range ride the certificate instead
+    // of re-running the verifier.
+    session.profile({65});
+    session.profile({128});
+    stats = session.symbolicStats();
+    EXPECT_EQ(stats.certified_hits, 3);
+    EXPECT_EQ(stats.concrete_reverifications, 0);
+}
+
+TEST(DynamicSessionSymbolic, DisabledSymbolicVerifyCertifiesNothing)
+{
+    DynamicSessionOptions options;
+    options.bucket_to_power_of_two = true;
+    options.symbolic_verify = false;
+    DynamicSession session(chainTemplate(), astitchFactory(), options);
+    session.profile({100});
+    session.profile({90});
+    const DynamicSession::SymbolicStats stats = session.symbolicStats();
+    EXPECT_EQ(stats.buckets_proven, 0);
+    EXPECT_EQ(stats.buckets_fallback, 0);
+    EXPECT_EQ(stats.buckets_unsymbolized, 0);
+    EXPECT_EQ(stats.certified_hits, 0);
+    EXPECT_EQ(stats.concrete_reverifications, 0);
+    EXPECT_TRUE(session.certificates().empty());
+}
+
+TEST(DynamicSessionSymbolic, ExactBucketsArePointRangesWithoutProofs)
+{
+    // Without rounding, every bucket serves exactly its compile shape;
+    // the parametric pass is skipped (nothing beyond the compile-time
+    // concrete verification is claimed) and serving the compile shape
+    // again triggers no re-verification.
+    DynamicSession session(chainTemplate(), astitchFactory());
+    session.profile({100});
+    session.profile({100});
+    const DynamicSession::SymbolicStats stats = session.symbolicStats();
+    EXPECT_EQ(stats.buckets_proven, 0);
+    EXPECT_EQ(stats.certified_hits, 0);
+    EXPECT_EQ(stats.concrete_reverifications, 0);
+    EXPECT_TRUE(session.certificates().empty());
+}
+
+TEST(DynamicSessionSymbolic, MergedDiagnosticsDedupeWithBucketProvenance)
+{
+    // Two buckets of one template produce identical plan-level AS831
+    // notes; the merge folds them into one record listing both buckets.
+    const workloads::DynamicWorkloadSpec wl =
+        workloads::dynamicInferenceWorkloads().at(1); // ASR (fallback)
+    DynamicSessionOptions options;
+    options.bucket_to_power_of_two = true;
+    options.dim_names = {wl.dim_name};
+    DynamicSession session(wl.build, astitchFactory(), options);
+    session.profile({100}); // bucket 128
+    session.profile({200}); // bucket 256
+    const DiagnosticEngine merged = session.diagnostics();
+
+    int provenance_notes = 0;
+    for (const Diagnostic &d : merged.diagnostics()) {
+        if (d.code != "AS831")
+            continue;
+        const std::string text = d.toString();
+        if (text.find("bucket 128, bucket 256") != std::string::npos)
+            ++provenance_notes;
+    }
+    EXPECT_GT(provenance_notes, 0)
+        << "expected at least one deduplicated AS831 note spanning "
+           "both buckets:\n"
+        << merged.renderText();
 }
 
 // ---------------------------------------------------------------------

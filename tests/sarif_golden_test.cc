@@ -14,7 +14,8 @@ namespace astitch {
 namespace {
 
 /** One representative per family: AS0xx consistency (error), AS6xx
- * fault tolerance (warning/note), AS7xx access verification. */
+ * fault tolerance (warning/note), AS7xx access verification, AS8xx
+ * shape-parametric verification (error + fallback note). */
 DiagnosticEngine
 populatedEngine()
 {
@@ -23,6 +24,8 @@ populatedEngine()
     engine.report("AS601", "<cluster>", "demoted to kernel-per-op");
     engine.report("AS701", "stitch_k0", "access reaches index 4096");
     engine.report("AS721", "stitch_k1", "warp needs 32 sectors");
+    engine.report("AS821", "stitch_k1", "slot overflows at batch=96");
+    engine.report("AS831", "stitch_k2", "1 obligation did not close");
     return engine;
 }
 
@@ -54,6 +57,14 @@ TEST(SarifGolden, ResultsAreStable)
         "\"message\":{\"text\":\"warp needs 32 sectors\"},"
         "\"locations\":[{\"logicalLocations\":[{\"name\":\"stitch_k1\","
         "\"kind\":\"kernel\"}]}]}",
+        "{\"ruleId\":\"AS821\",\"level\":\"error\","
+        "\"message\":{\"text\":\"slot overflows at batch=96\"},"
+        "\"locations\":[{\"logicalLocations\":[{\"name\":\"stitch_k1\","
+        "\"kind\":\"kernel\"}]}]}",
+        "{\"ruleId\":\"AS831\",\"level\":\"note\","
+        "\"message\":{\"text\":\"1 obligation did not close\"},"
+        "\"locations\":[{\"logicalLocations\":[{\"name\":\"stitch_k2\","
+        "\"kind\":\"kernel\"}]}]}",
     };
     for (const char *result : expected)
         EXPECT_NE(sarif.find(result), std::string::npos)
@@ -64,6 +75,8 @@ TEST(SarifGolden, ResultsAreStable)
               sarif.find("\"ruleId\":\"AS601\""));
     EXPECT_LT(sarif.find("\"ruleId\":\"AS601\""),
               sarif.find("\"ruleId\":\"AS701\""));
+    EXPECT_LT(sarif.find("\"ruleId\":\"AS701\""),
+              sarif.find("\"ruleId\":\"AS821\""));
 }
 
 TEST(SarifGolden, RuleTableCoversEveryRegisteredCode)
@@ -80,7 +93,7 @@ TEST(SarifGolden, RuleTableCoversEveryRegisteredCode)
 TEST(SarifGolden, RuleNamesForTheVerifierFamilyAreStable)
 {
     // The kebab-case rule names are the user-facing identity of the
-    // AS7xx family in code-scanning UIs; keep them frozen.
+    // AS7xx/AS8xx families in code-scanning UIs; keep them frozen.
     const std::pair<const char *, const char *> rules[] = {
         {"AS701", "global-access-out-of-bounds"},
         {"AS702", "shared-access-out-of-bounds"},
@@ -92,6 +105,14 @@ TEST(SarifGolden, RuleNamesForTheVerifierFamilyAreStable)
         {"AS731", "shared-bank-conflict"},
         {"AS741", "broadcast-recompute-blowup"},
         {"AS751", "cost-model-transaction-mismatch"},
+        {"AS801", "parametric-scratch-capacity-exceeded"},
+        {"AS802", "parametric-shared-out-of-bounds"},
+        {"AS803", "parametric-negative-or-empty-index"},
+        {"AS804", "parametric-output-under-coverage"},
+        {"AS811", "parametric-write-write-race"},
+        {"AS812", "parametric-read-write-overlap"},
+        {"AS821", "parametric-arena-overflow"},
+        {"AS831", "parametric-proof-fallback"},
     };
     for (const auto &[code, title] : rules) {
         const DiagnosticCode *info = findDiagnosticCode(code);

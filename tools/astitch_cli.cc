@@ -25,11 +25,23 @@
  *       Kernel-access verification only: compile, then report the
  *       AS7xx family (bounds, races, coalescing, cost cross-check).
  *       Exit 0 iff the verifier proves the plans clean.
+ *   astitch-cli verify --symbolic [--model BERT] [--buckets K]
+ *       Shape-parametric verification: bucket each dynamic workload
+ *       (all of them unless --model narrows to one), certify every
+ *       bucket's whole rounding range with the AS8xx verifier, and
+ *       print the certificates, certification stats and findings
+ *       (default filter AS7xx,AS8xx). AS831 fallback notes do not
+ *       fail the run (default --fail-on warning).
  *   astitch-cli fault-sites [--names]
  *       List the registered fault-injection sites.
  *
- * analyze and verify accept --diag-filter FAMILY (e.g. AS7) to restrict
- * the rendered findings to one AS-code family.
+ * analyze and verify accept --diag-filter EXPR to restrict the rendered
+ * findings; EXPR is a comma-separated list of AS-code families or dash
+ * ranges (e.g. "AS7", "AS7xx,AS8xx", "AS1-AS3").
+ *
+ * verify accepts --fail-on error|warning|note|any|never to pick the
+ * severity threshold that turns filtered findings into exit code 1
+ * (default: any for concrete verify, warning for --symbolic).
  *
  * profile also accepts --analyze[=json|sarif] to append the analysis
  * findings to the report.
@@ -46,12 +58,14 @@
  * unclassified failures; 2 user error (FatalError); 3 internal error
  * (PanicError).
  */
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "backends/tf/cuda_graph_backend.h"
 #include "backends/tf/tf_backend.h"
@@ -61,6 +75,7 @@
 #include "core/astitch_backend.h"
 #include "core/cuda_emitter.h"
 #include "graph/dot_export.h"
+#include "runtime/dynamic_session.h"
 #include "runtime/session.h"
 #include "support/fault_injection.h"
 #include "support/logging.h"
@@ -126,17 +141,42 @@ renderDiagnostics(const DiagnosticEngine &engine, const std::string &format)
           "' (try: text, json, sarif)");
 }
 
-/** Apply --diag-filter FAMILY (if given) to the session's findings. */
+/** Apply --diag-filter EXPR (if given) to the session's findings.
+ * EXPR is a family list with optional ranges: "AS7", "AS7xx,AS8xx",
+ * "AS1-AS3". parseFamilyList rejects malformed input as FatalError,
+ * which main() maps to the usage-error exit code 2. */
 DiagnosticEngine
 applyDiagFilter(const DiagnosticEngine &engine, const Args &args,
                 const std::string &fallback = "")
 {
-    const std::string family = args.get("diag-filter", fallback);
-    if (family.empty())
+    const std::string expression = args.get("diag-filter", fallback);
+    if (expression.empty())
         return engine;
-    fatalIf(familyOf(family).empty(), "invalid --diag-filter '", family,
-            "' (expected an AS-code family like AS7)");
-    return engine.withFamily(family);
+    return engine.withFamilies(parseFamilyList(expression));
+}
+
+/**
+ * Exit code the --fail-on threshold assigns to @p engine's findings:
+ * "error" fails only on errors, "warning" on errors or warnings,
+ * "note"/"any" on any finding at all, "never" always passes.
+ */
+int
+failOnExit(const DiagnosticEngine &engine, const Args &args,
+           const std::string &fallback)
+{
+    const std::string level = args.get("fail-on", fallback);
+    if (level == "never")
+        return 0;
+    if (level == "error")
+        return engine.hasErrors() ? 1 : 0;
+    if (level == "warning")
+        return engine.hasErrors() || engine.count(Severity::Warning) > 0
+                   ? 1
+                   : 0;
+    if (level == "note" || level == "any")
+        return engine.empty() ? 0 : 1;
+    fatal("unknown --fail-on '", level,
+          "' (try: error, warning, note, any, never)");
 }
 
 /** One line per structured access summary of every stitched kernel. */
@@ -321,9 +361,111 @@ cmdAnalyze(const Args &args)
     return engine.hasErrors() ? 1 : 0;
 }
 
+/**
+ * Shape-parametric verification sweep. Each dynamic workload gets a
+ * power-of-two-bucketed DynamicSession; --buckets K distinct buckets
+ * are compiled (doubling the dynamic dim from the workload default),
+ * each certified for its whole rounding range by the AS8xx verifier.
+ * Every bucket is then served a second shape inside its range so the
+ * certified-hit accounting is visible in the stats line.
+ */
+int
+cmdVerifySymbolic(const Args &args)
+{
+    const std::string model = args.get("model", "");
+    const std::string backend = args.get("backend", "astitch");
+    int buckets = 0;
+    try {
+        buckets = std::stoi(args.get("buckets", "4"));
+    } catch (const std::exception &) {
+        fatal("invalid --buckets '", args.get("buckets", "4"), "'");
+    }
+    fatalIf(buckets < 1, "--buckets must be >= 1");
+
+    std::vector<workloads::DynamicWorkloadSpec> specs;
+    std::string names;
+    for (const auto &spec : workloads::dynamicInferenceWorkloads()) {
+        names += spec.name + " ";
+        if (model.empty() || spec.name == model)
+            specs.push_back(spec);
+    }
+    fatalIf(specs.empty(), "unknown model '", model,
+            "' (available: ", names, ")");
+
+    DiagnosticEngine merged;
+    std::string output;
+    for (const workloads::DynamicWorkloadSpec &wl : specs) {
+        DynamicSessionOptions options;
+        options.session = makeSessionOptions(args);
+        options.bucket_to_power_of_two = true;
+        options.dim_names = {wl.dim_name};
+        options.dim_divisors = {wl.divisor};
+        DynamicSession dynamic(
+            wl.build, [&backend] { return makeBackend(backend); },
+            options);
+
+        std::int64_t dim = wl.default_dim;
+        for (int k = 0; k < buckets; ++k) {
+            dynamic.profile({dim});
+            // A second serve at the bucket key (the range's high
+            // endpoint) rides the certificate when the proof closed.
+            dynamic.profile(dynamic.bucketFor({dim}));
+            dim *= 2;
+        }
+
+        const DynamicSession::SymbolicStats stats =
+            dynamic.symbolicStats();
+        output += strCat(wl.name, " (", wl.dim_name, " from ",
+                         wl.default_dim, ", ", buckets, " buckets):\n");
+        // One line per certified range: the full multi-line
+        // certificates (with assumptions) live in the emitted CUDA
+        // headers; the sweep only needs the verdict tally.
+        struct RangeTally
+        {
+            std::map<std::string, int> verdicts;
+            int proven = 0;
+            int fallback = 0;
+        };
+        std::map<std::string, RangeTally> ranges;
+        for (const ShapeCertificate &cert : dynamic.certificates()) {
+            std::string range;
+            for (const ShapeDim &d : cert.dims)
+                range += strCat(range.empty() ? "" : ", ", d.toString());
+            RangeTally &tally = ranges["{" + range + "}"];
+            ++tally.verdicts[certificateVerdictName(cert.verdict)];
+            tally.proven += cert.obligations_proven;
+            tally.fallback += cert.obligations_fallback;
+        }
+        for (const auto &[range, tally] : ranges) {
+            output += strCat("  ", range, ":");
+            for (const auto &[verdict, count] : tally.verdicts)
+                output += strCat(" ", count, " ", verdict);
+            output += strCat(" (", tally.proven, " obligations proven, ",
+                             tally.fallback, " left to concrete)\n");
+        }
+        output += strCat("  stats: proven=", stats.buckets_proven,
+                         " fallback=", stats.buckets_fallback,
+                         " unsymbolized=", stats.buckets_unsymbolized,
+                         " certified_hits=", stats.certified_hits,
+                         " concrete_reverifications=",
+                         stats.concrete_reverifications, "\n");
+        merged.merge(dynamic.diagnostics());
+    }
+
+    const DiagnosticEngine engine =
+        applyDiagFilter(merged, args, "AS7xx,AS8xx");
+    output += renderDiagnostics(engine, args.get("format", "text"));
+    writeOrPrint(args, output);
+    // AS831 fallback notes are the verifier's designed escape hatch —
+    // they must not fail the sweep unless the user tightens --fail-on.
+    return failOnExit(engine, args, "warning");
+}
+
 int
 cmdVerify(const Args &args)
 {
+    if (args.has("symbolic"))
+        return cmdVerifySymbolic(args);
     const Graph graph = buildModel(args.get("model", "BERT"));
     const SessionOptions options = makeSessionOptions(args);
     Session session(graph, makeBackend(args.get("backend", "astitch")),
@@ -339,10 +481,13 @@ cmdVerify(const Args &args)
     if (args.has("access"))
         output += renderAccessSummaries(session.compiled());
     writeOrPrint(args, output);
-    // Verification succeeds only when the filtered family is silent:
-    // a warning-severity AS721 still means the proof obligations did
-    // not all discharge.
-    return engine.empty() && !session.diagnostics().hasErrors() ? 0 : 1;
+    // Verification succeeds only when the filtered findings clear the
+    // --fail-on threshold (default "any": a warning-severity AS721
+    // still means the proof obligations did not all discharge) and the
+    // unfiltered compile produced no errors at all.
+    if (session.diagnostics().hasErrors())
+        return 1;
+    return failOnExit(engine, args, "any");
 }
 
 int
@@ -507,6 +652,7 @@ main(int argc, char **argv)
         "dot|analyze|verify|fault-sites> [--model M] [--backend B] "
         "[--gpu G] [--cluster N] [--compile-threads N] [--fault PLAN] "
         "[--fail-fast] [--format text|json|sarif] [--analyze[=json]] "
-        "[--diag-filter ASn] [--access] [--out FILE]\n");
+        "[--diag-filter EXPR] [--access] [--symbolic] [--buckets K] "
+        "[--fail-on error|warning|note|any|never] [--out FILE]\n");
     return args.command.empty() ? 1 : 2;
 }
