@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "backends/tf/tf_backend.h"
 #include "backends/trt/trt_backend.h"
@@ -78,6 +79,19 @@ inline void
 printHeader(const std::string &title)
 {
     std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/**
+ * Opening of every BENCH_*.json document: the machine's hardware
+ * concurrency, so regression tracking can normalize thread-scaling
+ * numbers across runners. Callers append their own fields after it
+ * and close the outer brace themselves.
+ */
+inline std::string
+jsonPreamble()
+{
+    return "{\"hardware_concurrency\":" +
+           std::to_string(std::thread::hardware_concurrency()) + ",";
 }
 
 } // namespace bench

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Heuristic-vs-tuned sweep (extension of Sec 6.2's Ansor case study).
+ *
+ * Compiles every fig11a/fig13 inference workload and every fig11b
+ * training workload on V100, T4 and A100 twice over in one session
+ * each: the cost-model-guided autotuner (opt/autotuner.h) scores the
+ * heuristic plan and then searches scheme/mapping overrides per
+ * cluster, so one compile yields both the heuristic and the tuned
+ * cost-model totals. Results go to BENCH_autotune.json.
+ *
+ * Environment:
+ *   ASTITCH_AUTOTUNE_JSON        output path (default
+ *                                BENCH_autotune.json).
+ *   ASTITCH_AUTOTUNE_MODE        seeded|full (default seeded).
+ *   ASTITCH_AUTOTUNE_BEAM        beam width (default 4).
+ *   ASTITCH_AUTOTUNE_CANDIDATES  per-cluster candidate cap (default
+ *                                64); CI smoke runs tighter.
+ *   ASTITCH_AUTOTUNE_MODELS      comma list restricting the workload
+ *                                sweep (default all).
+ *
+ * Exit codes: 0 ok; 2 the tuned plan scored WORSE than the heuristic
+ * on some workload x device pair — a cost-model regression, since the
+ * tuner must keep the heuristic plan unless a candidate is strictly
+ * cheaper.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "support/strings.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+int
+envInt(const char *name, int fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::atoi(value) : fallback;
+}
+
+std::string
+envStr(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? value : fallback;
+}
+
+struct PairRecord
+{
+    std::string workload;
+    std::string figure;
+    std::string gpu;
+    std::size_t clusters = 0;
+    int improved_clusters = 0;
+    int candidates = 0;
+    int rejected = 0;
+    double heuristic_us = 0.0;
+    double tuned_us = 0.0;
+    double search_ms = 0.0;
+    double compile_ms = 0.0;
+
+    double improvementPct() const
+    {
+        return heuristic_us > 0.0
+                   ? 100.0 * (heuristic_us - tuned_us) / heuristic_us
+                   : 0.0;
+    }
+};
+
+PairRecord
+runPair(const workloads::WorkloadSpec &wl, const std::string &figure,
+        const GpuSpec &spec, const std::string &gpu,
+        const TuningOptions &tuning)
+{
+    PairRecord r;
+    r.workload = wl.name;
+    r.figure = figure;
+    r.gpu = gpu;
+
+    const Graph graph = wl.build();
+    SessionOptions options;
+    options.spec = spec;
+    options.tuning = tuning;
+    Session session(graph, makeBackend(Which::AStitch), options);
+    r.compile_ms = session.compile();
+
+    const TuningReport &report = session.tuningReport();
+    r.clusters = report.clusters.size();
+    r.improved_clusters = report.improvedCount();
+    r.heuristic_us = report.totalHeuristicUs();
+    r.tuned_us = report.totalTunedUs();
+    r.search_ms = report.totalSearchMs();
+    for (const ClusterTuningResult &c : report.clusters) {
+        r.candidates += c.candidates_evaluated;
+        r.rejected += c.candidates_rejected;
+    }
+    return r;
+}
+
+void
+writeJson(const std::vector<PairRecord> &records, const TuningOptions &t)
+{
+    const std::string path =
+        envStr("ASTITCH_AUTOTUNE_JSON", "BENCH_autotune.json");
+    std::ofstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    file << jsonPreamble() << "\"mode\":\""
+         << (t.mode == TuningMode::Full ? "full" : "seeded")
+         << "\",\"beam_width\":" << t.beam_width
+         << ",\"max_candidates\":" << t.max_candidates << ",\"records\":[";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const PairRecord &r = records[i];
+        file << (i ? "," : "") << "{\"workload\":\"" << r.workload
+             << "\",\"figure\":\"" << r.figure << "\",\"gpu\":\"" << r.gpu
+             << "\",\"clusters\":" << r.clusters
+             << ",\"improved_clusters\":" << r.improved_clusters
+             << ",\"candidates\":" << r.candidates
+             << ",\"rejected\":" << r.rejected
+             << ",\"heuristic_cost_us\":" << r.heuristic_us
+             << ",\"tuned_cost_us\":" << r.tuned_us
+             << ",\"improvement_pct\":" << r.improvementPct()
+             << ",\"search_ms\":" << r.search_ms
+             << ",\"compile_ms\":" << r.compile_ms << "}";
+    }
+    file << "]}\n";
+    std::printf("wrote %zu pair records to %s\n", records.size(),
+                path.c_str());
+}
+
+bool
+modelSelected(const std::string &filter, const std::string &name)
+{
+    if (filter.empty())
+        return true;
+    for (const std::string &piece : strSplit(filter, ','))
+        if (strTrim(piece) == name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main()
+{
+    TuningOptions tuning;
+    tuning.mode = envStr("ASTITCH_AUTOTUNE_MODE", "seeded") == "full"
+                      ? TuningMode::Full
+                      : TuningMode::Seeded;
+    tuning.beam_width = envInt("ASTITCH_AUTOTUNE_BEAM", 4);
+    tuning.max_candidates = envInt("ASTITCH_AUTOTUNE_CANDIDATES", 64);
+    const std::string filter = envStr("ASTITCH_AUTOTUNE_MODELS", "");
+
+    printHeader(strCat(
+        "Cost-model autotuning sweep (",
+        tuning.mode == TuningMode::Full ? "full" : "seeded", " mode, beam ",
+        tuning.beam_width, ", <= ", tuning.max_candidates,
+        " candidates/cluster; tuned must never score worse)"));
+    std::printf("%-14s %-8s %-6s %9s %12s %12s %8s %10s %9s\n", "workload",
+                "figure", "gpu", "clusters", "heuristic", "tuned", "gain",
+                "candidates", "search");
+    std::printf("%62s %30s\n", "(cost-model us)", "(ms)");
+
+    const GpuSpec specs[] = {GpuSpec::v100(), GpuSpec::t4(),
+                             GpuSpec::a100()};
+    const char *spec_names[] = {"v100", "t4", "a100"};
+
+    std::vector<PairRecord> records;
+    int improved_pairs = 0, regressed_pairs = 0;
+    for (int s = 0; s < 3; ++s) {
+        for (const auto &wl : workloads::inferenceWorkloads()) {
+            if (!modelSelected(filter, wl.name))
+                continue;
+            records.push_back(runPair(wl, "fig11a/fig13", specs[s],
+                                      spec_names[s], tuning));
+        }
+        for (const auto &wl : workloads::trainingWorkloads()) {
+            if (!modelSelected(filter, wl.name))
+                continue;
+            records.push_back(
+                runPair(wl, "fig11b", specs[s], spec_names[s], tuning));
+        }
+    }
+
+    for (const PairRecord &r : records) {
+        std::printf("%-14s %-8s %-6s %9zu %12.2f %12.2f %7.2f%% %10d "
+                    "%9.1f\n",
+                    r.workload.c_str(), r.figure.c_str(), r.gpu.c_str(),
+                    r.clusters, r.heuristic_us, r.tuned_us,
+                    r.improvementPct(), r.candidates, r.search_ms);
+        if (r.tuned_us < r.heuristic_us)
+            ++improved_pairs;
+        else if (r.tuned_us > r.heuristic_us)
+            ++regressed_pairs;
+    }
+    std::printf("pairs: %zu total, %d improved, %d regressed\n",
+                records.size(), improved_pairs, regressed_pairs);
+    writeJson(records, tuning);
+
+    if (regressed_pairs > 0) {
+        std::fprintf(stderr,
+                     "REGRESSION: the tuned plan scored worse than the "
+                     "heuristic on %d pair(s)\n",
+                     regressed_pairs);
+        return 2;
+    }
+    return 0;
+}

@@ -269,7 +269,7 @@ writeJson(const std::vector<TierRecord> &records, int max_nodes,
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    file << "{\"max_nodes\":" << max_nodes
+    file << jsonPreamble() << "\"max_nodes\":" << max_nodes
          << ",\"budget_ms\":" << budget_ms << ",\"records\":[";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const TierRecord &r = records[i];

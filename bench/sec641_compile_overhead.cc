@@ -192,8 +192,7 @@ writeCompileJson(const std::vector<SweepRecord> &records)
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    file << "{\"hardware_concurrency\":"
-         << std::thread::hardware_concurrency() << ",\"records\":[";
+    file << jsonPreamble() << "\"records\":[";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const SweepRecord &r = records[i];
         file << (i ? "," : "") << "{\"nodes\":" << r.nodes
@@ -275,7 +274,7 @@ writeRobustnessJson(const std::vector<RobustnessRecord> &records)
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    file << "{\"records\":[";
+    file << jsonPreamble() << "\"records\":[";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const RobustnessRecord &r = records[i];
         file << (i ? "," : "") << "{\"scenario\":\"" << r.scenario
@@ -435,7 +434,7 @@ writeVerifyJson(const std::vector<VerifyRecord> &records)
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    file << "{\"records\":[";
+    file << jsonPreamble() << "\"records\":[";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const VerifyRecord &r = records[i];
         file << (i ? "," : "") << "{\"mode\":\"" << r.mode

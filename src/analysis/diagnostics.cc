@@ -124,6 +124,9 @@ diagnosticCodes()
         {"AS606", Severity::Note, "degraded-cache-entry",
          "a cached compilation was degraded; the session retried it to "
          "upgrade the entry instead of serving it as a full result"},
+        {"AS610", Severity::Note, "autotuner-replaced-plan",
+         "the cost-model-guided autotuner found a plan strictly "
+         "cheaper than the heuristic one and the session adopted it"},
 
         // -- AS7xx: kernel-access verification (symbolic analysis of
         //    the emitted per-op access summaries) --

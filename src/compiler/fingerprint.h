@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Structural fingerprints of graphs and clusters.
+ *
+ * The 64-bit hashes keying the JIT cache (whole graphs) and the tuning
+ * DB (single clusters, canonicalized over cluster-local indices so
+ * identical subgraph shapes hash equal across graphs and sessions).
+ */
+#ifndef ASTITCH_COMPILER_FINGERPRINT_H
+#define ASTITCH_COMPILER_FINGERPRINT_H
+
+#include <cstdint>
+
+#include "compiler/clustering.h"
+
+namespace astitch {
+
+/** Structural fingerprint of a graph (kinds, edges, attrs, shapes). */
+std::uint64_t graphFingerprint(const Graph &graph);
+
+/**
+ * Structural fingerprint of one cluster's subgraph, canonicalized over
+ * cluster-local indices so two clusters with identical internal
+ * structure hash equal regardless of where they sit in their graphs
+ * (the tuning-DB key: tuned decisions transfer between sessions that
+ * compile the same subgraph shape).
+ */
+std::uint64_t clusterFingerprint(const Graph &graph,
+                                 const Cluster &cluster);
+
+} // namespace astitch
+
+#endif // ASTITCH_COMPILER_FINGERPRINT_H

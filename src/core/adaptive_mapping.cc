@@ -17,12 +17,66 @@ blocksPerWaveFor(const GpuSpec &spec, int block_size,
     return occ.blocksPerWave(spec);
 }
 
+namespace {
+
+/** Clamp a forced block budget to a legal stitched-kernel block size. */
+int
+clampOverrideBlock(const GpuSpec &spec, int block)
+{
+    block = std::min(block, spec.max_threads_per_block);
+    return roundUpToWarp(spec, std::max(block, 1));
+}
+
+} // namespace
+
 AdaptiveMapping
 adaptiveRowReduce(const GpuSpec &spec, std::int64_t rows,
-                  std::int64_t cols)
+                  std::int64_t cols, const MappingOverride &ov)
 {
     fatalIf(rows <= 0 || cols <= 0, "degenerate reduction ", rows, "x",
             cols);
+    if (ov.any()) {
+        AdaptiveMapping m;
+        const int budget =
+            clampOverrideBlock(spec, ov.block > 0
+                                         ? ov.block
+                                         : spec.max_threads_per_block);
+        if (ov.split > 1) {
+            // Forced task splitting: same shape as the heuristic split
+            // branch, with the factor clamped so the grid stays within
+            // one wave and no block is left without columns.
+            const std::int64_t bpw =
+                blocksPerWaveFor(spec, budget, 8 * 1024);
+            const std::int64_t by_cols =
+                std::max<std::int64_t>(1, (cols + budget - 1) / budget);
+            const std::int64_t max_split = std::max<std::int64_t>(
+                1, std::min<std::int64_t>(by_cols,
+                                          (bpw + rows - 1) / rows));
+            m.split_factor = static_cast<int>(
+                std::min<std::int64_t>(ov.split, max_split));
+            m.launch = LaunchDims{rows * m.split_factor, budget};
+            m.uses_atomics = m.split_factor > 1;
+            m.rows_per_block = 1;
+            return m;
+        }
+        // Forced block budget with horizontal + vertical packing.
+        const std::int64_t bpw = blocksPerWaveFor(spec, budget, 8 * 1024);
+        const int threads_per_row =
+            roundUpToWarp(spec, std::min<std::int64_t>(cols, budget));
+        m.rows_per_block =
+            std::max<std::int64_t>(1, budget / threads_per_row);
+        m.rows_per_block = std::min(m.rows_per_block, rows);
+        const int block =
+            static_cast<int>(m.rows_per_block) * threads_per_row;
+        std::int64_t grid =
+            (rows + m.rows_per_block - 1) / m.rows_per_block;
+        if (grid > bpw) {
+            m.tasks_per_block = (grid + bpw - 1) / bpw;
+            grid = (grid + m.tasks_per_block - 1) / m.tasks_per_block;
+        }
+        m.launch = LaunchDims{std::max<std::int64_t>(1, grid), block};
+        return m;
+    }
     AdaptiveMapping m;
     const int max_block = spec.max_threads_per_block;
     const std::int64_t bpw = blocksPerWaveFor(spec, max_block, 8 * 1024);
@@ -79,10 +133,11 @@ adaptiveRowReduce(const GpuSpec &spec, std::int64_t rows,
 
 AdaptiveMapping
 adaptiveColumnReduce(const GpuSpec &spec, std::int64_t rows,
-                     std::int64_t cols)
+                     std::int64_t cols, const MappingOverride &ov)
 {
     AdaptiveMapping m;
-    const int block = 256;
+    const int block =
+        ov.block > 0 ? clampOverrideBlock(spec, ov.block) : 256;
     const std::int64_t total = rows * cols;
     const std::int64_t bpw = blocksPerWaveFor(spec, block, 0);
     std::int64_t grid = std::max<std::int64_t>(1, (total + block - 1) /
@@ -97,10 +152,12 @@ adaptiveColumnReduce(const GpuSpec &spec, std::int64_t rows,
 }
 
 AdaptiveMapping
-adaptiveElementwise(const GpuSpec &spec, std::int64_t num_elements)
+adaptiveElementwise(const GpuSpec &spec, std::int64_t num_elements,
+                    const MappingOverride &ov)
 {
     AdaptiveMapping m;
-    const int block = 256;
+    const int block =
+        ov.block > 0 ? clampOverrideBlock(spec, ov.block) : 256;
     const std::int64_t bpw = blocksPerWaveFor(spec, block, 0);
     std::int64_t grid = std::max<std::int64_t>(
         1, (num_elements + block - 1) / block);

@@ -41,6 +41,29 @@ struct AdaptiveMapping
 };
 
 /**
+ * An explicit mapping decision imposed on the adaptive pass (by the
+ * autotuner). Zero-valued fields keep the heuristic choice; with no
+ * fields set the pass is byte-identical to the un-overridden one.
+ * Overrides are legality-preserving by construction: block sizes are
+ * warp-rounded and capped, split factors clamped so the grid still
+ * fits one wave (the global-barrier requirement).
+ */
+struct MappingOverride
+{
+    /** Forced threads-per-block budget (rounded up to a warp). */
+    int block = 0;
+
+    /** Forced task-splitting factor for row reductions. */
+    int split = 0;
+
+    bool any() const { return block > 0 || split > 0; }
+    bool operator==(const MappingOverride &o) const
+    {
+        return block == o.block && split == o.split;
+    }
+};
+
+/**
  * Upper bound on resident blocks per wave for stitched kernels: blocks
  * of @p block_size threads at the assumed 32-register budget and @p
  * smem_per_block bytes of shared memory.
@@ -50,15 +73,18 @@ std::int64_t blocksPerWaveFor(const GpuSpec &spec, int block_size,
 
 /** Adaptive mapping for a row-reduction of @p rows x @p cols. */
 AdaptiveMapping adaptiveRowReduce(const GpuSpec &spec, std::int64_t rows,
-                                  std::int64_t cols);
+                                  std::int64_t cols,
+                                  const MappingOverride &ov = {});
 
 /** Adaptive mapping for a column-reduction (strided, atomics). */
 AdaptiveMapping adaptiveColumnReduce(const GpuSpec &spec,
-                                     std::int64_t rows, std::int64_t cols);
+                                     std::int64_t rows, std::int64_t cols,
+                                     const MappingOverride &ov = {});
 
 /** Adaptive mapping for an element-wise group of @p num_elements. */
 AdaptiveMapping adaptiveElementwise(const GpuSpec &spec,
-                                    std::int64_t num_elements);
+                                    std::int64_t num_elements,
+                                    const MappingOverride &ov = {});
 
 } // namespace astitch
 

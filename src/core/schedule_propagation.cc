@@ -24,9 +24,14 @@ wrapNaive(LaunchDims launch, bool atomics = false)
 std::vector<GroupSchedule>
 computeGroupSchedules(const Graph &graph, const Cluster &cluster,
                       const DominantAnalysis &analysis, const GpuSpec &spec,
-                      bool adaptive_mapping)
+                      bool adaptive_mapping,
+                      const MappingOverrideMap &overrides)
 {
     faultPoint("schedule-propagation");
+    const auto overrideFor = [&](NodeId dominant) {
+        auto it = overrides.find(dominant);
+        return it == overrides.end() ? MappingOverride{} : it->second;
+    };
     const std::size_t num_groups = analysis.groups.size();
     std::vector<GroupSchedule> schedules(num_groups);
 
@@ -48,10 +53,13 @@ computeGroupSchedules(const Graph &graph, const Cluster &cluster,
             sched.is_reduce_group = true;
             const ReduceInfo info = analyzeReduce(graph, group.dominant);
             if (adaptive_mapping) {
+                const MappingOverride ov = overrideFor(group.dominant);
                 sched.mapping =
                     info.is_row_reduce
-                        ? adaptiveRowReduce(spec, info.rows, info.cols)
-                        : adaptiveColumnReduce(spec, info.rows, info.cols);
+                        ? adaptiveRowReduce(spec, info.rows, info.cols,
+                                            ov)
+                        : adaptiveColumnReduce(spec, info.rows,
+                                               info.cols, ov);
             } else {
                 sched.mapping =
                     info.is_row_reduce
@@ -89,7 +97,14 @@ computeGroupSchedules(const Graph &graph, const Cluster &cluster,
                 break;
         }
 
-        if (producer_group >= 0 && adaptive_mapping) {
+        const MappingOverride ov =
+            adaptive_mapping ? overrideFor(group.dominant)
+                             : MappingOverride{};
+        if (ov.any()) {
+            // An explicit decision beats proactive adaptation.
+            sched.mapping = adaptiveElementwise(
+                spec, dom.shape().numElements(), ov);
+        } else if (producer_group >= 0 && adaptive_mapping) {
             sched.mapping = schedules[producer_group].mapping;
             sched.mapping.uses_atomics = false;
             sched.mapping.split_factor = 1;

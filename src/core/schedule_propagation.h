@@ -13,6 +13,7 @@
 #ifndef ASTITCH_CORE_SCHEDULE_PROPAGATION_H
 #define ASTITCH_CORE_SCHEDULE_PROPAGATION_H
 
+#include <unordered_map>
 #include <vector>
 
 #include "core/adaptive_mapping.h"
@@ -33,6 +34,16 @@ struct GroupSchedule
 };
 
 /**
+ * Explicit mapping overrides keyed by group dominant, imposed on top of
+ * the adaptive heuristics (the autotuner's handle into this pass). An
+ * overridden group keeps its override even where the heuristic would
+ * proactively adapt; un-overridden element-wise consumers still inherit
+ * whatever mapping (overridden or not) their producer group ended up
+ * with. Ignored when adaptive mapping is disabled.
+ */
+using MappingOverrideMap = std::unordered_map<NodeId, MappingOverride>;
+
+/**
  * Decide the mapping of every group. With @p adaptive_mapping disabled
  * the naive baselines' mappings are used instead (the ablation study's
  * ATM-off configuration).
@@ -40,7 +51,8 @@ struct GroupSchedule
 std::vector<GroupSchedule>
 computeGroupSchedules(const Graph &graph, const Cluster &cluster,
                       const DominantAnalysis &analysis, const GpuSpec &spec,
-                      bool adaptive_mapping);
+                      bool adaptive_mapping,
+                      const MappingOverrideMap &overrides = {});
 
 } // namespace astitch
 

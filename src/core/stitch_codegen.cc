@@ -27,11 +27,44 @@ compileStitchOp(const Graph &graph, const Cluster &cluster,
     DominantAnalysis analysis =
         analyzeDominants(graph, cluster, options.dominant_merging);
     std::vector<GroupSchedule> schedules = computeGroupSchedules(
-        graph, cluster, analysis, spec, options.adaptive_thread_mapping);
+        graph, cluster, analysis, spec, options.adaptive_thread_mapping,
+        options.tuning.mappings);
 
     // ---- Step 3: stitching schemes + memory planning. ----
     SchemeMap schemes =
         finalizeSchemes(graph, cluster, analysis, schedules);
+    if (!options.tuning.schemes.empty()) {
+        // Impose the tuner's scheme decisions on boundaries the
+        // locality pass already classified. Correctness guard: a
+        // producer finalized by atomics or task splitting publishes
+        // partial values until the device-wide barrier, so it can never
+        // be relaxed below Global whatever the tuner asked for.
+        const auto producing_group = [&](NodeId x) -> int {
+            for (std::size_t g = 0; g < analysis.groups.size(); ++g) {
+                const DominantGroup &group = analysis.groups[g];
+                if (group.dominant == x ||
+                    std::binary_search(group.sub_dominants.begin(),
+                                       group.sub_dominants.end(), x)) {
+                    return static_cast<int>(g);
+                }
+            }
+            return -1;
+        };
+        for (const auto &[node, scheme] : options.tuning.schemes) {
+            const auto it = schemes.find(node);
+            if (it == schemes.end())
+                continue;
+            if (scheme != StitchScheme::Global) {
+                const int g = producing_group(node);
+                if (g >= 0 &&
+                    (schedules[g].mapping.uses_atomics ||
+                     schedules[g].mapping.split_factor > 1)) {
+                    continue;
+                }
+            }
+            it->second = scheme;
+        }
+    }
     MemoryPlan memory =
         planMemory(graph, cluster, analysis, schedules, std::move(schemes),
                    spec, options.smem_budget_per_block);

@@ -18,6 +18,23 @@
 
 namespace astitch {
 
+/**
+ * Explicit per-cluster decisions imposed on the heuristic pipeline (the
+ * autotuner's handle, see src/opt/autotuner.h): stitch-scheme choices
+ * for boundary values and thread-mapping overrides keyed by group
+ * dominant. Empty (the default) leaves the pipeline untouched. Scheme
+ * overrides apply only to values the locality pass already assigned a
+ * scheme, and never relax an atomics/split producer below Global; the
+ * memory planner may still demote a forced Regional on budget.
+ */
+struct TuningOverrides
+{
+    std::unordered_map<NodeId, StitchScheme> schemes;
+    MappingOverrideMap mappings;
+
+    bool empty() const { return schemes.empty() && mappings.empty(); }
+};
+
 /** Feature switches, matching the paper's ablation study (Table 4). */
 struct AStitchOptions
 {
@@ -49,6 +66,9 @@ struct AStitchOptions
      * `analyze` on, certifies the plan for the whole range — AS8xx).
      */
     std::vector<ShapeDim> shape_params;
+
+    /** Autotuner decisions to impose; empty keeps pure heuristics. */
+    TuningOverrides tuning;
 };
 
 /** Introspection output for tests and the compiler-explorer example. */

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Persistent autotuning database.
+ *
+ * Tuned per-cluster decisions survive the process: entries are keyed by
+ * (cluster fingerprint, device, pipeline-options tag, pass version) and
+ * stored as one JSON file, so JitCache/DynamicSession users — and the
+ * `astitch-cli tune` subcommand — reuse search results across sessions
+ * instead of re-running the beam. Decisions are recorded in
+ * cluster-local node indices (positions in Cluster::nodes), the same
+ * canonical space `clusterFingerprint` hashes, so they transfer to any
+ * graph containing the same subgraph shape.
+ *
+ * Versioning: a `kPassVersion` bump (any pipeline/cost-model change
+ * that invalidates stored decisions) changes every key, so stale
+ * entries simply miss. A corrupt or unreadable file degrades to an
+ * empty DB with a warning — tuning then searches from scratch; it
+ * never crashes the compile.
+ *
+ * Determinism: lookups only ever see the load-time snapshot; results
+ * recorded during a run are buffered and merged at save() time. Tuning
+ * outcomes therefore do not depend on the order concurrent cluster
+ * compiles finish in.
+ */
+#ifndef ASTITCH_OPT_TUNING_DB_H
+#define ASTITCH_OPT_TUNING_DB_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace astitch {
+
+/** One stored decision set for one (cluster, device, options) key. */
+struct TuningDbEntry
+{
+    std::string key;
+
+    /** Cost-model estimate of the heuristic plan when tuned (us). */
+    double heuristic_cost_us = 0.0;
+
+    /** Cost-model estimate of the stored decisions' plan (us). */
+    double tuned_cost_us = 0.0;
+
+    /** True when the stored decisions beat the heuristic plan. */
+    bool improved = false;
+
+    /** Scheme decision: cluster-local node index -> StitchScheme int. */
+    struct SchemeDecision
+    {
+        int node = 0;
+        int scheme = 0;
+    };
+    std::vector<SchemeDecision> schemes;
+
+    /** Mapping decision: cluster-local dominant index -> override. */
+    struct MappingDecision
+    {
+        int node = 0;
+        int block = 0;
+        int split = 0;
+    };
+    std::vector<MappingDecision> mappings;
+};
+
+/** Thread-safe, snapshot-isolated JSON tuning database. */
+class TuningDb
+{
+  public:
+    /**
+     * Version of the tuning pipeline whose decisions this build
+     * records. Bump whenever the search space, cost model or override
+     * semantics change incompatibly; old entries then miss by key.
+     */
+    static constexpr int kPassVersion = 1;
+
+    /** On-disk container format version. */
+    static constexpr int kFileVersion = 1;
+
+    /**
+     * Key for one tuned cluster: fingerprint + device + an options tag
+     * (the caller encodes the AStitchOptions that shape the pipeline)
+     * + pass version.
+     */
+    static std::string makeKey(std::uint64_t cluster_fingerprint,
+                               const std::string &device_name,
+                               const std::string &options_tag);
+
+    /** Load @p path (empty path = purely in-memory DB). */
+    explicit TuningDb(std::string path = {});
+
+    /** Snapshot lookup; nullptr on miss. Counts hit/miss stats. */
+    const TuningDbEntry *lookup(const std::string &key) const;
+
+    /** Buffer a result for the next save(); does not affect lookups. */
+    void record(TuningDbEntry entry);
+
+    /**
+     * Merge buffered results into the snapshot (buffered wins, ties
+     * deduped by key) and rewrite the file. Returns false (with a
+     * warning) when the file cannot be written; in-memory DBs with no
+     * path return true without touching disk.
+     */
+    bool save();
+
+    struct Stats
+    {
+        std::int64_t hits = 0;
+        std::int64_t misses = 0;
+        std::size_t entries = 0;  ///< snapshot size
+        std::size_t pending = 0;  ///< recorded, not yet saved
+        bool load_failed = false; ///< file existed but did not parse
+    };
+    Stats stats() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    bool load_failed_ = false;
+
+    mutable std::mutex mutex_;
+    mutable std::int64_t hits_ = 0;
+    mutable std::int64_t misses_ = 0;
+
+    /** Load-time snapshot, ordered by key (stable file output). */
+    std::map<std::string, TuningDbEntry> snapshot_;
+
+    /** Results recorded this run, merged at save(). */
+    std::vector<TuningDbEntry> pending_;
+};
+
+} // namespace astitch
+
+#endif // ASTITCH_OPT_TUNING_DB_H

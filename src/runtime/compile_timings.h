@@ -19,7 +19,8 @@ namespace astitch {
  * Wall-clock fields (clustering_ms, remote_stitch_ms,
  * parallel_section_ms, scheduling_ms) are disjoint spans of the
  * compiling thread and sum to roughly the session's compile_ms.
- * CPU-sum fields (backend_compile_ms, analysis_ms) accumulate across
+ * CPU-sum fields (backend_compile_ms, analysis_ms, autotune_ms)
+ * accumulate across
  * the PR-2 compile pool's workers, so with N threads they can exceed
  * parallel_section_ms — their ratio to it is the pool's effective
  * parallel speedup.
@@ -38,6 +39,10 @@ struct CompilePassTimings
 
     /** Per-cluster plan analysis — CPU time summed over all workers. */
     double analysis_ms = 0.0;
+
+    /** Per-cluster autotuning search (candidate compiles + scoring) —
+     * CPU time summed over all workers; 0 with tuning off. */
+    double autotune_ms = 0.0;
 
     /** The whole parallel compile+analyze fan-out — wall. */
     double parallel_section_ms = 0.0;

@@ -1,65 +1,9 @@
 #include "runtime/jit_cache.h"
 
-#include <cstring>
-
 #include "support/fault_injection.h"
 #include "support/strings.h"
 
 namespace astitch {
-
-namespace {
-
-void
-mix(std::uint64_t &h, std::uint64_t v)
-{
-    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-}
-
-void
-mixShape(std::uint64_t &h, const Shape &shape)
-{
-    mix(h, shape.rank());
-    for (auto d : shape.dims())
-        mix(h, static_cast<std::uint64_t>(d));
-}
-
-} // namespace
-
-std::uint64_t
-graphFingerprint(const Graph &graph)
-{
-    std::uint64_t h = 1469598103934665603ULL;
-    mix(h, graph.numNodes());
-    for (NodeId id = 0; id < graph.numNodes(); ++id) {
-        const Node &node = graph.node(id);
-        mix(h, static_cast<std::uint64_t>(node.kind()));
-        mix(h, static_cast<std::uint64_t>(node.dtype()));
-        for (NodeId op : node.operands())
-            mix(h, static_cast<std::uint64_t>(op));
-        mixShape(h, node.shape());
-        const NodeAttrs &a = node.attrs();
-        for (int d : a.reduce_dims)
-            mix(h, static_cast<std::uint64_t>(d) + 101);
-        for (int p : a.perm)
-            mix(h, static_cast<std::uint64_t>(p) + 211);
-        std::uint64_t exp_bits;
-        std::memcpy(&exp_bits, &a.exponent, sizeof(exp_bits));
-        mix(h, exp_bits);
-        mix(h, static_cast<std::uint64_t>(a.concat_dim) + 307);
-        mix(h, static_cast<std::uint64_t>(a.slice_start) + 401);
-        mix(h, static_cast<std::uint64_t>(a.slice_size) + 503);
-        mixShape(h, a.target_shape);
-        if (node.kind() == OpKind::Constant) {
-            for (float v : a.literal.data()) {
-                std::uint32_t bits;
-                std::memcpy(&bits, &v, sizeof(bits));
-                mix(h, bits);
-            }
-        }
-        mix(h, graph.isOutput(id) ? 2 : 1);
-    }
-    return h;
-}
 
 JitCache::JitCache(std::size_t capacity) : capacity_(capacity) {}
 

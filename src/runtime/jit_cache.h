@@ -29,15 +29,14 @@
 
 #include "analysis/diagnostics.h"
 #include "compiler/clustering.h"
+#include "compiler/fingerprint.h"
 #include "compiler/kernel_plan.h"
+#include "opt/autotuner.h"
 #include "runtime/compile_timings.h"
 #include "runtime/degradation.h"
 #include "sim/gpu_spec.h"
 
 namespace astitch {
-
-/** Structural fingerprint of a graph (kinds, edges, attrs, shapes). */
-std::uint64_t graphFingerprint(const Graph &graph);
 
 /** One cached compilation (immutable once published). */
 struct JitCacheEntry
@@ -60,6 +59,11 @@ struct JitCacheEntry
     /** Per-pass breakdown of the compile that produced this entry
      * (excludes scheduling, which is session-scoped). */
     CompilePassTimings timings;
+
+    /** Per-cluster autotuning outcomes (enabled == false when the
+     * compile ran with tuning off; a cache hit reports the tuning of
+     * the compile that produced the entry). */
+    TuningReport tuning;
 };
 
 /** Thread-safe LRU cache of compiled graphs. */

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "opt/autotuner.h"
 #include "runtime/compile_timings.h"
 #include "runtime/degradation.h"
 #include "sim/perf_counters.h"
@@ -46,6 +47,10 @@ struct RunReport
     /** Fallback-ladder state of the compilation this run executed
      * (degraded() == false for a clean compile). */
     DegradationReport degradation;
+
+    /** Per-cluster autotuning outcomes of that compilation
+     * (enabled == false when it ran with SessionOptions::tuning off). */
+    TuningReport tuning;
 
     /** Kernel count of memory-intensive ops (Table 3 "MEM"). */
     int memKernelCount() const;

@@ -8,6 +8,8 @@
 #include "analysis/analyzer.h"
 #include "compiler/clustering.h"
 #include "compiler/plan_executor.h"
+#include "core/astitch_backend.h"
+#include "opt/autotuner.h"
 #include "opt/passes.h"
 #include "runtime/fallback_ladder.h"
 #include "runtime/jit_cache.h"
@@ -173,6 +175,13 @@ Session::passTimings()
     return pass_timings_;
 }
 
+const TuningReport &
+Session::tuningReport()
+{
+    compile();
+    return entry_->tuning;
+}
+
 Session::CertificateSummary
 Session::certificateSummary()
 {
@@ -263,6 +272,23 @@ Session::compileAllClusters(const Graph &graph) const
     // lock-free and loses precision under contention.
     std::atomic<std::int64_t> backend_compile_ns{0};
     std::atomic<std::int64_t> analysis_ns{0};
+    std::atomic<std::int64_t> autotune_ns{0};
+
+    // ---- Autotuning setup (off by default). Tuning only applies to
+    // the stitching backend's full-stitch compilations; the DB is
+    // loaded once here (lookups see only this snapshot, so results do
+    // not depend on the order concurrent clusters finish in) and
+    // saved once after the parallel section.
+    const AStitchBackend *stitch_backend =
+        options_.tuning.mode == TuningMode::Off
+            ? nullptr
+            : dynamic_cast<const AStitchBackend *>(backend_.get());
+    const bool tuning_on = stitch_backend != nullptr &&
+                           stitch_backend->options().hierarchical_stitching;
+    entry.tuning.enabled = tuning_on;
+    std::unique_ptr<TuningDb> tuning_db;
+    if (tuning_on)
+        tuning_db = std::make_unique<TuningDb>(options_.tuning.db_path);
     const auto addNs = [](std::atomic<std::int64_t> &counter,
                           SteadyClock::time_point t0) {
         counter.fetch_add(std::chrono::duration_cast<
@@ -278,6 +304,34 @@ Session::compileAllClusters(const Graph &graph) const
             graph, entry.clusters[i], options_.spec, *backend_, policy);
         addNs(backend_compile_ns, ladder_t0);
         DiagnosticEngine &engine = entry.cluster_diagnostics[i];
+        // ---- Autotune before analysis, so analysis (and the AS8xx
+        // certificates it attaches) describes the plan that ships.
+        // Demoted rungs are not tuned: their plans exist because the
+        // full pipeline already failed here.
+        if (tuning_on &&
+            outcome.degradation.level == LadderLevel::FullStitch) {
+            const auto tune_t0 = SteadyClock::now();
+            AutotuneOutcome tuned = autotuneCluster(
+                graph, entry.clusters[i], options_.spec,
+                stitch_backend->options(), outcome.compiled,
+                options_.tuning, tuning_db.get());
+            addNs(autotune_ns, tune_t0);
+            if (tuned.result.improved) {
+                outcome.compiled = std::move(tuned.compiled);
+                engine.report(
+                    "AS610", "<cluster>",
+                    strCat("autotuner replaced the heuristic plan: ",
+                           strFixed(tuned.result.heuristic_cost_us, 3),
+                           "us -> ",
+                           strFixed(tuned.result.tuned_cost_us, 3),
+                           "us over ",
+                           tuned.result.candidates_evaluated,
+                           " candidate(s)",
+                           tuned.result.db_hit ? " (tuning-DB hit)"
+                                               : ""));
+            }
+            entry.tuning.clusters[i] = std::move(tuned.result);
+        }
         const auto analysis_t0 = SteadyClock::now();
         if (analyze) {
             try {
@@ -330,9 +384,11 @@ Session::compileAllClusters(const Graph &graph) const
         entry.compiled.assign(n, CompiledCluster{});
         entry.cluster_diagnostics.assign(n, DiagnosticEngine{});
         entry.degradation.clusters.assign(n, ClusterDegradation{});
+        entry.tuning.clusters.assign(n, ClusterTuningResult{});
         // Timings track the attempt whose results were kept.
         backend_compile_ns.store(0, std::memory_order_relaxed);
         analysis_ns.store(0, std::memory_order_relaxed);
+        autotune_ns.store(0, std::memory_order_relaxed);
     };
     resetSlots();
 
@@ -370,6 +426,11 @@ Session::compileAllClusters(const Graph &graph) const
     entry.timings.analysis_ms =
         static_cast<double>(analysis_ns.load(std::memory_order_relaxed)) *
         1e-6;
+    entry.timings.autotune_ms =
+        static_cast<double>(autotune_ns.load(std::memory_order_relaxed)) *
+        1e-6;
+    if (tuning_db)
+        tuning_db->save();
     return entry;
 }
 
@@ -391,6 +452,17 @@ Session::compileEntry(const Graph &graph)
     for (const ShapeDim &d : options_.shape_params) {
         cache_key += strCat("|dim:", d.name, "=", d.value, "[", d.lo, ",",
                             d.hi, "]/", d.divisor);
+    }
+    // Tuning knobs change the plans an entry holds, so they are part
+    // of the compilation's identity too (a tuned and an untuned
+    // compile of the same graph must not share an entry).
+    if (options_.tuning.mode != TuningMode::Off) {
+        const TuningOptions &t = options_.tuning;
+        cache_key += strCat(
+            "|tune:", t.mode == TuningMode::Full ? "full" : "seeded",
+            ",b", t.beam_width, ",c", t.max_candidates, ",g",
+            t.generations, ",t", t.time_budget_ms, ",s", t.seed, ",db=",
+            t.db_path);
     }
     bool compiled_here = false;
     const auto compile_fn = [&] {
@@ -587,6 +659,7 @@ Session::execute(const TensorMap *feeds)
     report.pass_timings = pass_timings_;
     report.num_clusters = static_cast<int>(entry_->clusters.size());
     report.degradation = degradation_;
+    report.tuning = entry_->tuning;
     report.counters = sim.takeCounters();
     report.breakdown = breakdownOf(report.counters);
     report.end_to_end_us = report.counters.endToEndUs();

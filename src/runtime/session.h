@@ -17,6 +17,7 @@
 #include "analysis/diagnostics.h"
 #include "compiler/backend.h"
 #include "compiler/evaluator.h"
+#include "opt/autotuner.h"
 #include "runtime/degradation.h"
 #include "runtime/jit_cache.h"
 #include "runtime/run_report.h"
@@ -94,6 +95,19 @@ struct SessionOptions
      * the pass.
      */
     std::vector<ShapeDim> shape_params;
+
+    /**
+     * Cost-model-guided autotuning of every full-stitch cluster after
+     * clustering (see opt/autotuner.h): mode Off (the default) keeps
+     * the pure heuristics; Seeded runs a beam search from the
+     * heuristic plan; Full adds evolutionary mutation rounds. Budgets,
+     * seed and the persistent tuning-DB path ride in here. Tuning only
+     * applies to the AStitch backend's stitched compilations; other
+     * backends and demoted ladder rungs are left untouched. Results
+     * are reported per cluster in RunReport::tuning and timed in
+     * CompilePassTimings::autotune_ms.
+     */
+    TuningOptions tuning;
 };
 
 /** Compile-once, run-many execution session. */
@@ -139,6 +153,10 @@ class Session
     /** Per-pass breakdown of the compile (entry timings + this
      * session's scheduling span). Compiles first. */
     const CompilePassTimings &passTimings();
+
+    /** Per-cluster autotuning outcomes of the active compilation
+     * (enabled == false when tuning was off). Compiles first. */
+    const TuningReport &tuningReport();
 
     /** Tally of per-plan certificate verdicts (see ShapeCertificate);
      * all zeros unless shape_params were declared. Compiles first. */

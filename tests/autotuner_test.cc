@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Cost-model-guided autotuner tests: determinism across thread counts,
+ * candidate legality through the analyzer gate, tuning-DB round-trip /
+ * versioning / corruption handling, and cost monotonicity (tuned never
+ * worse than heuristic) over a random-graph corpus.
+ */
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "compiler/clustering.h"
+#include "compiler/fingerprint.h"
+#include "core/astitch_backend.h"
+#include "opt/autotuner.h"
+#include "opt/tuning_db.h"
+#include "runtime/session.h"
+#include "test_graphs.h"
+#include "workloads/common.h"
+#include "workloads/random_graph.h"
+
+namespace astitch {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "astitch_autotuner_" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path);
+    std::ostringstream out;
+    out << file.rdbuf();
+    return out.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path);
+    file << content;
+}
+
+bool
+sameDecision(const TuningOverrides &a, const TuningOverrides &b)
+{
+    return a.schemes == b.schemes && a.mappings == b.mappings;
+}
+
+SessionOptions
+tunedOptions(TuningMode mode = TuningMode::Seeded, int candidates = 24)
+{
+    SessionOptions options;
+    options.tuning.mode = mode;
+    options.tuning.max_candidates = candidates;
+    return options;
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same seed + budget => bit-identical decisions, costs and
+// plans, regardless of how many compile threads the session uses.
+// ---------------------------------------------------------------------
+
+TEST(AutotunerDeterminism, IdenticalAcrossThreadCounts)
+{
+    const Graph graph = workloads::inferenceWorkloads()[3].build(); // ASR
+    std::vector<TuningReport> reports;
+    std::vector<std::string> launches;
+    for (int threads : {1, 4}) {
+        SessionOptions options = tunedOptions();
+        options.compile_threads = threads;
+        Session session(graph, std::make_unique<AStitchBackend>(),
+                        options);
+        session.compile();
+        reports.push_back(session.tuningReport());
+        std::string all;
+        for (const CompiledCluster &c : session.compiled())
+            for (const KernelPlan &plan : c.kernels)
+                all += plan.name + ":" + plan.launch.toString() + "\n";
+        launches.push_back(all);
+    }
+
+    ASSERT_EQ(reports[0].clusters.size(), reports[1].clusters.size());
+    for (std::size_t i = 0; i < reports[0].clusters.size(); ++i) {
+        const ClusterTuningResult &a = reports[0].clusters[i];
+        const ClusterTuningResult &b = reports[1].clusters[i];
+        EXPECT_EQ(a.fingerprint, b.fingerprint) << "cluster " << i;
+        EXPECT_EQ(a.heuristic_cost_us, b.heuristic_cost_us)
+            << "cluster " << i;
+        EXPECT_EQ(a.tuned_cost_us, b.tuned_cost_us) << "cluster " << i;
+        EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated)
+            << "cluster " << i;
+        EXPECT_EQ(a.improved, b.improved) << "cluster " << i;
+        EXPECT_TRUE(sameDecision(a.decision, b.decision))
+            << "cluster " << i;
+    }
+    EXPECT_EQ(launches[0], launches[1]);
+}
+
+TEST(AutotunerDeterminism, SameSeedTwiceIsIdentical)
+{
+    const testing::Fig7Graph f = testing::buildFig7(512, 256);
+    const auto clusters =
+        remoteStitch(f.graph, findMemoryIntensiveClusters(f.graph));
+    ASSERT_FALSE(clusters.empty());
+    const GpuSpec spec = GpuSpec::v100();
+    const AStitchOptions base;
+    const CompiledCluster heuristic =
+        compileStitchOp(f.graph, clusters[0], spec, base);
+
+    TuningOptions options;
+    options.mode = TuningMode::Full;
+    options.max_candidates = 32;
+    const AutotuneOutcome first = autotuneCluster(
+        f.graph, clusters[0], spec, base, heuristic, options);
+    const AutotuneOutcome second = autotuneCluster(
+        f.graph, clusters[0], spec, base, heuristic, options);
+    EXPECT_EQ(first.result.tuned_cost_us, second.result.tuned_cost_us);
+    EXPECT_EQ(first.result.candidates_evaluated,
+              second.result.candidates_evaluated);
+    EXPECT_TRUE(
+        sameDecision(first.result.decision, second.result.decision));
+}
+
+// ---------------------------------------------------------------------
+// Legality: every candidate the tuner scores passed the analyzer gate,
+// and an independent analyzer run agrees with the gate's verdict.
+// ---------------------------------------------------------------------
+
+TEST(AutotunerLegality, ScoredCandidatesPassAnalyzerGate)
+{
+    const testing::Fig7Graph f = testing::buildFig7(512, 512);
+    const auto clusters =
+        remoteStitch(f.graph, findMemoryIntensiveClusters(f.graph));
+    ASSERT_FALSE(clusters.empty());
+    const GpuSpec spec = GpuSpec::v100();
+    const AStitchOptions base;
+    const CompiledCluster heuristic =
+        compileStitchOp(f.graph, clusters[0], spec, base);
+
+    std::atomic<int> observed{0}, legal_count{0};
+    TuningOptions options;
+    options.mode = TuningMode::Seeded;
+    options.max_candidates = 32;
+    options.observer = [&](const TuningOverrides &, const CompiledCluster
+                           &compiled, bool legal, double cost_us) {
+        ++observed;
+        if (!legal)
+            return;
+        ++legal_count;
+        EXPECT_GT(cost_us, 0.0);
+        DiagnosticEngine engine;
+        EXPECT_TRUE(analyzeCompiledCluster(f.graph, clusters[0], compiled,
+                                           spec, engine))
+            << engine.renderText();
+    };
+    const AutotuneOutcome outcome = autotuneCluster(
+        f.graph, clusters[0], spec, base, heuristic, options);
+    EXPECT_GT(observed.load(), 0);
+    EXPECT_GT(legal_count.load(), 0);
+    EXPECT_EQ(outcome.result.candidates_evaluated, observed.load());
+
+    // The adopted plan itself re-verifies clean.
+    DiagnosticEngine engine;
+    EXPECT_TRUE(analyzeCompiledCluster(f.graph, clusters[0],
+                                       outcome.compiled, spec, engine))
+        << engine.renderText();
+}
+
+// ---------------------------------------------------------------------
+// Tuning DB: round-trip, snapshot isolation, versioning, corruption.
+// ---------------------------------------------------------------------
+
+TuningDbEntry
+sampleEntry(const std::string &key)
+{
+    TuningDbEntry entry;
+    entry.key = key;
+    entry.heuristic_cost_us = 12.5;
+    entry.tuned_cost_us = 10.25;
+    entry.improved = true;
+    entry.schemes.push_back({3, 3});
+    entry.schemes.push_back({7, 2});
+    entry.mappings.push_back({1, 256, 0});
+    entry.mappings.push_back({5, 0, 4});
+    return entry;
+}
+
+TEST(TuningDbTest, RoundTripThroughDisk)
+{
+    const std::string path = tempPath("roundtrip.json");
+    std::remove(path.c_str());
+    const std::string key = TuningDb::makeKey(0xabcdef12345ULL,
+                                              "V100-SXM2-16GB", "tag");
+    {
+        TuningDb db(path);
+        EXPECT_EQ(db.lookup(key), nullptr); // snapshot empty
+        db.record(sampleEntry(key));
+        // Snapshot isolation: recording does not affect lookups.
+        EXPECT_EQ(db.lookup(key), nullptr);
+        EXPECT_EQ(db.stats().pending, 1u);
+        EXPECT_TRUE(db.save());
+    }
+    TuningDb db(path);
+    const TuningDbEntry *entry = db.lookup(key);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_DOUBLE_EQ(entry->heuristic_cost_us, 12.5);
+    EXPECT_DOUBLE_EQ(entry->tuned_cost_us, 10.25);
+    EXPECT_TRUE(entry->improved);
+    ASSERT_EQ(entry->schemes.size(), 2u);
+    EXPECT_EQ(entry->schemes[1].node, 7);
+    EXPECT_EQ(entry->schemes[1].scheme, 2);
+    ASSERT_EQ(entry->mappings.size(), 2u);
+    EXPECT_EQ(entry->mappings[0].block, 256);
+    EXPECT_EQ(entry->mappings[1].split, 4);
+    EXPECT_EQ(db.stats().hits, 1);
+    std::remove(path.c_str());
+}
+
+TEST(TuningDbTest, StalePassVersionMisses)
+{
+    const std::string path = tempPath("stale.json");
+    std::remove(path.c_str());
+    const std::string key = TuningDb::makeKey(42, "T4", "tag");
+    {
+        TuningDb db(path);
+        db.record(sampleEntry(key));
+        ASSERT_TRUE(db.save());
+    }
+    // Simulate a DB written by an older pass version: same file format,
+    // older version suffix in every key.
+    std::string text = readFile(path);
+    const std::string current =
+        "|v" + std::to_string(TuningDb::kPassVersion);
+    const std::size_t at = text.find(current);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, current.size(), "|v0");
+    writeFile(path, text);
+
+    TuningDb db(path);
+    EXPECT_FALSE(db.stats().load_failed); // well-formed, just stale
+    EXPECT_EQ(db.lookup(key), nullptr);   // current-version key misses
+    EXPECT_EQ(db.stats().misses, 1);
+    std::remove(path.c_str());
+}
+
+TEST(TuningDbTest, CorruptFileDegradesToEmpty)
+{
+    const std::string path = tempPath("corrupt.json");
+    writeFile(path, "this is not { json ]["); // parse must fail
+    TuningDb db(path);
+    EXPECT_TRUE(db.stats().load_failed);
+    EXPECT_EQ(db.stats().entries, 0u);
+    EXPECT_EQ(db.lookup(TuningDb::makeKey(1, "A100", "t")), nullptr);
+
+    // Retuning after the corruption still persists fresh results.
+    const std::string key = TuningDb::makeKey(1, "A100", "t");
+    db.record(sampleEntry(key));
+    EXPECT_TRUE(db.save());
+    TuningDb reloaded(path);
+    EXPECT_FALSE(reloaded.stats().load_failed);
+    EXPECT_NE(reloaded.lookup(key), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TuningDbTest, WrongFileVersionDegradesToEmpty)
+{
+    const std::string path = tempPath("filever.json");
+    writeFile(path, "{\"version\": 9999, \"entries\": []}\n");
+    TuningDb db(path);
+    EXPECT_TRUE(db.stats().load_failed);
+    EXPECT_EQ(db.stats().entries, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TuningDbTest, InMemoryWithoutPath)
+{
+    TuningDb db;
+    const std::string key = TuningDb::makeKey(7, "V100", "t");
+    db.record(sampleEntry(key));
+    EXPECT_TRUE(db.save()); // no disk involved
+    EXPECT_EQ(db.stats().pending, 0u);
+    EXPECT_NE(db.lookup(key), nullptr);
+}
+
+TEST(TuningDbTest, SessionReusesDbAcrossRuns)
+{
+    const std::string path = tempPath("session.json");
+    std::remove(path.c_str());
+    const testing::Fig7Graph f = testing::buildFig7(512, 256);
+
+    SessionOptions options = tunedOptions();
+    options.tuning.db_path = path;
+    int first_candidates = 0;
+    {
+        Session session(f.graph, std::make_unique<AStitchBackend>(),
+                        options);
+        session.compile();
+        const TuningReport &report = session.tuningReport();
+        ASSERT_TRUE(report.enabled);
+        ASSERT_FALSE(report.clusters.empty());
+        EXPECT_EQ(report.dbHitCount(), 0);
+        for (const ClusterTuningResult &r : report.clusters)
+            first_candidates += r.candidates_evaluated;
+        EXPECT_GT(first_candidates, 0);
+    }
+    {
+        Session session(f.graph, std::make_unique<AStitchBackend>(),
+                        options);
+        session.compile();
+        const TuningReport &report = session.tuningReport();
+        EXPECT_GT(report.dbHitCount(), 0);
+        int candidates = 0;
+        for (const ClusterTuningResult &r : report.clusters)
+            candidates += r.candidates_evaluated;
+        // A DB hit replays the stored decision: at most one verifying
+        // compile per cluster instead of a whole search.
+        EXPECT_LE(candidates,
+                  static_cast<int>(report.clusters.size()));
+        EXPECT_LT(candidates, first_candidates);
+    }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Monotonicity: the tuner keeps the heuristic plan unless a candidate
+// is strictly cheaper, so tuned cost <= heuristic cost always.
+// ---------------------------------------------------------------------
+
+TEST(AutotunerMonotonicity, TunedNeverWorseOnRandomCorpus)
+{
+    for (std::uint64_t seed : {11u, 23u, 47u}) {
+        workloads::RandomGraphConfig config;
+        config.num_nodes = 160;
+        config.seed = seed;
+        config.segment_size = 40;
+        const Graph graph = workloads::buildRandomGraph(config);
+
+        Session session(graph, std::make_unique<AStitchBackend>(),
+                        tunedOptions(TuningMode::Seeded, 16));
+        const RunReport report = session.profile();
+        ASSERT_TRUE(report.tuning.enabled) << "seed " << seed;
+        for (std::size_t i = 0; i < report.tuning.clusters.size(); ++i) {
+            const ClusterTuningResult &r = report.tuning.clusters[i];
+            EXPECT_LE(r.tuned_cost_us, r.heuristic_cost_us)
+                << "seed " << seed << " cluster " << i;
+            if (r.improved) {
+                EXPECT_LT(r.tuned_cost_us, r.heuristic_cost_us)
+                    << "seed " << seed << " cluster " << i;
+            }
+        }
+    }
+}
+
+TEST(AutotunerMonotonicity, OffModeReportsDisabled)
+{
+    const testing::Fig7Graph f = testing::buildFig7();
+    Session session(f.graph, std::make_unique<AStitchBackend>());
+    const RunReport report = session.profile();
+    EXPECT_FALSE(report.tuning.enabled);
+    EXPECT_EQ(report.pass_timings.autotune_ms, 0.0);
+}
+
+} // namespace
+} // namespace astitch

@@ -33,7 +33,13 @@
  *       (default filter AS7xx,AS8xx). AS831 fallback notes do not
  *       fail the run (default --fail-on warning).
  *   astitch-cli fault-sites [--names]
- *       List the registered fault-injection sites.
+ *       List the registered fault-injection sites (--names prints the
+ *       bare site names, one per line).
+ *   astitch-cli tune --model BERT [--tuning seeded|full] [--tuning-db F]
+ *       Run the cost-model-guided stitching autotuner over every
+ *       stitched cluster and print per-cluster heuristic vs tuned
+ *       costs, the candidate budget spent and the tuning-DB hit rate.
+ *       Defaults to --tuning seeded when no mode is given.
  *
  * analyze and verify accept --diag-filter EXPR to restrict the rendered
  * findings; EXPR is a comma-separated list of AS-code families or dash
@@ -46,12 +52,19 @@
  * profile also accepts --analyze[=json|sarif] to append the analysis
  * findings to the report.
  *
- * Compiling commands (profile, compare, trace, analyze) accept
- * --compile-threads N to fan per-cluster JIT compilation across N
- * threads (0 = $ASTITCH_COMPILE_THREADS, then hardware concurrency),
+ * Compiling commands (profile, compare, trace, analyze, verify, tune)
+ * accept --compile-threads N to fan per-cluster JIT compilation across
+ * N threads (0 = $ASTITCH_COMPILE_THREADS, then hardware concurrency),
  * --fault PLAN to inject compile-phase faults ($ASTITCH_FAULT syntax)
  * and --fail-fast to disable the fallback ladder (the first compile
  * failure aborts, as before fault containment existed).
+ *
+ * They also accept the autotuner knobs (see opt/autotuner.h):
+ * --tuning off|seeded|full selects the mode (default off everywhere
+ * but the tune command), --tuning-db FILE persists results across
+ * runs, and --tuning-beam N / --tuning-candidates N /
+ * --tuning-generations N / --tuning-seed S / --tuning-time-ms MS
+ * bound the search.
  *
  * Exit codes: 0 success — including a degraded-but-successful compile,
  * which prints its degradation report on stderr; 1 analysis errors or
@@ -239,22 +252,61 @@ makeSpec(const std::string &name)
     fatal("unknown gpu '", name, "' (try: v100, t4, a100)");
 }
 
+/** Parse an integer-valued --KEY, keeping @p fallback when absent. */
+int
+intOption(const Args &args, const std::string &key, int fallback)
+{
+    const std::string text = args.get(key, "");
+    if (text.empty())
+        return fallback;
+    try {
+        return std::stoi(text);
+    } catch (const std::exception &) {
+        fatal("invalid --", key, " '", text, "'");
+    }
+}
+
 /** Session options shared by every compiling command: --gpu plus
- * --compile-threads N (0 = $ASTITCH_COMPILE_THREADS, then hardware). */
+ * --compile-threads N (0 = $ASTITCH_COMPILE_THREADS, then hardware)
+ * and the --tuning* autotuner knobs. */
 SessionOptions
 makeSessionOptions(const Args &args)
 {
     SessionOptions options;
     options.spec = makeSpec(args.get("gpu", "v100"));
-    const std::string threads = args.get("compile-threads", "0");
-    try {
-        options.compile_threads = std::stoi(threads);
-    } catch (const std::exception &) {
-        fatal("invalid --compile-threads '", threads, "'");
-    }
+    options.compile_threads = intOption(args, "compile-threads", 0);
     fatalIf(options.compile_threads < 0, "--compile-threads must be >= 0");
     options.fail_fast = args.has("fail-fast");
     options.fault_plan = args.get("fault", "");
+
+    const std::string tuning = args.get("tuning", "off");
+    if (tuning == "seeded")
+        options.tuning.mode = TuningMode::Seeded;
+    else if (tuning == "full")
+        options.tuning.mode = TuningMode::Full;
+    else if (tuning != "off" && !tuning.empty())
+        fatal("unknown --tuning '", tuning,
+              "' (try: off, seeded, full)");
+    options.tuning.db_path = args.get("tuning-db", "");
+    options.tuning.beam_width =
+        intOption(args, "tuning-beam", options.tuning.beam_width);
+    options.tuning.max_candidates =
+        intOption(args, "tuning-candidates", options.tuning.max_candidates);
+    options.tuning.generations =
+        intOption(args, "tuning-generations", options.tuning.generations);
+    options.tuning.time_budget_ms =
+        intOption(args, "tuning-time-ms", 0);
+    const std::string seed = args.get("tuning-seed", "");
+    if (!seed.empty()) {
+        try {
+            options.tuning.seed = std::stoull(seed);
+        } catch (const std::exception &) {
+            fatal("invalid --tuning-seed '", seed, "'");
+        }
+    }
+    fatalIf(options.tuning.beam_width < 1, "--tuning-beam must be >= 1");
+    fatalIf(options.tuning.time_budget_ms < 0,
+            "--tuning-time-ms must be >= 0");
     return options;
 }
 
@@ -505,6 +557,66 @@ cmdFaultSites(const Args &args)
     return 0;
 }
 
+/**
+ * Cost-model-guided autotuning sweep over one model's stitched
+ * clusters. Defaults to Seeded mode so a bare `tune --model M`
+ * actually searches; --tuning full widens it, and --tuning-db makes
+ * the decisions persist (a second run on the same DB should report
+ * db hits and near-zero search time).
+ */
+int
+cmdTune(const Args &args)
+{
+    const Graph graph = buildModel(args.get("model", "BERT"));
+    SessionOptions options = makeSessionOptions(args);
+    if (options.tuning.mode == TuningMode::Off)
+        options.tuning.mode = TuningMode::Seeded;
+    Session session(graph, makeBackend(args.get("backend", "astitch")),
+                    options);
+    const double compile_ms = session.compile();
+    warnIfDegraded(session);
+
+    const TuningReport &tuning = session.tuningReport();
+    const char *mode = options.tuning.mode == TuningMode::Full
+                           ? "full"
+                           : "seeded";
+    std::printf("%s on %s: %zu cluster(s), tuning mode %s\n",
+                graph.name().c_str(), options.spec.name.c_str(),
+                tuning.clusters.size(), mode);
+    if (!tuning.enabled) {
+        std::printf("  tuning inactive for this backend (only the "
+                    "astitch backend's full-stitch compilations are "
+                    "tuned)\n");
+        return 0;
+    }
+    for (std::size_t i = 0; i < tuning.clusters.size(); ++i) {
+        const ClusterTuningResult &r = tuning.clusters[i];
+        if (r.heuristic_cost_us == 0.0 && r.candidates_evaluated == 0 &&
+            !r.db_hit)
+            continue; // demoted ladder rung: nothing to tune
+        const double gain =
+            r.heuristic_cost_us > 0.0
+                ? 100.0 * (r.heuristic_cost_us - r.tuned_cost_us) /
+                      r.heuristic_cost_us
+                : 0.0;
+        std::printf("  cluster %zu: heuristic %.2f us -> tuned %.2f us "
+                    "(%+.1f%%)%s, %d candidate(s), %d rejected, "
+                    "%.1f ms search\n",
+                    i, r.heuristic_cost_us, r.tuned_cost_us, -gain,
+                    r.db_hit ? " [db hit]" : "", r.candidates_evaluated,
+                    r.candidates_rejected, r.search_ms);
+    }
+    std::printf("  total: %.2f us -> %.2f us, %d/%zu cluster(s) "
+                "improved, %d db hit(s), %.1f ms search, "
+                "%.1f ms compile\n",
+                tuning.totalHeuristicUs(), tuning.totalTunedUs(),
+                tuning.improvedCount(), tuning.clusters.size(),
+                tuning.dbHitCount(), tuning.totalSearchMs(), compile_ms);
+    if (!options.tuning.db_path.empty())
+        std::printf("  tuning db: %s\n", options.tuning.db_path.c_str());
+    return 0;
+}
+
 int
 cmdCompare(const Args &args)
 {
@@ -636,6 +748,8 @@ main(int argc, char **argv)
             return cmdVerify(args);
         if (args.command == "fault-sites")
             return cmdFaultSites(args);
+        if (args.command == "tune")
+            return cmdTune(args);
     } catch (const PanicError &e) {
         std::fprintf(stderr, "internal error: %s\n", e.what());
         return 3;
@@ -649,10 +763,14 @@ main(int argc, char **argv)
     std::fprintf(
         stderr,
         "usage: astitch-cli <list|profile|compare|explain|emit|trace|"
-        "dot|analyze|verify|fault-sites> [--model M] [--backend B] "
+        "dot|analyze|verify|fault-sites|tune> [--model M] [--backend B] "
         "[--gpu G] [--cluster N] [--compile-threads N] [--fault PLAN] "
         "[--fail-fast] [--format text|json|sarif] [--analyze[=json]] "
         "[--diag-filter EXPR] [--access] [--symbolic] [--buckets K] "
-        "[--fail-on error|warning|note|any|never] [--out FILE]\n");
+        "[--fail-on error|warning|note|any|never] [--names] "
+        "[--tuning off|seeded|full] [--tuning-db FILE] "
+        "[--tuning-beam N] [--tuning-candidates N] "
+        "[--tuning-generations N] [--tuning-seed S] "
+        "[--tuning-time-ms MS] [--out FILE]\n");
     return args.command.empty() ? 1 : 2;
 }
