@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Cold-vs-warm compile through the on-disk artifact cache (extension
+ * of Sec 6.4.1's compilation-overhead study).
+ *
+ * Compiles every fig11a/fig13 inference workload on V100, T4 and A100
+ * twice against one artifact-cache directory: the first (cold) pass
+ * runs the full compiler and persists the verified artifacts, the
+ * second (warm) pass — a fresh Session per pair, as a restarted
+ * process would have — must serve every pair from disk with the
+ * backend compiler skipped. Results go to BENCH_aot_cache.json.
+ *
+ * Environment:
+ *   ASTITCH_AOT_JSON    output path (default BENCH_aot_cache.json).
+ *   ASTITCH_AOT_MODELS  comma list restricting the workload sweep
+ *                       (default all).
+ *   ASTITCH_AOT_DIR     artifact-cache directory (default
+ *                       bench_aot_cache under the working directory;
+ *                       cleared before the cold pass so the run is
+ *                       reproducible).
+ *
+ * Exit codes: 0 ok; 2 some warm pair missed the disk cache, reported
+ * nonzero compile-pass timings (the backend compiler ran anyway), or
+ * degraded — any of which breaks the ahead-of-time deployment story.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/artifact_cache.h"
+#include "support/strings.h"
+
+using namespace astitch;
+using namespace astitch::bench;
+
+namespace {
+
+std::string
+envStr(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? value : fallback;
+}
+
+bool
+modelSelected(const std::string &filter, const std::string &name)
+{
+    if (filter.empty())
+        return true;
+    for (const std::string &piece : strSplit(filter, ','))
+        if (strTrim(piece) == name)
+            return true;
+    return false;
+}
+
+struct PairRecord
+{
+    std::string workload;
+    std::string gpu;
+    double cold_compile_ms = 0.0;
+    double warm_compile_ms = 0.0;
+    double warm_load_ms = 0.0;
+    double warm_verify_ms = 0.0;
+    bool warm_hit = false;
+    /** Compile passes all zero on the warm run — the proof the backend
+     * compiler was skipped. */
+    bool warm_skipped_compiler = false;
+    bool degraded = false;
+
+    bool ok() const
+    {
+        return warm_hit && warm_skipped_compiler && !degraded;
+    }
+
+    double speedup() const
+    {
+        return warm_compile_ms > 0.0 ? cold_compile_ms / warm_compile_ms
+                                     : 0.0;
+    }
+};
+
+/** One compile of @p wl on @p spec through @p dir; fills the cold or
+ * warm half of @p r depending on @p warm. */
+void
+runOnce(const workloads::WorkloadSpec &wl, const GpuSpec &spec,
+        const std::string &dir, bool warm, PairRecord *r)
+{
+    const Graph graph = wl.build();
+    SessionOptions options;
+    options.spec = spec;
+    options.artifact_cache_dir = dir;
+    Session session(graph, makeBackend(Which::AStitch), options);
+    const double compile_ms = session.compile();
+    const CompilePassTimings &t = session.passTimings();
+    if (!warm) {
+        r->cold_compile_ms = compile_ms;
+        r->degraded = session.degradation().degraded();
+        return;
+    }
+    r->warm_compile_ms = compile_ms;
+    r->warm_load_ms = t.artifact_load_ms;
+    r->warm_verify_ms = t.artifact_verify_ms;
+    r->warm_hit = t.fromArtifact();
+    r->warm_skipped_compiler =
+        t.clustering_ms == 0.0 && t.remote_stitch_ms == 0.0 &&
+        t.backend_compile_ms == 0.0 && t.analysis_ms == 0.0 &&
+        t.autotune_ms == 0.0 && t.parallel_section_ms == 0.0;
+    r->degraded = r->degraded || session.degradation().degraded();
+}
+
+void
+writeJson(const std::vector<PairRecord> &records, const std::string &dir)
+{
+    const std::string path =
+        envStr("ASTITCH_AOT_JSON", "BENCH_aot_cache.json");
+    std::ofstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    file << jsonPreamble() << "\"cache_dir\":\"" << dir
+         << "\",\"records\":[";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const PairRecord &r = records[i];
+        file << (i ? "," : "") << "{\"workload\":\"" << r.workload
+             << "\",\"gpu\":\"" << r.gpu
+             << "\",\"cold_compile_ms\":" << r.cold_compile_ms
+             << ",\"warm_compile_ms\":" << r.warm_compile_ms
+             << ",\"warm_load_ms\":" << r.warm_load_ms
+             << ",\"warm_verify_ms\":" << r.warm_verify_ms
+             << ",\"warm_hit\":" << (r.warm_hit ? "true" : "false")
+             << ",\"warm_skipped_compiler\":"
+             << (r.warm_skipped_compiler ? "true" : "false")
+             << ",\"speedup\":" << r.speedup() << "}";
+    }
+    file << "]}\n";
+    std::printf("wrote %zu pair records to %s\n", records.size(),
+                path.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string filter = envStr("ASTITCH_AOT_MODELS", "");
+    const std::string dir = envStr("ASTITCH_AOT_DIR", "bench_aot_cache");
+
+    // A stale directory would turn the cold pass warm; start clean.
+    ArtifactCache(dir).clear();
+
+    printHeader(
+        "Ahead-of-time artifact cache: cold compile + persist vs warm "
+        "disk serve (warm must skip the backend compiler)");
+
+    const GpuSpec specs[] = {GpuSpec::v100(), GpuSpec::t4(),
+                             GpuSpec::a100()};
+    const char *spec_names[] = {"v100", "t4", "a100"};
+
+    std::vector<PairRecord> records;
+    for (int s = 0; s < 3; ++s) {
+        for (const auto &wl : workloads::inferenceWorkloads()) {
+            if (!modelSelected(filter, wl.name))
+                continue;
+            PairRecord r;
+            r.workload = wl.name;
+            r.gpu = spec_names[s];
+            runOnce(wl, specs[s], dir, /*warm=*/false, &r);
+            records.push_back(r);
+        }
+    }
+    // Separate warm sweep so every cold compile has published before
+    // any pair is probed — mirrors compile-ahead-then-restart.
+    std::size_t i = 0;
+    for (int s = 0; s < 3; ++s) {
+        for (const auto &wl : workloads::inferenceWorkloads()) {
+            if (!modelSelected(filter, wl.name))
+                continue;
+            runOnce(wl, specs[s], dir, /*warm=*/true, &records[i++]);
+        }
+    }
+
+    std::printf("%-14s %-6s %10s %10s %9s %7s %s\n", "workload", "gpu",
+                "cold(ms)", "warm(ms)", "speedup", "hit",
+                "compiler-skipped");
+    int misses = 0;
+    for (const PairRecord &r : records) {
+        std::printf("%-14s %-6s %10.2f %10.2f %8.1fx %7s %s\n",
+                    r.workload.c_str(), r.gpu.c_str(),
+                    r.cold_compile_ms, r.warm_compile_ms, r.speedup(),
+                    r.warm_hit ? "yes" : "MISS",
+                    r.ok() ? "yes"
+                           : (r.degraded ? "NO (degraded)" : "NO"));
+        misses += !r.ok();
+    }
+    std::printf("pairs: %zu total, %d warm miss(es)\n", records.size(),
+                misses);
+    writeJson(records, dir);
+
+    if (misses > 0) {
+        std::fprintf(stderr,
+                     "REGRESSION: %d workload x device pair(s) were not "
+                     "served from the artifact cache on the warm run\n",
+                     misses);
+        return 2;
+    }
+    return 0;
+}

@@ -127,6 +127,31 @@ diagnosticCodes()
         {"AS610", Severity::Note, "autotuner-replaced-plan",
          "the cost-model-guided autotuner found a plan strictly "
          "cheaper than the heuristic one and the session adopted it"},
+        {"AS620", Severity::Note, "artifact-cache-hit",
+         "a compilation was restored from the on-disk artifact cache "
+         "and re-verified instead of being recompiled"},
+        {"AS621", Severity::Warning, "artifact-corrupt",
+         "a persisted kernel artifact failed its integrity checks "
+         "(truncation, bit-rot, foreign bytes); it was quarantined and "
+         "the session recompiled"},
+        {"AS622", Severity::Note, "artifact-version-skew",
+         "a persisted kernel artifact was written by an incompatible "
+         "format or pipeline version; the session recompiled"},
+        {"AS623", Severity::Warning, "artifact-deserialize-failed",
+         "a persisted kernel artifact passed its checksums but did not "
+         "decode into a structurally valid compilation; it was "
+         "quarantined and the session recompiled"},
+        {"AS624", Severity::Warning, "artifact-verification-rejected",
+         "a decoded kernel artifact was rejected by the plan analyzer's "
+         "re-verification gate; it was quarantined and the session "
+         "recompiled"},
+        {"AS625", Severity::Warning, "artifact-lock-timeout",
+         "the artifact cache's cross-process file lock could not be "
+         "acquired in time; the session skipped the disk tier and "
+         "compiled in memory"},
+        {"AS626", Severity::Warning, "artifact-store-failed",
+         "persisting a compiled kernel artifact to disk failed; the "
+         "compilation stays usable but uncached on disk"},
 
         // -- AS7xx: kernel-access verification (symbolic analysis of
         //    the emitted per-op access summaries) --
@@ -284,7 +309,15 @@ DiagnosticEngine::report(const std::string &code, Severity severity,
 {
     panicIf(!findDiagnosticCode(code), "unregistered diagnostic code ",
             code);
-    diags_.push_back(Diagnostic{code, severity, kernel, message, node});
+    diags_.push_back(Diagnostic{code, severity, kernel, message, node, {}});
+}
+
+void
+DiagnosticEngine::add(Diagnostic diagnostic)
+{
+    panicIf(!findDiagnosticCode(diagnostic.code),
+            "unregistered diagnostic code ", diagnostic.code);
+    diags_.push_back(std::move(diagnostic));
 }
 
 int

@@ -134,6 +134,14 @@ class DiagnosticEngine
                 const std::string &kernel, const std::string &message,
                 NodeId node = kInvalidNodeId);
 
+    /**
+     * Absorb one fully-formed finding, provenance included — the
+     * deserialization path of the artifact cache, which must round-trip
+     * findings exactly as the original compile reported them. The code
+     * is validated against the registry like report().
+     */
+    void add(Diagnostic diagnostic);
+
     const std::vector<Diagnostic> &diagnostics() const { return diags_; }
 
     bool empty() const { return diags_.empty(); }

@@ -45,8 +45,8 @@ struct Site
 constexpr std::size_t kMaxSites = 48;
 
 std::vector<Site>
-enumerateSites(const Graph &graph, const Cluster &cluster,
-               const GpuSpec &spec, const StitchDiagnostics &diag)
+enumerateSites(const Graph &, const Cluster &, const GpuSpec &spec,
+               const StitchDiagnostics &diag)
 {
     std::vector<Site> sites;
 

@@ -1,9 +1,8 @@
 #include "opt/tuning_db.h"
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 
+#include "support/atomic_file.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -192,12 +191,16 @@ TuningDb::TuningDb(std::string path) : path_(std::move(path))
 {
     if (path_.empty())
         return;
-    std::ifstream in(path_);
-    if (!in)
+    std::string text;
+    const FileReadStatus read = readFileBytes(path_, &text);
+    if (read == FileReadStatus::Absent)
         return; // no file yet: empty DB, first save creates it
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
+    if (read == FileReadStatus::Error) {
+        warn("tuning DB ", path_, " exists but cannot be read; starting "
+             "from an empty DB");
+        load_failed_ = true;
+        return;
+    }
     if (strTrim(text).empty())
         return;
 
@@ -221,9 +224,15 @@ TuningDb::TuningDb(std::string path) : path_(std::move(path))
         }
     }
     if (!ok) {
+        // Shared recovery path with the artifact cache: the corrupt
+        // file is moved aside to a *.bad sidecar — the evidence
+        // survives for inspection, and the next save() publishes a
+        // fresh file instead of silently clobbering it.
+        const std::string bad = quarantineFile(path_);
         warn("tuning DB ", path_,
              " is corrupt or from an unknown version; starting from an "
-             "empty DB (it will be rewritten on save)");
+             "empty DB",
+             bad.empty() ? "" : strCat(" (quarantined to ", bad, ")"));
         snapshot_.clear();
         load_failed_ = true;
     }
@@ -261,31 +270,21 @@ TuningDb::save()
     if (path_.empty())
         return true;
 
-    const std::string tmp = strCat(path_, ".tmp");
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) {
-            warn("cannot write tuning DB ", tmp);
-            return false;
-        }
-        out << "{\n  \"version\": " << kFileVersion
-            << ",\n  \"entries\": [\n";
-        bool first = true;
-        for (const auto &[key, entry] : snapshot_) {
-            if (!first)
-                out << ",\n";
-            first = false;
-            writeEntryLine(out, entry);
-        }
-        out << "\n  ]\n}\n";
-        if (!out.good()) {
-            warn("short write on tuning DB ", tmp);
-            return false;
-        }
+    std::ostringstream out;
+    out << "{\n  \"version\": " << kFileVersion << ",\n  \"entries\": [\n";
+    bool first = true;
+    for (const auto &[key, entry] : snapshot_) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        writeEntryLine(out, entry);
     }
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    out << "\n  ]\n}\n";
+    // Crash-safe publish (temp + fsync + rename): a reader — or a
+    // concurrent saver — observes the old DB or the new one, never a
+    // torn mix.
+    if (!atomicWriteFile(path_, out.str())) {
         warn("cannot publish tuning DB ", path_);
-        std::remove(tmp.c_str());
         return false;
     }
     return true;

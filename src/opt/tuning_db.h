@@ -15,7 +15,10 @@
  * that invalidates stored decisions) changes every key, so stale
  * entries simply miss. A corrupt or unreadable file degrades to an
  * empty DB with a warning — tuning then searches from scratch; it
- * never crashes the compile.
+ * never crashes the compile. Corrupt files are quarantined to a
+ * `*.bad` sidecar and saves publish crash-safely (temp + fsync +
+ * atomic rename) through support/atomic_file, the same recovery path
+ * the AOT artifact cache uses.
  *
  * Determinism: lookups only ever see the load-time snapshot; results
  * recorded during a run are buffered and merged at save() time. Tuning

@@ -50,12 +50,32 @@ struct CompilePassTimings
     /** Unit-DAG construction + Kahn scheduling — wall. */
     double scheduling_ms = 0.0;
 
+    /**
+     * Reading + decoding a persisted artifact from the on-disk cache —
+     * wall. Nonzero only on a warm (disk-hit) start; the compile-pass
+     * fields above are then all zero (no pass ran — the compile that
+     * produced the artifact paid them in its own process), which is
+     * exactly what CI asserts to prove a warm start skipped the
+     * backend compiler.
+     */
+    double artifact_load_ms = 0.0;
+
+    /** Re-running the analyzer gate over a loaded artifact — wall. */
+    double artifact_verify_ms = 0.0;
+
+    /** True when this compilation was served from a disk artifact (the
+     * artifact_* spans were spent instead of the compile passes). */
+    bool fromArtifact() const
+    {
+        return artifact_load_ms > 0.0 || artifact_verify_ms > 0.0;
+    }
+
     /** Sum of the disjoint wall-clock spans (the CPU-sum fields are
      * contained within parallel_section_ms and not added again). */
     double accountedWallMs() const
     {
         return clustering_ms + remote_stitch_ms + parallel_section_ms +
-               scheduling_ms;
+               scheduling_ms + artifact_load_ms + artifact_verify_ms;
     }
 };
 

@@ -1,0 +1,911 @@
+#include "runtime/plan_serde.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/atomic_file.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Byte-level encoding: fixed-width little-endian, no padding, no
+// host-endianness dependence.
+// ---------------------------------------------------------------------
+
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+    void u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void f64(double v)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof v, "f64 must be 64-bit");
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        out_.append(s);
+    }
+
+    void count(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
+
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/**
+ * Hardened sequential reader: every length/count is capped by the
+ * bytes actually remaining, so corrupt size fields fail cleanly
+ * instead of driving allocations or out-of-bounds reads. The first
+ * failure latches; subsequent reads return zero values.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &bytes) : bytes_(bytes) {}
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+
+    void fail(const std::string &why)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = strCat(why, " at byte ", pos_, " of ", bytes_.size());
+        }
+    }
+
+    std::uint8_t u8()
+    {
+        if (failed_ || remaining() < 1) {
+            fail("short read (u8)");
+            return 0;
+        }
+        return static_cast<std::uint8_t>(bytes_[pos_++]);
+    }
+
+    std::uint32_t u32()
+    {
+        if (failed_ || remaining() < 4) {
+            fail("short read (u32)");
+            return 0;
+        }
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        if (failed_ || remaining() < 8) {
+            fail("short read (u64)");
+            return 0;
+        }
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    bool boolean()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            fail("boolean out of range");
+        return v == 1;
+    }
+
+    std::string str()
+    {
+        const std::uint32_t n = u32();
+        if (failed_ || n > remaining()) {
+            fail("string length exceeds buffer");
+            return {};
+        }
+        std::string s = bytes_.substr(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    /**
+     * Sequence count whose elements occupy at least @p min_elem_bytes
+     * each — a corrupt count larger than the remaining bytes could
+     * ever hold is rejected before any element decodes.
+     */
+    std::size_t count(std::size_t min_elem_bytes = 1)
+    {
+        const std::uint32_t n = u32();
+        if (failed_)
+            return 0;
+        if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes) {
+            fail("sequence count exceeds buffer");
+            return 0;
+        }
+        return n;
+    }
+
+    /** Enum byte constrained to [0, max_value]. */
+    std::uint8_t enumByte(std::uint8_t max_value)
+    {
+        const std::uint8_t v = u8();
+        if (v > max_value)
+            fail("enum value out of range");
+        return v;
+    }
+
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    const std::string &bytes_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+// ---------------------------------------------------------------------
+// Encoders, one per structure, in dependency order.
+// ---------------------------------------------------------------------
+
+void
+putNodeVec(ByteWriter &w, const std::vector<NodeId> &nodes)
+{
+    w.count(nodes.size());
+    for (NodeId n : nodes)
+        w.i32(n);
+}
+
+void
+putStringVec(ByteWriter &w, const std::vector<std::string> &strings)
+{
+    w.count(strings.size());
+    for (const std::string &s : strings)
+        w.str(s);
+}
+
+void
+putCluster(ByteWriter &w, const Cluster &c)
+{
+    putNodeVec(w, c.nodes);
+    putNodeVec(w, c.inputs);
+    putNodeVec(w, c.outputs);
+}
+
+void
+putLaunchDims(ByteWriter &w, const LaunchDims &launch)
+{
+    w.i64(launch.grid);
+    w.i32(launch.block);
+}
+
+void
+putPartition(ByteWriter &w, const OpPartition &p)
+{
+    putLaunchDims(w, p.launch);
+    w.i64(p.rows_per_block);
+    w.i64(p.tasks_per_block);
+}
+
+void
+putAffineIndex(ByteWriter &w, const AffineIndex &ix)
+{
+    w.i64(ix.offset);
+    w.i64(ix.coeff_block);
+    w.i64(ix.coeff_task);
+    w.i64(ix.coeff_iter);
+    w.i64(ix.coeff_thread);
+    w.i64(ix.num_blocks);
+    w.i64(ix.num_tasks);
+    w.i64(ix.num_iters);
+    w.i64(ix.num_threads);
+}
+
+void
+putAccess(ByteWriter &w, const OpAccess &a)
+{
+    w.i32(a.node);
+    w.i32(a.op_index);
+    w.u8(static_cast<std::uint8_t>(a.kind));
+    w.u8(static_cast<std::uint8_t>(a.space));
+    w.str(a.buffer);
+    w.i64(a.elem_bytes);
+    w.i64(a.extent);
+    putAffineIndex(w, a.index);
+    w.i64(a.guard);
+    w.i64(a.warp_stride);
+    w.f64(a.repeat);
+    w.boolean(a.counts_traffic);
+}
+
+void
+putLinExpr(ByteWriter &w, const LinExpr &e)
+{
+    w.i64(e.c0);
+    w.count(e.terms.size());
+    for (const auto &[dim, coeff] : e.terms) {
+        w.i32(dim);
+        w.i64(coeff);
+    }
+}
+
+void
+putCertificate(ByteWriter &w, const ShapeCertificate &cert)
+{
+    w.u8(static_cast<std::uint8_t>(cert.verdict));
+    w.count(cert.dims.size());
+    for (const ShapeDim &d : cert.dims) {
+        w.str(d.name);
+        w.i64(d.value);
+        w.i64(d.lo);
+        w.i64(d.hi);
+        w.i64(d.divisor);
+    }
+    putStringVec(w, cert.assumptions);
+    w.i32(cert.obligations_proven);
+    w.i32(cert.obligations_fallback);
+}
+
+void
+putPlan(ByteWriter &w, const KernelPlan &plan)
+{
+    w.str(plan.name);
+    w.count(plan.ops.size());
+    for (const ScheduledOp &op : plan.ops) {
+        w.i32(op.node);
+        w.f64(op.recompute_factor);
+        w.u8(static_cast<std::uint8_t>(op.out_space));
+        putPartition(w, op.partition);
+    }
+    w.count(plan.inputs.size());
+    for (const KernelInput &in : plan.inputs) {
+        w.i32(in.node);
+        w.f64(in.load_factor);
+    }
+    putNodeVec(w, plan.outputs);
+    putLaunchDims(w, plan.launch);
+    w.i32(plan.regs_per_thread);
+    w.i64(plan.smem_per_block);
+    w.i32(plan.num_block_barriers);
+    w.i32(plan.num_global_barriers);
+    w.count(plan.barriers.size());
+    for (const BarrierPoint &b : plan.barriers) {
+        w.i32(b.after_op);
+        w.u8(static_cast<std::uint8_t>(b.scope));
+        w.i64(b.trip_count);
+    }
+    w.count(plan.shared_slots.size());
+    for (const SharedSlot &s : plan.shared_slots) {
+        w.i32(s.node);
+        w.i64(s.offset_bytes);
+        w.i64(s.size_bytes);
+    }
+    w.count(plan.accesses.size());
+    for (const OpAccess &a : plan.accesses)
+        putAccess(w, a);
+    w.count(plan.sym_accesses.size());
+    for (const SymbolicAccess &s : plan.sym_accesses) {
+        w.i32(s.access_index);
+        putLinExpr(w, s.extent);
+        putLinExpr(w, s.offset);
+        putLinExpr(w, s.value_extent);
+    }
+    putCertificate(w, plan.certificate);
+    w.f64(plan.atomic_operations);
+    w.f64(plan.read_coalescing);
+    w.f64(plan.write_coalescing);
+    w.f64(plan.extra_launch_overhead_us);
+    w.f64(plan.extra_bytes_read);
+}
+
+void
+putCompiled(ByteWriter &w, const CompiledCluster &cc)
+{
+    w.count(cc.kernels.size());
+    for (const KernelPlan &plan : cc.kernels)
+        putPlan(w, plan);
+    w.i32(cc.num_memcpy);
+    w.f64(cc.memcpy_bytes);
+    w.i64(cc.global_scratch_bytes);
+}
+
+void
+putDiagnostics(ByteWriter &w, const DiagnosticEngine &engine)
+{
+    w.count(engine.diagnostics().size());
+    for (const Diagnostic &d : engine.diagnostics()) {
+        w.str(d.code);
+        w.u8(static_cast<std::uint8_t>(d.severity));
+        w.str(d.kernel);
+        w.str(d.message);
+        w.i32(d.node);
+        putStringVec(w, d.provenance);
+    }
+}
+
+void
+putDegradation(ByteWriter &w, const DegradationReport &report)
+{
+    w.count(report.clusters.size());
+    for (const ClusterDegradation &c : report.clusters) {
+        w.u8(static_cast<std::uint8_t>(c.level));
+        w.i32(c.retries);
+        putStringVec(w, c.causes);
+    }
+    w.boolean(report.clustering_fallback);
+    w.boolean(report.serial_fallback);
+    w.boolean(report.cache_bypassed);
+    w.i32(report.session_retries);
+}
+
+void
+putTimings(ByteWriter &w, const CompilePassTimings &t)
+{
+    // Only the compile-pass spans persist; the artifact_* fields are
+    // load-time measurements the warm path fills fresh.
+    w.f64(t.clustering_ms);
+    w.f64(t.remote_stitch_ms);
+    w.f64(t.backend_compile_ms);
+    w.f64(t.analysis_ms);
+    w.f64(t.autotune_ms);
+    w.f64(t.parallel_section_ms);
+    w.f64(t.scheduling_ms);
+}
+
+void
+putOverrides(ByteWriter &w, const TuningOverrides &ov)
+{
+    // Unordered maps serialize sorted by node id: equal overrides must
+    // produce bit-identical payloads.
+    std::vector<std::pair<NodeId, StitchScheme>> schemes(ov.schemes.begin(),
+                                                         ov.schemes.end());
+    std::sort(schemes.begin(), schemes.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.count(schemes.size());
+    for (const auto &[node, scheme] : schemes) {
+        w.i32(node);
+        w.u8(static_cast<std::uint8_t>(scheme));
+    }
+    std::vector<std::pair<NodeId, MappingOverride>> mappings(
+        ov.mappings.begin(), ov.mappings.end());
+    std::sort(mappings.begin(), mappings.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.count(mappings.size());
+    for (const auto &[node, m] : mappings) {
+        w.i32(node);
+        w.i32(m.block);
+        w.i32(m.split);
+    }
+}
+
+void
+putTuning(ByteWriter &w, const TuningReport &report)
+{
+    w.boolean(report.enabled);
+    w.count(report.clusters.size());
+    for (const ClusterTuningResult &r : report.clusters) {
+        w.u64(r.fingerprint);
+        w.f64(r.heuristic_cost_us);
+        w.f64(r.tuned_cost_us);
+        w.i32(r.candidates_evaluated);
+        w.i32(r.candidates_rejected);
+        w.boolean(r.improved);
+        w.boolean(r.db_hit);
+        w.f64(r.search_ms);
+        putOverrides(w, r.decision);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoders, mirroring the encoders field for field.
+// ---------------------------------------------------------------------
+
+void
+getNodeVec(ByteReader &r, std::vector<NodeId> *nodes)
+{
+    const std::size_t n = r.count(4);
+    nodes->reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i)
+        nodes->push_back(r.i32());
+}
+
+void
+getStringVec(ByteReader &r, std::vector<std::string> *strings)
+{
+    const std::size_t n = r.count(4);
+    strings->reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i)
+        strings->push_back(r.str());
+}
+
+void
+getCluster(ByteReader &r, Cluster *c)
+{
+    getNodeVec(r, &c->nodes);
+    getNodeVec(r, &c->inputs);
+    getNodeVec(r, &c->outputs);
+}
+
+void
+getLaunchDims(ByteReader &r, LaunchDims *launch)
+{
+    launch->grid = r.i64();
+    launch->block = r.i32();
+}
+
+void
+getPartition(ByteReader &r, OpPartition *p)
+{
+    getLaunchDims(r, &p->launch);
+    p->rows_per_block = r.i64();
+    p->tasks_per_block = r.i64();
+}
+
+void
+getAffineIndex(ByteReader &r, AffineIndex *ix)
+{
+    ix->offset = r.i64();
+    ix->coeff_block = r.i64();
+    ix->coeff_task = r.i64();
+    ix->coeff_iter = r.i64();
+    ix->coeff_thread = r.i64();
+    ix->num_blocks = r.i64();
+    ix->num_tasks = r.i64();
+    ix->num_iters = r.i64();
+    ix->num_threads = r.i64();
+}
+
+void
+getAccess(ByteReader &r, OpAccess *a)
+{
+    a->node = r.i32();
+    a->op_index = r.i32();
+    a->kind = static_cast<AccessKind>(
+        r.enumByte(static_cast<std::uint8_t>(AccessKind::Write)));
+    a->space = static_cast<AccessSpace>(
+        r.enumByte(static_cast<std::uint8_t>(AccessSpace::Shared)));
+    a->buffer = r.str();
+    a->elem_bytes = r.i64();
+    a->extent = r.i64();
+    getAffineIndex(r, &a->index);
+    a->guard = r.i64();
+    a->warp_stride = r.i64();
+    a->repeat = r.f64();
+    a->counts_traffic = r.boolean();
+}
+
+void
+getLinExpr(ByteReader &r, LinExpr *e)
+{
+    e->c0 = r.i64();
+    const std::size_t n = r.count(12);
+    e->terms.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        const int dim = r.i32();
+        const std::int64_t coeff = r.i64();
+        e->terms.emplace_back(dim, coeff);
+    }
+}
+
+void
+getCertificate(ByteReader &r, ShapeCertificate *cert)
+{
+    cert->verdict = static_cast<ShapeCertificate::Verdict>(r.enumByte(
+        static_cast<std::uint8_t>(ShapeCertificate::Verdict::Refuted)));
+    const std::size_t n = r.count(4);
+    cert->dims.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        ShapeDim d;
+        d.name = r.str();
+        d.value = r.i64();
+        d.lo = r.i64();
+        d.hi = r.i64();
+        d.divisor = r.i64();
+        cert->dims.push_back(std::move(d));
+    }
+    getStringVec(r, &cert->assumptions);
+    cert->obligations_proven = r.i32();
+    cert->obligations_fallback = r.i32();
+}
+
+void
+getPlan(ByteReader &r, KernelPlan *plan)
+{
+    plan->name = r.str();
+    std::size_t n = r.count(4);
+    plan->ops.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        ScheduledOp op;
+        op.node = r.i32();
+        op.recompute_factor = r.f64();
+        op.out_space = static_cast<BufferSpace>(
+            r.enumByte(static_cast<std::uint8_t>(BufferSpace::Output)));
+        getPartition(r, &op.partition);
+        plan->ops.push_back(op);
+    }
+    n = r.count(4);
+    plan->inputs.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        KernelInput in;
+        in.node = r.i32();
+        in.load_factor = r.f64();
+        plan->inputs.push_back(in);
+    }
+    getNodeVec(r, &plan->outputs);
+    getLaunchDims(r, &plan->launch);
+    plan->regs_per_thread = r.i32();
+    plan->smem_per_block = r.i64();
+    plan->num_block_barriers = r.i32();
+    plan->num_global_barriers = r.i32();
+    n = r.count(4);
+    plan->barriers.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        BarrierPoint b;
+        b.after_op = r.i32();
+        b.scope = static_cast<BarrierScope>(
+            r.enumByte(static_cast<std::uint8_t>(BarrierScope::Device)));
+        b.trip_count = r.i64();
+        plan->barriers.push_back(b);
+    }
+    n = r.count(4);
+    plan->shared_slots.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        SharedSlot s;
+        s.node = r.i32();
+        s.offset_bytes = r.i64();
+        s.size_bytes = r.i64();
+        plan->shared_slots.push_back(s);
+    }
+    n = r.count(8);
+    plan->accesses.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        OpAccess a;
+        getAccess(r, &a);
+        plan->accesses.push_back(std::move(a));
+    }
+    n = r.count(8);
+    plan->sym_accesses.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        SymbolicAccess s;
+        s.access_index = r.i32();
+        getLinExpr(r, &s.extent);
+        getLinExpr(r, &s.offset);
+        getLinExpr(r, &s.value_extent);
+        plan->sym_accesses.push_back(std::move(s));
+    }
+    getCertificate(r, &plan->certificate);
+    plan->atomic_operations = r.f64();
+    plan->read_coalescing = r.f64();
+    plan->write_coalescing = r.f64();
+    plan->extra_launch_overhead_us = r.f64();
+    plan->extra_bytes_read = r.f64();
+}
+
+void
+getCompiled(ByteReader &r, CompiledCluster *cc)
+{
+    const std::size_t n = r.count(4);
+    cc->kernels.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        KernelPlan plan;
+        getPlan(r, &plan);
+        cc->kernels.push_back(std::move(plan));
+    }
+    cc->num_memcpy = r.i32();
+    cc->memcpy_bytes = r.f64();
+    cc->global_scratch_bytes = r.i64();
+}
+
+void
+getDiagnostics(ByteReader &r, DiagnosticEngine *engine)
+{
+    const std::size_t n = r.count(8);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        Diagnostic d;
+        d.code = r.str();
+        d.severity =
+            static_cast<Severity>(r.enumByte(
+                static_cast<std::uint8_t>(Severity::Error)));
+        d.kernel = r.str();
+        d.message = r.str();
+        d.node = r.i32();
+        getStringVec(r, &d.provenance);
+        if (r.failed())
+            break;
+        // A code this build does not register would panic in add():
+        // reject the artifact instead (it came from a different build).
+        if (!findDiagnosticCode(d.code)) {
+            r.fail(strCat("unknown diagnostic code '", d.code, "'"));
+            break;
+        }
+        engine->add(std::move(d));
+    }
+}
+
+void
+getDegradation(ByteReader &r, DegradationReport *report)
+{
+    const std::size_t n = r.count(4);
+    report->clusters.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        ClusterDegradation c;
+        c.level = static_cast<LadderLevel>(r.enumByte(
+            static_cast<std::uint8_t>(LadderLevel::KernelPerOp)));
+        c.retries = r.i32();
+        getStringVec(r, &c.causes);
+        report->clusters.push_back(std::move(c));
+    }
+    report->clustering_fallback = r.boolean();
+    report->serial_fallback = r.boolean();
+    report->cache_bypassed = r.boolean();
+    report->session_retries = r.i32();
+}
+
+void
+getTimings(ByteReader &r, CompilePassTimings *t)
+{
+    t->clustering_ms = r.f64();
+    t->remote_stitch_ms = r.f64();
+    t->backend_compile_ms = r.f64();
+    t->analysis_ms = r.f64();
+    t->autotune_ms = r.f64();
+    t->parallel_section_ms = r.f64();
+    t->scheduling_ms = r.f64();
+}
+
+void
+getOverrides(ByteReader &r, TuningOverrides *ov)
+{
+    std::size_t n = r.count(5);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        const NodeId node = r.i32();
+        const auto scheme = static_cast<StitchScheme>(
+            r.enumByte(static_cast<std::uint8_t>(StitchScheme::Global)));
+        ov->schemes[node] = scheme;
+    }
+    n = r.count(12);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        const NodeId node = r.i32();
+        MappingOverride m;
+        m.block = r.i32();
+        m.split = r.i32();
+        ov->mappings[node] = m;
+    }
+}
+
+void
+getTuning(ByteReader &r, TuningReport *report)
+{
+    report->enabled = r.boolean();
+    const std::size_t n = r.count(8);
+    report->clusters.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        ClusterTuningResult res;
+        res.fingerprint = r.u64();
+        res.heuristic_cost_us = r.f64();
+        res.tuned_cost_us = r.f64();
+        res.candidates_evaluated = r.i32();
+        res.candidates_rejected = r.i32();
+        res.improved = r.boolean();
+        res.db_hit = r.boolean();
+        res.search_ms = r.f64();
+        getOverrides(r, &res.decision);
+        report->clusters.push_back(std::move(res));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Envelope framing.
+// ---------------------------------------------------------------------
+
+constexpr char kMagic[4] = {'A', 'S', 'T', 'C'};
+
+} // namespace
+
+std::string
+serializePlanPayload(const JitCacheEntry &entry)
+{
+    ByteWriter w;
+    w.count(entry.clusters.size());
+    for (const Cluster &c : entry.clusters)
+        putCluster(w, c);
+    w.count(entry.compiled.size());
+    for (const CompiledCluster &cc : entry.compiled)
+        putCompiled(w, cc);
+    w.count(entry.cluster_diagnostics.size());
+    for (const DiagnosticEngine &engine : entry.cluster_diagnostics)
+        putDiagnostics(w, engine);
+    putDegradation(w, entry.degradation);
+    putTimings(w, entry.timings);
+    putTuning(w, entry.tuning);
+    return w.take();
+}
+
+bool
+deserializePlanPayload(const std::string &payload, JitCacheEntry *entry,
+                       std::string *error)
+{
+    *entry = JitCacheEntry{};
+    ByteReader r(payload);
+    std::size_t n = r.count(4);
+    entry->clusters.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        Cluster c;
+        getCluster(r, &c);
+        entry->clusters.push_back(std::move(c));
+    }
+    n = r.count(4);
+    entry->compiled.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        CompiledCluster cc;
+        getCompiled(r, &cc);
+        entry->compiled.push_back(std::move(cc));
+    }
+    n = r.count(4);
+    entry->cluster_diagnostics.reserve(n);
+    for (std::size_t i = 0; i < n && !r.failed(); ++i) {
+        DiagnosticEngine engine;
+        getDiagnostics(r, &engine);
+        entry->cluster_diagnostics.push_back(std::move(engine));
+    }
+    getDegradation(r, &entry->degradation);
+    getTimings(r, &entry->timings);
+    getTuning(r, &entry->tuning);
+    if (!r.failed() && !r.atEnd())
+        r.fail("trailing bytes after payload");
+    if (r.failed()) {
+        if (error)
+            *error = r.error();
+        return false;
+    }
+    return true;
+}
+
+std::string
+artifactStatusName(ArtifactStatus status)
+{
+    switch (status) {
+    case ArtifactStatus::Ok:
+        return "ok";
+    case ArtifactStatus::Truncated:
+        return "truncated";
+    case ArtifactStatus::BadMagic:
+        return "bad-magic";
+    case ArtifactStatus::BadHeaderChecksum:
+        return "bad-header-checksum";
+    case ArtifactStatus::BadPayloadChecksum:
+        return "bad-payload-checksum";
+    case ArtifactStatus::KeyMismatch:
+        return "key-mismatch";
+    case ArtifactStatus::VersionSkew:
+        return "version-skew";
+    }
+    return "unknown";
+}
+
+std::string
+wrapArtifact(const std::string &key, const std::string &payload)
+{
+    ByteWriter w;
+    for (char c : kMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kArtifactFormatVersion);
+    w.str(key);
+    w.u64(payload.size());
+    w.u64(checksum64(payload));
+    std::string header = w.take();
+    ByteWriter tail;
+    tail.u64(checksum64(header));
+    header += tail.take();
+    header += payload;
+    return header;
+}
+
+ArtifactStatus
+inspectArtifact(const std::string &bytes, std::string *key,
+                std::string *payload)
+{
+    key->clear();
+    if (bytes.size() >= sizeof kMagic &&
+        std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0) {
+        ByteReader r(bytes);
+        for (std::size_t i = 0; i < sizeof kMagic; ++i)
+            r.u8();
+        r.u32(); // version
+        const std::string embedded = r.str();
+        if (!r.failed())
+            *key = embedded;
+    }
+    return unwrapArtifact(bytes, *key, payload);
+}
+
+ArtifactStatus
+unwrapArtifact(const std::string &bytes, const std::string &expected_key,
+               std::string *payload)
+{
+    payload->clear();
+    if (bytes.size() < sizeof kMagic)
+        return ArtifactStatus::Truncated;
+    if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+        return ArtifactStatus::BadMagic;
+
+    ByteReader r(bytes);
+    for (std::size_t i = 0; i < sizeof kMagic; ++i)
+        r.u8();
+    const std::uint32_t version = r.u32();
+    const std::string key = r.str();
+    const std::uint64_t payload_size = r.u64();
+    const std::uint64_t payload_checksum = r.u64();
+    const std::size_t header_end = bytes.size() - r.remaining();
+    const std::uint64_t header_checksum = r.u64();
+    if (r.failed()) {
+        // A header we cannot even parse: either rot (same format) or a
+        // layout from another format version.
+        return version != kArtifactFormatVersion ? ArtifactStatus::VersionSkew
+                                                 : ArtifactStatus::Truncated;
+    }
+    if (checksum64(bytes.data(), header_end) != header_checksum) {
+        return version != kArtifactFormatVersion
+                   ? ArtifactStatus::VersionSkew
+                   : ArtifactStatus::BadHeaderChecksum;
+    }
+    // Header is intact — its claims are now trustworthy.
+    if (version != kArtifactFormatVersion)
+        return ArtifactStatus::VersionSkew;
+    if (key != expected_key)
+        return ArtifactStatus::KeyMismatch;
+    if (r.remaining() != payload_size)
+        return ArtifactStatus::Truncated;
+    const std::size_t payload_at = bytes.size() - r.remaining();
+    if (checksum64(bytes.data() + payload_at, payload_size) !=
+        payload_checksum) {
+        return ArtifactStatus::BadPayloadChecksum;
+    }
+    *payload = bytes.substr(payload_at);
+    return ArtifactStatus::Ok;
+}
+
+} // namespace astitch

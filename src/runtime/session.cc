@@ -11,6 +11,7 @@
 #include "core/astitch_backend.h"
 #include "opt/autotuner.h"
 #include "opt/passes.h"
+#include "runtime/artifact_cache.h"
 #include "runtime/fallback_ladder.h"
 #include "runtime/jit_cache.h"
 #include "sim/kernel_sim.h"
@@ -434,19 +435,13 @@ Session::compileAllClusters(const Graph &graph) const
     return entry;
 }
 
-void
-Session::compileEntry(const Graph &graph)
+std::string
+Session::compileCacheKey(const Graph &graph) const
 {
-    if (!options_.use_jit_cache) {
-        commitEntry(std::make_shared<const JitCacheEntry>(
-            compileAllClusters(graph)));
-        return;
-    }
-
-    // getOrCompile dedupes concurrent sessions compiling the same key:
-    // one compiles, the rest share the published entry. Declared shape
-    // ranges are part of the compilation's identity — the certificates
-    // riding in the cached plans are only valid for their own ranges.
+    // The compilation's full identity, shared by the in-memory JIT
+    // cache and the on-disk artifact tier. Declared shape ranges are
+    // part of it — the certificates riding in the cached plans are
+    // only valid for their own ranges.
     std::string cache_key =
         JitCache::makeKey(graph, backend_->name(), options_.spec);
     for (const ShapeDim &d : options_.shape_params) {
@@ -464,10 +459,63 @@ Session::compileEntry(const Graph &graph)
             t.generations, ",t", t.time_budget_ms, ",s", t.seed, ",db=",
             t.db_path);
     }
+    return cache_key;
+}
+
+void
+Session::compileEntry(const Graph &graph)
+{
+    // The on-disk artifact tier sits beneath the in-memory cache (and
+    // works without it): a miss consults the disk, a verified artifact
+    // is served without compiling, and a fresh compile is persisted
+    // for the next process. Its AS62x events collect locally and merge
+    // after commitEntry() resets the session's diagnostics.
+    std::unique_ptr<ArtifactCache> artifact_cache;
+    if (!options_.artifact_cache_dir.empty()) {
+        artifact_cache = std::make_unique<ArtifactCache>(
+            options_.artifact_cache_dir,
+            options_.artifact_lock_timeout_ms);
+    }
+    const std::string cache_key =
+        options_.use_jit_cache || artifact_cache ? compileCacheKey(graph)
+                                                 : std::string();
+    DiagnosticEngine artifact_events;
+
+    const auto diskAwareCompile = [&]() -> JitCacheEntry {
+        if (!artifact_cache)
+            return compileAllClusters(graph);
+        // The load gate re-proves a stored plan with the live
+        // analyzer. Consistency and access verification always run —
+        // an artifact is never trusted on checksums alone; the
+        // parametric pass is not re-run (its certificates are stored
+        // with the plans and only valid for the compiled ranges).
+        AnalysisOptions gate;
+        gate.consistency = true;
+        gate.sanitize = true;
+        gate.verify = true;
+        ArtifactCache::Lease lease = artifact_cache->acquire(
+            cache_key, graph, options_.spec, gate, &artifact_events);
+        if (lease.entry)
+            return std::move(*lease.entry);
+        JitCacheEntry fresh = compileAllClusters(graph);
+        artifact_cache->publish(lease, cache_key, fresh,
+                                &artifact_events);
+        return fresh;
+    };
+
+    if (!options_.use_jit_cache) {
+        commitEntry(
+            std::make_shared<const JitCacheEntry>(diskAwareCompile()));
+        diagnostics_.merge(artifact_events);
+        return;
+    }
+
+    // getOrCompile dedupes concurrent sessions compiling the same key:
+    // one compiles, the rest share the published entry.
     bool compiled_here = false;
     const auto compile_fn = [&] {
         compiled_here = true;
-        return compileAllClusters(graph);
+        return diskAwareCompile();
     };
 
     std::shared_ptr<const JitCacheEntry> entry;
@@ -519,6 +567,7 @@ Session::compileEntry(const Graph &graph)
     }
 
     commitEntry(std::move(entry));
+    diagnostics_.merge(artifact_events);
 
     degradation_.cache_bypassed |= cache_bypassed;
     degradation_.session_retries += publish_retries;

@@ -43,6 +43,22 @@ struct SessionOptions
     /** Share compilations across sessions via the global JIT cache. */
     bool use_jit_cache = false;
 
+    /**
+     * Directory of the crash-safe on-disk artifact cache
+     * (runtime/artifact_cache.h); "" (the default) disables the disk
+     * tier. When set, a compilation misses the in-memory cache, is
+     * looked up on disk, re-verified by the analyzer, and served
+     * without recompiling; misses compile and persist the result. All
+     * disk failures degrade to an in-memory recompile with AS62x
+     * diagnostics. Composes with use_jit_cache (memory in front of
+     * disk) but does not require it.
+     */
+    std::string artifact_cache_dir;
+
+    /** Bounded wait for the artifact cache's cross-process file lock
+     * before skipping the disk tier (AS625). */
+    double artifact_lock_timeout_ms = 10000.0;
+
     /** Statically validate every compiled cluster (cheap; on by
      * default — a backend emitting an inconsistent plan fails at
      * compile time rather than at simulation time). */
@@ -177,8 +193,14 @@ class Session
      * respect to session state; degradation lands in the entry. */
     JitCacheEntry compileAllClusters(const Graph &graph) const;
 
-    /** Obtain the entry through the JIT cache / fallback ladder and
-     * record session-scope recoveries (cache bypass, retries). */
+    /** Full identity key of this session's compilation (graph,
+     * backend, device, shape ranges, tuning knobs) — shared by the
+     * in-memory JIT cache and the on-disk artifact cache. */
+    std::string compileCacheKey(const Graph &graph) const;
+
+    /** Obtain the entry through the artifact/JIT caches / fallback
+     * ladder and record session-scope recoveries (cache bypass,
+     * retries). */
     void compileEntry(const Graph &graph);
 
     /** Adopt an entry: merge diagnostics in cluster order, emit the

@@ -1,0 +1,181 @@
+#include "support/atomic_file.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace astitch {
+
+std::uint64_t
+checksum64(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+checksum64(const std::string &bytes)
+{
+    return checksum64(bytes.data(), bytes.size());
+}
+
+FileReadStatus
+readFileBytes(const std::string &path, std::string *out)
+{
+    out->clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return errno == ENOENT ? FileReadStatus::Absent
+                               : FileReadStatus::Error;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad())
+        return FileReadStatus::Error;
+    *out = buffer.str();
+    return FileReadStatus::Ok;
+}
+
+namespace {
+
+/** Directory component of @p path ("." when none). */
+std::string
+dirnameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+/** Best-effort fsync of the directory entry holding @p path, so the
+ * rename itself survives a power cut on filesystems that need it. */
+void
+fsyncParentDir(const std::string &path)
+{
+    const int fd = ::open(dirnameOf(path).c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, const std::string &bytes)
+{
+    // Unique per process: a concurrent writer (or a dead one's orphan)
+    // can never be half-overwritten by this write.
+    const std::string tmp =
+        strCat(path, ".tmp.", static_cast<long long>(::getpid()));
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("atomic write: cannot create ", tmp, ": ",
+             std::strerror(errno));
+        return false;
+    }
+    std::size_t written = 0;
+    bool ok = true;
+    while (written < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + written,
+                                  bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ok = false;
+            break;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    // fsync before rename: the rename must never publish a file whose
+    // data blocks are still only in the page cache.
+    if (ok && ::fsync(fd) != 0)
+        ok = false;
+    if (::close(fd) != 0)
+        ok = false;
+    if (!ok) {
+        warn("atomic write: short write or fsync failure on ", tmp, ": ",
+             std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("atomic write: cannot publish ", path, ": ",
+             std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    fsyncParentDir(path);
+    return true;
+}
+
+std::string
+quarantineFile(const std::string &path)
+{
+    const std::string bad = path + ".bad";
+    // Overwrite any previous sidecar: the latest corruption is the one
+    // worth inspecting, and an un-renamable corrupt file must never
+    // block recovery.
+    if (::rename(path.c_str(), bad.c_str()) != 0) {
+        if (errno != ENOENT)
+            warn("cannot quarantine ", path, ": ", std::strerror(errno));
+        return {};
+    }
+    fsyncParentDir(path);
+    return bad;
+}
+
+FileLock::FileLock(const std::string &path, double timeout_ms) : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) {
+        warn("file lock: cannot open ", path, ": ", std::strerror(errno));
+        return;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(timeout_ms);
+    for (;;) {
+        if (::flock(fd_, LOCK_EX | LOCK_NB) == 0) {
+            locked_ = true;
+            return;
+        }
+        if (errno != EWOULDBLOCK && errno != EINTR) {
+            warn("file lock: flock on ", path, " failed: ",
+                 std::strerror(errno));
+            return;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return; // timeout: locked_ stays false
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+FileLock::~FileLock()
+{
+    if (fd_ >= 0) {
+        if (locked_)
+            ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+    }
+}
+
+} // namespace astitch

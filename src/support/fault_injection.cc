@@ -25,8 +25,16 @@ faultSites()
         {"backend-compile", "backend compile",
          "the configured backend's per-cluster compilation entry "
          "(fallback-ladder level 0)"},
+        {"cache-lock-timeout", "artifact cache",
+         "acquiring the cross-process artifact-cache file lock (fires "
+         "as a simulated lock-wait timeout)"},
         {"cache-publish", "cache publish",
          "publishing a finished compilation into the JIT cache"},
+        {"cache-read-corrupt", "artifact cache",
+         "reading a persisted kernel artifact back from disk (fires as "
+         "simulated on-disk corruption)"},
+        {"cache-write-fail", "artifact cache",
+         "persisting a compiled kernel artifact to the on-disk cache"},
         {"clustering", "clustering",
          "memory-intensive cluster identification + remote stitching"},
         {"codegen", "stitch codegen",

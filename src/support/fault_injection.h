@@ -7,7 +7,10 @@
  * plants *named injection points* at every compile-phase boundary
  * (clustering, dominant analysis, schedule propagation, memory
  * planning, launch configuration, codegen, backend compile, the
- * fallback-ladder attempts, cache publish, pooled compile tasks). A
+ * fallback-ladder attempts, cache publish, pooled compile tasks) and
+ * at the disk-I/O edges of the persistent artifact cache (artifact
+ * read-back corruption, artifact store failure, file-lock timeout —
+ * `astitch-cli fault-sites` prints the authoritative registry). A
  * fault plan — parsed from $ASTITCH_FAULT or installed programmatically
  * through SessionOptions::fault_plan — makes selected points throw
  * typed transient or permanent faults on demand, seed-deterministically,

@@ -28,6 +28,14 @@ strStartsWith(const std::string &text, const std::string &prefix)
            text.compare(0, prefix.size(), prefix) == 0;
 }
 
+bool
+strEndsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
 std::string
 strTrim(const std::string &text)
 {

@@ -43,6 +43,9 @@ std::vector<std::string> strSplit(const std::string &text, char sep);
 /** True if @p text begins with @p prefix. */
 bool strStartsWith(const std::string &text, const std::string &prefix);
 
+/** True if @p text ends with @p suffix. */
+bool strEndsWith(const std::string &text, const std::string &suffix);
+
 /** Copy with leading/trailing ASCII whitespace removed. */
 std::string strTrim(const std::string &text);
 

@@ -1,0 +1,632 @@
+/**
+ * @file
+ * Tests of the persistent kernel-artifact cache: serde round-trips,
+ * envelope integrity classification, every disk-corruption scenario
+ * (truncation, bit-flips, version skew, foreign keys, tampered plans,
+ * crash orphans), the injected disk faults, and concurrent compilers
+ * sharing one cache directory. The invariant under test throughout:
+ * no disk state may ever crash a compile or serve an unverified plan —
+ * the worst case is an AS62x diagnostic plus a clean in-memory
+ * recompile.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/astitch_backend.h"
+#include "runtime/artifact_cache.h"
+#include "runtime/plan_serde.h"
+#include "runtime/session.h"
+#include "support/atomic_file.h"
+#include "test_graphs.h"
+#include "workloads/common.h"
+
+namespace astitch {
+namespace {
+
+/** A per-test cache directory, cleared of previous runs' files. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir =
+        ::testing::TempDir() + "astitch_artifact_" + name;
+    ArtifactCache(dir).clear();
+    return dir;
+}
+
+SessionOptions
+cacheOptions(const std::string &dir)
+{
+    SessionOptions options;
+    options.artifact_cache_dir = dir;
+    return options;
+}
+
+int
+codeCount(const DiagnosticEngine &engine, const std::string &code)
+{
+    int n = 0;
+    for (const Diagnostic &d : engine.diagnostics())
+        n += d.code == code;
+    return n;
+}
+
+/** Overwrite @p path with raw @p bytes (normal, non-atomic write — the
+ * tests play the role of the hostile disk). */
+void
+writeRaw(const std::string &path, const std::string &bytes)
+{
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(file.good());
+    file.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Compile-key of the single artifact in @p dir (strips the serde
+ * pass-version suffix the cache appends). */
+std::string
+soleCompileKey(const std::string &dir)
+{
+    const auto files = ArtifactCache(dir).scan();
+    for (const ArtifactFileInfo &info : files) {
+        if (info.quarantined)
+            continue;
+        const std::size_t cut = info.key.rfind("|serde-pass-v");
+        return cut == std::string::npos ? info.key
+                                        : info.key.substr(0, cut);
+    }
+    return {};
+}
+
+/** Count live (non-quarantined) artifacts / `*.bad` sidecars. */
+std::pair<int, int>
+countArtifacts(const std::string &dir)
+{
+    int live = 0, bad = 0;
+    for (const ArtifactFileInfo &info : ArtifactCache(dir).scan())
+        (info.quarantined ? bad : live) += 1;
+    return {live, bad};
+}
+
+/** Run one cached session over fig7; returns its outputs. */
+std::vector<Tensor>
+runSession(const Graph &graph, const SessionOptions &options,
+           bool *from_artifact = nullptr,
+           DiagnosticEngine *diags = nullptr)
+{
+    const TensorMap feeds = workloads::makeRandomFeeds(graph, 7);
+    Session session(graph, std::make_unique<AStitchBackend>(), options);
+    session.compile();
+    if (from_artifact)
+        *from_artifact = session.passTimings().fromArtifact();
+    if (diags) {
+        diags->clear();
+        diags->merge(session.diagnostics());
+    }
+    EXPECT_FALSE(session.degradation().degraded());
+    return session.run(feeds).outputs;
+}
+
+void
+expectSameOutputs(const std::vector<Tensor> &got,
+                  const std::vector<Tensor> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_TRUE(got[i].allClose(want[i], 1e-6, 1e-7))
+            << "output " << i << " diverged";
+}
+
+/** Little-endian appenders matching the wire format, for hand-crafted
+ * envelopes. */
+void
+appendU32(std::string *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendU64(std::string *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** Frame @p payload under @p key like wrapArtifact, but with an
+ * arbitrary wire version. */
+std::string
+wrapWithVersion(const std::string &key, const std::string &payload,
+                std::uint32_t version)
+{
+    std::string header = "ASTC";
+    appendU32(&header, version);
+    appendU32(&header, static_cast<std::uint32_t>(key.size()));
+    header += key;
+    appendU64(&header, payload.size());
+    appendU64(&header, checksum64(payload));
+    appendU64(&header, checksum64(header));
+    return header + payload;
+}
+
+TEST(ArtifactCacheCodes, AS62xFamilyRegistered)
+{
+    for (const char *code : {"AS620", "AS621", "AS622", "AS623",
+                             "AS624", "AS625", "AS626"})
+        EXPECT_NE(findDiagnosticCode(code), nullptr) << code;
+}
+
+TEST(PlanSerde, EnvelopeClassifiesEveryLie)
+{
+    const std::string key = "some/key";
+    const std::string payload = "payload bytes with entropy 123";
+    const std::string good = wrapArtifact(key, payload);
+
+    std::string out;
+    EXPECT_EQ(unwrapArtifact(good, key, &out), ArtifactStatus::Ok);
+    EXPECT_EQ(out, payload);
+
+    EXPECT_EQ(unwrapArtifact("", key, &out), ArtifactStatus::Truncated);
+    EXPECT_EQ(unwrapArtifact(good.substr(0, good.size() - 1), key, &out),
+              ArtifactStatus::Truncated);
+    EXPECT_EQ(unwrapArtifact(good.substr(0, 10), key, &out),
+              ArtifactStatus::Truncated);
+
+    std::string bad_magic = good;
+    bad_magic[0] = 'X';
+    EXPECT_EQ(unwrapArtifact(bad_magic, key, &out),
+              ArtifactStatus::BadMagic);
+
+    std::string bad_header = good; // flip inside the embedded key
+    bad_header[12] = static_cast<char>(bad_header[12] ^ 0xff);
+    EXPECT_EQ(unwrapArtifact(bad_header, key, &out),
+              ArtifactStatus::BadHeaderChecksum);
+
+    std::string bad_payload = good; // flip the final payload byte
+    bad_payload.back() = static_cast<char>(bad_payload.back() ^ 0x01);
+    EXPECT_EQ(unwrapArtifact(bad_payload, key, &out),
+              ArtifactStatus::BadPayloadChecksum);
+
+    EXPECT_EQ(unwrapArtifact(good, "another/key", &out),
+              ArtifactStatus::KeyMismatch);
+
+    EXPECT_EQ(unwrapArtifact(
+                  wrapWithVersion(key, payload,
+                                  kArtifactFormatVersion + 1),
+                  key, &out),
+              ArtifactStatus::VersionSkew);
+
+    std::string embedded;
+    EXPECT_EQ(inspectArtifact(good, &embedded, &out), ArtifactStatus::Ok);
+    EXPECT_EQ(embedded, key);
+}
+
+TEST(ArtifactCache, ColdStoresWarmServesIdenticalPlans)
+{
+    const std::string dir = freshDir("cold_warm");
+    const Graph graph = testing::buildFig7().graph;
+
+    bool from_artifact = true;
+    DiagnosticEngine diags;
+    const auto cold =
+        runSession(graph, cacheOptions(dir), &from_artifact, &diags);
+    EXPECT_FALSE(from_artifact);
+    EXPECT_EQ(codeCount(diags, "AS620"), 0);
+    EXPECT_EQ(countArtifacts(dir), (std::pair<int, int>{1, 0}));
+    EXPECT_EQ(ArtifactCache(dir).scan()[0].status,
+              artifactStatusName(ArtifactStatus::Ok));
+
+    const auto warm =
+        runSession(graph, cacheOptions(dir), &from_artifact, &diags);
+    EXPECT_TRUE(from_artifact);
+    EXPECT_GE(codeCount(diags, "AS620"), 1);
+    expectSameOutputs(warm, cold);
+}
+
+TEST(ArtifactCache, WarmHitReportsOnlyArtifactSpans)
+{
+    const std::string dir = freshDir("timings");
+    const Graph graph = testing::buildFig7().graph;
+    runSession(graph, cacheOptions(dir));
+
+    Session session(graph, std::make_unique<AStitchBackend>(),
+                    cacheOptions(dir));
+    session.compile();
+    const CompilePassTimings &t = session.passTimings();
+    ASSERT_TRUE(t.fromArtifact());
+    // The proof a warm start skipped the compiler: every compile-pass
+    // span is exactly zero (scheduling is session-side and may not be).
+    EXPECT_EQ(t.clustering_ms, 0.0);
+    EXPECT_EQ(t.remote_stitch_ms, 0.0);
+    EXPECT_EQ(t.backend_compile_ms, 0.0);
+    EXPECT_EQ(t.analysis_ms, 0.0);
+    EXPECT_EQ(t.autotune_ms, 0.0);
+    EXPECT_EQ(t.parallel_section_ms, 0.0);
+    EXPECT_GT(t.artifact_load_ms + t.artifact_verify_ms, 0.0);
+}
+
+TEST(PlanSerde, RoundTripIsLosslessAndDeterministic)
+{
+    const std::string dir = freshDir("roundtrip");
+    const Graph graph = testing::buildFig7().graph;
+    runSession(graph, cacheOptions(dir));
+
+    ArtifactCache cache(dir);
+    auto lease = cache.acquire(soleCompileKey(dir), graph,
+                               GpuSpec::v100(), AnalysisOptions{},
+                               nullptr);
+    ASSERT_NE(lease.entry, nullptr);
+    EXPECT_EQ(cache.stats().disk_hits, 1);
+
+    const std::string once = serializePlanPayload(*lease.entry);
+    JitCacheEntry back;
+    std::string error;
+    ASSERT_TRUE(deserializePlanPayload(once, &back, &error)) << error;
+    EXPECT_EQ(serializePlanPayload(back), once);
+}
+
+TEST(ArtifactCache, TruncationAlwaysRecompiles)
+{
+    const std::string dir = freshDir("truncate");
+    const Graph graph = testing::buildFig7().graph;
+    const auto reference = runSession(graph, cacheOptions(dir));
+    const std::string path =
+        ArtifactCache(dir).filePathFor(soleCompileKey(dir));
+    std::string good;
+    ASSERT_EQ(readFileBytes(path, &good), FileReadStatus::Ok);
+
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, std::size_t{17},
+          good.size() / 2, good.size() - 1}) {
+        SCOPED_TRACE("truncated to " + std::to_string(keep) + " bytes");
+        writeRaw(path, good.substr(0, keep));
+        bool from_artifact = true;
+        DiagnosticEngine diags;
+        const auto outputs = runSession(graph, cacheOptions(dir),
+                                        &from_artifact, &diags);
+        EXPECT_FALSE(from_artifact);
+        EXPECT_GE(codeCount(diags, "AS621"), 1);
+        expectSameOutputs(outputs, reference);
+        // The recompile republished a good artifact over the wreck.
+        EXPECT_EQ(ArtifactCache(dir).scan()[0].status,
+                  artifactStatusName(ArtifactStatus::Ok));
+    }
+    EXPECT_EQ(countArtifacts(dir).second, 1); // evidence quarantined
+}
+
+TEST(ArtifactCache, BitFlipSweepNeverCrashesNorServes)
+{
+    const std::string dir = freshDir("bitflip");
+    const Graph graph = testing::buildFig7().graph;
+    const auto reference = runSession(graph, cacheOptions(dir));
+    const std::string path =
+        ArtifactCache(dir).filePathFor(soleCompileKey(dir));
+    std::string good;
+    ASSERT_EQ(readFileBytes(path, &good), FileReadStatus::Ok);
+
+    // Flip one byte at a spread of offsets: header fields, the key,
+    // the checksums and payload regions all get hit.
+    for (std::size_t offset = 0; offset < good.size();
+         offset += good.size() / 13 + 1) {
+        SCOPED_TRACE("bit flip at offset " + std::to_string(offset));
+        std::string evil = good;
+        evil[offset] = static_cast<char>(evil[offset] ^ 0x40);
+        writeRaw(path, evil);
+
+        bool from_artifact = true;
+        DiagnosticEngine diags;
+        const auto outputs = runSession(graph, cacheOptions(dir),
+                                        &from_artifact, &diags);
+        EXPECT_FALSE(from_artifact);
+        // Classification depends on which field the flip hit, but it
+        // must always land in the corruption family: integrity (621),
+        // version/key skew (622) or decode failure (623).
+        EXPECT_GE(codeCount(diags, "AS621") + codeCount(diags, "AS622") +
+                      codeCount(diags, "AS623"),
+                  1);
+        expectSameOutputs(outputs, reference);
+    }
+}
+
+TEST(ArtifactCache, StaleWireVersionIsACleanMiss)
+{
+    const std::string dir = freshDir("version_skew");
+    const Graph graph = testing::buildFig7().graph;
+    runSession(graph, cacheOptions(dir));
+    const std::string path =
+        ArtifactCache(dir).filePathFor(soleCompileKey(dir));
+    std::string good;
+    ASSERT_EQ(readFileBytes(path, &good), FileReadStatus::Ok);
+    std::string key, payload;
+    ASSERT_EQ(inspectArtifact(good, &key, &payload), ArtifactStatus::Ok);
+
+    writeRaw(path,
+             wrapWithVersion(key, payload, kArtifactFormatVersion + 7));
+    bool from_artifact = true;
+    DiagnosticEngine diags;
+    runSession(graph, cacheOptions(dir), &from_artifact, &diags);
+    EXPECT_FALSE(from_artifact);
+    EXPECT_GE(codeCount(diags, "AS622"), 1);
+    // Version skew is expected across builds — no quarantine, the
+    // recompile just overwrites the foreign file.
+    EXPECT_EQ(countArtifacts(dir), (std::pair<int, int>{1, 0}));
+    EXPECT_EQ(ArtifactCache(dir).scan()[0].status,
+              artifactStatusName(ArtifactStatus::Ok));
+}
+
+TEST(ArtifactCache, ForeignArtifactUnderOurNameMissesCleanly)
+{
+    const std::string dir = freshDir("foreign_key");
+    const Graph fig7 = testing::buildFig7().graph;
+    const Graph softmax = testing::buildSoftmax(32, 64);
+    const auto reference = runSession(fig7, cacheOptions(dir));
+    const std::string fig7_path =
+        ArtifactCache(dir).filePathFor(soleCompileKey(dir));
+
+    const std::string dir2 = freshDir("foreign_key_src");
+    runSession(softmax, cacheOptions(dir2));
+    std::string foreign;
+    ASSERT_EQ(readFileBytes(ArtifactCache(dir2).filePathFor(
+                                soleCompileKey(dir2)),
+                            &foreign),
+              FileReadStatus::Ok);
+
+    // A rename/copy gone wrong: another compilation's (intact) artifact
+    // sits under our file name. The embedded key defends it.
+    writeRaw(fig7_path, foreign);
+    bool from_artifact = true;
+    DiagnosticEngine diags;
+    const auto outputs =
+        runSession(fig7, cacheOptions(dir), &from_artifact, &diags);
+    EXPECT_FALSE(from_artifact);
+    EXPECT_GE(codeCount(diags, "AS622"), 1);
+    expectSameOutputs(outputs, reference);
+}
+
+TEST(ArtifactCache, TamperedPlanIsRejectedBeforeServing)
+{
+    const std::string dir = freshDir("tamper");
+    const Graph graph = testing::buildFig7().graph;
+    const auto reference = runSession(graph, cacheOptions(dir));
+    const std::string compile_key = soleCompileKey(dir);
+    const std::string path = ArtifactCache(dir).filePathFor(compile_key);
+    std::string good;
+    ASSERT_EQ(readFileBytes(path, &good), FileReadStatus::Ok);
+    std::string key, payload;
+    ASSERT_EQ(inspectArtifact(good, &key, &payload), ArtifactStatus::Ok);
+
+    JitCacheEntry entry;
+    std::string error;
+    ASSERT_TRUE(deserializePlanPayload(payload, &entry, &error)) << error;
+    ASSERT_FALSE(entry.clusters.empty());
+
+    // Tamper 1: a node reference beyond the graph — structural
+    // validation must reject the decode (AS623).
+    {
+        JitCacheEntry evil = entry;
+        evil.clusters[0].nodes[0] = 1000000;
+        writeRaw(path,
+                 wrapArtifact(key, serializePlanPayload(evil)));
+        bool from_artifact = true;
+        DiagnosticEngine diags;
+        const auto outputs = runSession(graph, cacheOptions(dir),
+                                        &from_artifact, &diags);
+        EXPECT_FALSE(from_artifact);
+        EXPECT_GE(codeCount(diags, "AS623"), 1);
+        expectSameOutputs(outputs, reference);
+        EXPECT_GE(countArtifacts(dir).second, 1); // quarantined
+    }
+
+    // Tamper 2: structurally valid but semantically wrong — a
+    // checksum-correct artifact claiming a degraded compilation. The
+    // serving gate must refuse it (AS624): degraded plans are never
+    // served from disk.
+    {
+        JitCacheEntry evil = entry;
+        ASSERT_FALSE(evil.degradation.clusters.empty());
+        evil.degradation.clusters[0].level = LadderLevel::KernelPerOp;
+        writeRaw(path,
+                 wrapArtifact(key, serializePlanPayload(evil)));
+        bool from_artifact = true;
+        DiagnosticEngine diags;
+        const auto outputs = runSession(graph, cacheOptions(dir),
+                                        &from_artifact, &diags);
+        EXPECT_FALSE(from_artifact);
+        EXPECT_GE(codeCount(diags, "AS624"), 1);
+        expectSameOutputs(outputs, reference);
+    }
+
+    // Tamper 3: a plan op re-pointed at a graph node outside its
+    // cluster — passes range checks, so only the analyzer's
+    // re-verification can catch it (AS624; AS623 acceptable if the
+    // structural net tightens later).
+    {
+        JitCacheEntry evil = entry;
+        ASSERT_FALSE(evil.compiled.empty());
+        bool mutated = false;
+        for (KernelPlan &plan : evil.compiled[0].kernels) {
+            if (plan.ops.empty())
+                continue;
+            plan.ops[0].node = evil.clusters[0].inputs.empty()
+                                   ? 0
+                                   : evil.clusters[0].inputs[0];
+            mutated = true;
+            break;
+        }
+        ASSERT_TRUE(mutated);
+        writeRaw(path,
+                 wrapArtifact(key, serializePlanPayload(evil)));
+        bool from_artifact = true;
+        DiagnosticEngine diags;
+        const auto outputs = runSession(graph, cacheOptions(dir),
+                                        &from_artifact, &diags);
+        EXPECT_FALSE(from_artifact);
+        EXPECT_GE(codeCount(diags, "AS623") + codeCount(diags, "AS624"),
+                  1);
+        expectSameOutputs(outputs, reference);
+    }
+}
+
+TEST(ArtifactCache, CrashOrphanTempIsInvisible)
+{
+    const std::string dir = freshDir("crash_orphan");
+    const Graph graph = testing::buildFig7().graph;
+    runSession(graph, cacheOptions(dir));
+    const std::string path =
+        ArtifactCache(dir).filePathFor(soleCompileKey(dir));
+
+    // Simulate a writer that died between temp-write and rename: the
+    // bytes sit under the temp name, nothing at the real path.
+    std::string bytes;
+    ASSERT_EQ(readFileBytes(path, &bytes), FileReadStatus::Ok);
+    ASSERT_EQ(::rename(path.c_str(), (path + ".tmp.424242").c_str()), 0);
+
+    bool from_artifact = true;
+    DiagnosticEngine diags;
+    runSession(graph, cacheOptions(dir), &from_artifact, &diags);
+    EXPECT_FALSE(from_artifact); // clean miss, no AS62x warnings
+    EXPECT_EQ(codeCount(diags, "AS621") + codeCount(diags, "AS623") +
+                  codeCount(diags, "AS624"),
+              0);
+    // scan() never lists orphan temps; clear() sweeps them.
+    EXPECT_EQ(countArtifacts(dir), (std::pair<int, int>{1, 0}));
+    EXPECT_GE(ArtifactCache(dir).clear(), 2);
+}
+
+TEST(ArtifactCache, DegradedCompilationsAreNeverStored)
+{
+    const std::string dir = freshDir("degraded_store");
+    const Graph graph = testing::buildFig7().graph;
+    SessionOptions options = cacheOptions(dir);
+    options.fault_plan = "backend-compile"; // permanent: forces demotion
+    Session session(graph, std::make_unique<AStitchBackend>(), options);
+    ASSERT_NO_THROW(session.compile());
+    EXPECT_TRUE(session.degradation().degraded());
+    EXPECT_EQ(countArtifacts(dir), (std::pair<int, int>{0, 0}));
+}
+
+TEST(ArtifactCache, InjectedWriteFailureKeepsTheCompilation)
+{
+    const std::string dir = freshDir("fault_write");
+    const Graph graph = testing::buildFig7().graph;
+    SessionOptions options = cacheOptions(dir);
+    options.fault_plan = "cache-write-fail";
+    bool from_artifact = true;
+    DiagnosticEngine diags;
+    runSession(graph, options, &from_artifact, &diags);
+    EXPECT_FALSE(from_artifact);
+    EXPECT_GE(codeCount(diags, "AS626"), 1);
+    EXPECT_EQ(countArtifacts(dir), (std::pair<int, int>{0, 0}));
+
+    // Without the fault the next compile stores normally.
+    runSession(graph, cacheOptions(dir));
+    EXPECT_EQ(countArtifacts(dir), (std::pair<int, int>{1, 0}));
+}
+
+TEST(ArtifactCache, InjectedLockTimeoutSkipsTheDiskTier)
+{
+    const std::string dir = freshDir("fault_lock");
+    const Graph graph = testing::buildFig7().graph;
+    runSession(graph, cacheOptions(dir)); // warm artifact available
+
+    SessionOptions options = cacheOptions(dir);
+    options.fault_plan = "cache-lock-timeout";
+    bool from_artifact = true;
+    DiagnosticEngine diags;
+    runSession(graph, options, &from_artifact, &diags);
+    EXPECT_FALSE(from_artifact); // tier skipped despite a good artifact
+    EXPECT_GE(codeCount(diags, "AS625"), 1);
+}
+
+TEST(ArtifactCache, InjectedReadCorruptionQuarantinesAndRecovers)
+{
+    const std::string dir = freshDir("fault_read");
+    const Graph graph = testing::buildFig7().graph;
+    const auto reference = runSession(graph, cacheOptions(dir));
+
+    SessionOptions options = cacheOptions(dir);
+    options.fault_plan = "cache-read-corrupt";
+    bool from_artifact = true;
+    DiagnosticEngine diags;
+    const auto outputs =
+        runSession(graph, options, &from_artifact, &diags);
+    EXPECT_FALSE(from_artifact);
+    EXPECT_GE(codeCount(diags, "AS621"), 1);
+    expectSameOutputs(outputs, reference);
+    EXPECT_EQ(countArtifacts(dir), (std::pair<int, int>{1, 1}));
+
+    // The recompile republished: the next session warm-hits again.
+    runSession(graph, cacheOptions(dir), &from_artifact);
+    EXPECT_TRUE(from_artifact);
+}
+
+TEST(ArtifactCache, ConcurrentCompilersShareOneArtifact)
+{
+    const std::string dir = freshDir("concurrent");
+    const Graph graph = testing::buildFig7().graph;
+    const TensorMap feeds = workloads::makeRandomFeeds(graph, 7);
+    std::vector<Tensor> reference;
+    {
+        Session ref(graph, std::make_unique<AStitchBackend>());
+        reference = ref.run(feeds).outputs;
+    }
+
+    // Several sessions race on a cold directory. The per-key file lock
+    // gives single-flight; whoever loses the race either waits and
+    // warm-hits or recompiles — all must succeed with equal outputs.
+    constexpr int kThreads = 4;
+    std::vector<std::vector<Tensor>> outputs(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            Session session(graph, std::make_unique<AStitchBackend>(),
+                            cacheOptions(dir));
+            session.compile();
+            outputs[i] = session.run(feeds).outputs;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (int i = 0; i < kThreads; ++i) {
+        SCOPED_TRACE("thread " + std::to_string(i));
+        expectSameOutputs(outputs[i], reference);
+    }
+    EXPECT_EQ(countArtifacts(dir), (std::pair<int, int>{1, 0}));
+    EXPECT_EQ(ArtifactCache(dir).scan()[0].status,
+              artifactStatusName(ArtifactStatus::Ok));
+}
+
+TEST(ArtifactCache, DirectAcquirePublishCountsStats)
+{
+    const std::string dir = freshDir("stats");
+    const Graph graph = testing::buildFig7().graph;
+    runSession(graph, cacheOptions(dir));
+    const std::string compile_key = soleCompileKey(dir);
+
+    ArtifactCache cache(dir);
+    auto hit = cache.acquire(compile_key, graph, GpuSpec::v100(),
+                             AnalysisOptions{}, nullptr);
+    ASSERT_NE(hit.entry, nullptr);
+    EXPECT_EQ(cache.stats().disk_hits, 1);
+
+    auto miss = cache.acquire(compile_key + "/other", graph,
+                              GpuSpec::v100(), AnalysisOptions{},
+                              nullptr);
+    EXPECT_EQ(miss.entry, nullptr);
+    ASSERT_NE(miss.lock, nullptr);
+    ASSERT_TRUE(miss.lock->locked());
+    EXPECT_EQ(cache.stats().disk_misses, 1);
+
+    EXPECT_TRUE(cache.publish(miss, compile_key + "/other", *hit.entry,
+                              nullptr));
+    EXPECT_EQ(cache.stats().stores, 1);
+    EXPECT_EQ(countArtifacts(dir).first, 2);
+}
+
+} // namespace
+} // namespace astitch

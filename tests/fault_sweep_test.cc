@@ -35,6 +35,15 @@ optionsForSite(const std::string &site)
     } else if (site == "cache-publish") {
         options.use_jit_cache = true;
         JitCache::global().clear(); // force a miss so publish runs
+    } else if (site == "cache-read-corrupt" ||
+               site == "cache-write-fail" ||
+               site == "cache-lock-timeout") {
+        // Disk-tier sites are dead code without an artifact cache.
+        // Sharing one directory per site across the sweep's two runs
+        // also exercises the warm path: the permanent run stores the
+        // artifact, the transient run reads it back through the fault.
+        options.artifact_cache_dir =
+            ::testing::TempDir() + "astitch_fault_sweep_" + site;
     }
     return options;
 }
@@ -65,6 +74,12 @@ expectDegradationShape(const std::string &site,
     } else if (site == "ladder-local-only" ||
                site == "ladder-loop-fusion") {
         // Fallback rungs are dead code while rung 0 succeeds.
+        EXPECT_FALSE(report.degraded());
+    } else if (site == "cache-read-corrupt" ||
+               site == "cache-write-fail" ||
+               site == "cache-lock-timeout") {
+        // Disk-tier faults surface as AS62x diagnostics plus a clean
+        // in-memory recompile — never as ladder degradation.
         EXPECT_FALSE(report.degraded());
     } else {
         // Stitch-pipeline sites (backend-compile, clustering phases,

@@ -40,6 +40,16 @@
  *       stitched cluster and print per-cluster heuristic vs tuned
  *       costs, the candidate budget spent and the tuning-DB hit rate.
  *       Defaults to --tuning seeded when no mode is given.
+ *   astitch-cli compile-ahead --cache-dir DIR [--model M] [--gpu G|all]
+ *       Populate the on-disk artifact cache ahead of time: compile
+ *       every selected workload x device pair and persist the verified
+ *       artifacts, so later processes warm-start without a compiler in
+ *       the loop. Reports cold/warm per pair (a second run should be
+ *       all warm).
+ *   astitch-cli cache --cache-dir DIR [--clear]
+ *       Inspect the artifact cache: one line per artifact with its
+ *       integrity status (quarantined *.bad sidecars flagged), or
+ *       --clear to delete artifacts, locks and quarantine files.
  *
  * analyze and verify accept --diag-filter EXPR to restrict the rendered
  * findings; EXPR is a comma-separated list of AS-code families or dash
@@ -52,12 +62,15 @@
  * profile also accepts --analyze[=json|sarif] to append the analysis
  * findings to the report.
  *
- * Compiling commands (profile, compare, trace, analyze, verify, tune)
- * accept --compile-threads N to fan per-cluster JIT compilation across
- * N threads (0 = $ASTITCH_COMPILE_THREADS, then hardware concurrency),
- * --fault PLAN to inject compile-phase faults ($ASTITCH_FAULT syntax)
- * and --fail-fast to disable the fallback ladder (the first compile
- * failure aborts, as before fault containment existed).
+ * Compiling commands (profile, compare, trace, analyze, verify, tune,
+ * compile-ahead) accept --compile-threads N to fan per-cluster JIT
+ * compilation across N threads (0 = $ASTITCH_COMPILE_THREADS, then
+ * hardware concurrency), --fault PLAN to inject compile-phase faults
+ * ($ASTITCH_FAULT syntax), --fail-fast to disable the fallback ladder
+ * (the first compile failure aborts, as before fault containment
+ * existed), and --cache-dir DIR / --cache-lock-ms MS to enable the
+ * crash-safe on-disk artifact cache (runtime/artifact_cache.h) beneath
+ * the compile.
  *
  * They also accept the autotuner knobs (see opt/autotuner.h):
  * --tuning off|seeded|full selects the mode (default off everywhere
@@ -88,7 +101,9 @@
 #include "core/astitch_backend.h"
 #include "core/cuda_emitter.h"
 #include "graph/dot_export.h"
+#include "runtime/artifact_cache.h"
 #include "runtime/dynamic_session.h"
+#include "runtime/plan_serde.h"
 #include "runtime/session.h"
 #include "support/fault_injection.h"
 #include "support/logging.h"
@@ -267,8 +282,10 @@ intOption(const Args &args, const std::string &key, int fallback)
 }
 
 /** Session options shared by every compiling command: --gpu plus
- * --compile-threads N (0 = $ASTITCH_COMPILE_THREADS, then hardware)
- * and the --tuning* autotuner knobs. */
+ * --compile-threads N (0 = $ASTITCH_COMPILE_THREADS, then hardware),
+ * the on-disk artifact-cache knobs (--cache-dir DIR enables the disk
+ * tier, --cache-lock-ms bounds the cross-process lock wait) and the
+ * --tuning* autotuner knobs. */
 SessionOptions
 makeSessionOptions(const Args &args)
 {
@@ -278,6 +295,17 @@ makeSessionOptions(const Args &args)
     fatalIf(options.compile_threads < 0, "--compile-threads must be >= 0");
     options.fail_fast = args.has("fail-fast");
     options.fault_plan = args.get("fault", "");
+    options.artifact_cache_dir = args.get("cache-dir", "");
+    const std::string lock_ms = args.get("cache-lock-ms", "");
+    if (!lock_ms.empty()) {
+        try {
+            options.artifact_lock_timeout_ms = std::stod(lock_ms);
+        } catch (const std::exception &) {
+            fatal("invalid --cache-lock-ms '", lock_ms, "'");
+        }
+        fatalIf(options.artifact_lock_timeout_ms < 0.0,
+                "--cache-lock-ms must be >= 0");
+    }
 
     const std::string tuning = args.get("tuning", "off");
     if (tuning == "seeded")
@@ -617,6 +645,122 @@ cmdTune(const Args &args)
     return 0;
 }
 
+/**
+ * Ahead-of-time population of the on-disk artifact cache: compile
+ * every selected workload x device pair with the disk tier enabled so
+ * the verified artifacts persist under --cache-dir. Each pair prints
+ * whether it was served warm from disk (a second run over the same
+ * directory should be all warm) and its compile time; degraded
+ * compilations still print but are never persisted, and any disk
+ * trouble surfaces as AS62x findings on stderr.
+ */
+int
+cmdCompileAhead(const Args &args)
+{
+    const std::string dir = args.get("cache-dir", "");
+    fatalIf(dir.empty(), "compile-ahead requires --cache-dir DIR");
+    const std::string model = args.get("model", "");
+    const std::string backend = args.get("backend", "astitch");
+    const std::string gpu = args.get("gpu", "all");
+
+    std::vector<std::string> gpus;
+    if (gpu == "all")
+        gpus = {"v100", "t4", "a100"};
+    else
+        gpus = {gpu};
+
+    std::vector<workloads::WorkloadSpec> specs;
+    std::string names;
+    for (const auto &spec : workloads::inferenceWorkloads()) {
+        names += spec.name + " ";
+        if (model.empty() || spec.name == model)
+            specs.push_back(spec);
+    }
+    fatalIf(specs.empty(), "unknown model '", model,
+            "' (available: ", names, ")");
+
+    int warm = 0, cold = 0, degraded = 0;
+    for (const auto &spec : specs) {
+        const Graph graph = spec.build();
+        for (const std::string &g : gpus) {
+            Args pair_args = args;
+            pair_args.options["gpu"] = g;
+            SessionOptions options = makeSessionOptions(pair_args);
+            Session session(graph, makeBackend(backend), options);
+            const double compile_ms = session.compile();
+            const bool from_disk = session.passTimings().fromArtifact();
+            const bool was_degraded = session.degradation().degraded();
+            warm += from_disk;
+            cold += !from_disk;
+            degraded += was_degraded;
+            std::printf("%-14s %-5s %-5s %8.1f ms%s\n",
+                        spec.name.c_str(), g.c_str(),
+                        from_disk ? "warm" : "cold", compile_ms,
+                        was_degraded ? "  [degraded: not persisted]"
+                                     : "");
+            warnIfDegraded(session);
+            // Disk-tier trouble (AS62x) must be visible even when the
+            // compile itself recovered cleanly.
+            for (const Diagnostic &d :
+                 session.diagnostics().diagnostics()) {
+                if (strStartsWith(d.code, "AS62") &&
+                    d.severity != Severity::Note)
+                    std::fprintf(stderr, "warning: %s: %s\n",
+                                 d.code.c_str(), d.message.c_str());
+            }
+        }
+    }
+    std::printf("compile-ahead: %d cold, %d warm, %d degraded -> %s\n",
+                cold, warm, degraded, dir.c_str());
+    return 0;
+}
+
+/**
+ * Inspect (or clear) the on-disk artifact cache without compiling
+ * anything: one line per artifact file with its size and integrity
+ * status from inspectArtifact — quarantined *.bad sidecars included,
+ * so a corruption event stays visible after recovery.
+ */
+int
+cmdCache(const Args &args)
+{
+    const std::string dir = args.get("cache-dir", "");
+    fatalIf(dir.empty(), "cache requires --cache-dir DIR");
+    ArtifactCache cache(dir);
+    if (args.has("clear")) {
+        const int removed = cache.clear();
+        std::printf("cleared %d file(s) from %s\n", removed,
+                    dir.c_str());
+        return 0;
+    }
+    const std::vector<ArtifactFileInfo> files = cache.scan();
+    if (files.empty()) {
+        std::printf("artifact cache %s: empty\n", dir.c_str());
+        return 0;
+    }
+    int ok = 0, bad = 0;
+    std::printf("%-28s %10s %-20s %s\n", "file", "bytes", "status",
+                "key");
+    const std::string ok_name = artifactStatusName(ArtifactStatus::Ok);
+    for (const ArtifactFileInfo &info : files) {
+        ok += !info.quarantined && info.status == ok_name;
+        bad += info.quarantined || info.status != ok_name;
+        // Keys embed the whole compilation identity; keep the listing
+        // readable by truncating long ones.
+        std::string key = info.key;
+        if (key.size() > 48)
+            key = key.substr(0, 45) + "...";
+        std::printf("%-28s %10lld %-20s %s\n", info.file.c_str(),
+                    static_cast<long long>(info.bytes),
+                    info.quarantined ? "quarantined"
+                                     : info.status.c_str(),
+                    key.c_str());
+    }
+    std::printf("%zu artifact(s): %d intact, %d quarantined/invalid\n",
+                files.size(), ok, bad);
+    return bad > 0 ? 1 : 0;
+}
+
 int
 cmdCompare(const Args &args)
 {
@@ -750,6 +894,10 @@ main(int argc, char **argv)
             return cmdFaultSites(args);
         if (args.command == "tune")
             return cmdTune(args);
+        if (args.command == "compile-ahead")
+            return cmdCompileAhead(args);
+        if (args.command == "cache")
+            return cmdCache(args);
     } catch (const PanicError &e) {
         std::fprintf(stderr, "internal error: %s\n", e.what());
         return 3;
@@ -763,7 +911,8 @@ main(int argc, char **argv)
     std::fprintf(
         stderr,
         "usage: astitch-cli <list|profile|compare|explain|emit|trace|"
-        "dot|analyze|verify|fault-sites|tune> [--model M] [--backend B] "
+        "dot|analyze|verify|fault-sites|tune|compile-ahead|cache> "
+        "[--model M] [--backend B] "
         "[--gpu G] [--cluster N] [--compile-threads N] [--fault PLAN] "
         "[--fail-fast] [--format text|json|sarif] [--analyze[=json]] "
         "[--diag-filter EXPR] [--access] [--symbolic] [--buckets K] "
@@ -771,6 +920,7 @@ main(int argc, char **argv)
         "[--tuning off|seeded|full] [--tuning-db FILE] "
         "[--tuning-beam N] [--tuning-candidates N] "
         "[--tuning-generations N] [--tuning-seed S] "
-        "[--tuning-time-ms MS] [--out FILE]\n");
+        "[--tuning-time-ms MS] [--cache-dir DIR] [--cache-lock-ms MS] "
+        "[--clear] [--out FILE]\n");
     return args.command.empty() ? 1 : 2;
 }
