@@ -21,6 +21,12 @@ analyzeCompiledCluster(const Graph &graph, const Cluster &cluster,
         verifyCompiledCluster(graph, compiled, spec, engine,
                               options.verifier);
     }
+    if (options.emitted) {
+        for (const KernelPlan &plan : compiled.kernels) {
+            analyzeEmittedCuda(graph, plan, spec, engine,
+                               options.cuda_static);
+        }
+    }
     return engine.count(Severity::Error) == errors_before;
 }
 

@@ -4,16 +4,18 @@
  *
  * One call dispatches every check family over a compiled cluster: the
  * AS0xx structural consistency checks (the original plan validator),
- * the AS1xx..AS5xx SIMT hazard sanitizer, and the AS7xx kernel-access
- * verifier over the emitted access summaries. The pipeline (Session,
- * the stitching backend, the CLI) and the legacy plan_validator shim
- * all route through this one path; individual check families remain
- * callable directly from plan_consistency.h, sanitizer.h and
- * kernel_verifier.h.
+ * the AS1xx..AS5xx SIMT hazard sanitizer, the AS7xx kernel-access
+ * verifier over the emitted access summaries, and the AS9xx static
+ * analyzer over the emitted CUDA text itself. The pipeline (Session,
+ * the stitching backend, the CLI) routes through this one path;
+ * individual check families remain callable directly from
+ * plan_consistency.h, sanitizer.h, kernel_verifier.h and
+ * cuda_static.h.
  */
 #ifndef ASTITCH_ANALYSIS_ANALYZER_H
 #define ASTITCH_ANALYSIS_ANALYZER_H
 
+#include "analysis/cuda_static.h"
 #include "analysis/diagnostics.h"
 #include "analysis/kernel_verifier.h"
 #include "analysis/sanitizer.h"
@@ -29,8 +31,10 @@ struct AnalysisOptions
     bool consistency = true;    ///< AS0xx structural checks
     bool sanitize = true;       ///< AS1xx..AS5xx hazard checks
     bool verify = true;         ///< AS7xx access verification
+    bool emitted = true;        ///< AS9xx emitted-source static analysis
     SanitizerOptions sanitizer; ///< per-family sanitizer switches
     VerifierOptions verifier;   ///< per-family verifier switches
+    CudaStaticOptions cuda_static; ///< per-family AS9xx switches
 
     /**
      * Declared dynamic-dimension ranges for shape-parametric (AS8xx)
@@ -47,6 +51,7 @@ struct AnalysisOptions
         AnalysisOptions options;
         options.sanitize = false;
         options.verify = false;
+        options.emitted = false;
         return options;
     }
 };

@@ -1,0 +1,186 @@
+#include "analysis/cuda_lexer.h"
+
+#include <cctype>
+
+namespace astitch {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character operators the emitted subset uses, longest first. */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "::",
+};
+
+} // namespace
+
+std::vector<CudaToken>
+lexCudaSource(const std::string &source)
+{
+    std::vector<CudaToken> tokens;
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    const auto advance_line = [&](char c) {
+        if (c == '\n')
+            ++line;
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor line: skip to end of line (no continuations in
+        // the emitted subset).
+        if (c == '#') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n &&
+                   !(source[i] == '*' && source[i + 1] == '/')) {
+                advance_line(source[i]);
+                ++i;
+            }
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+        // String literal.
+        if (c == '"') {
+            CudaToken tok;
+            tok.kind = CudaTokenKind::String;
+            tok.line = line;
+            ++i;
+            while (i < n && source[i] != '"') {
+                if (source[i] == '\\' && i + 1 < n)
+                    ++i;
+                tok.text.push_back(source[i]);
+                ++i;
+            }
+            if (i < n)
+                ++i; // closing quote
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        // Number: integer or float, optional suffix (f, u, l, ...).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            CudaToken tok;
+            tok.kind = CudaTokenKind::Number;
+            tok.line = line;
+            bool integer = true;
+            while (i < n) {
+                const char d = source[i];
+                if (std::isdigit(static_cast<unsigned char>(d))) {
+                    tok.text.push_back(d);
+                    ++i;
+                    continue;
+                }
+                if (d == '.' || d == 'e' || d == 'E' || d == 'x' ||
+                    d == 'X' || ((d == '+' || d == '-') && !tok.text.empty() &&
+                                 (tok.text.back() == 'e' ||
+                                  tok.text.back() == 'E'))) {
+                    integer = d == 'x' || d == 'X' ? integer : false;
+                    tok.text.push_back(d);
+                    ++i;
+                    continue;
+                }
+                if (std::isalpha(static_cast<unsigned char>(d))) {
+                    // suffix (f/u/l) or hex digits
+                    tok.text.push_back(d);
+                    if (d != 'f' && d != 'F' && d != 'u' && d != 'U' &&
+                        d != 'l' && d != 'L' &&
+                        !(tok.text.size() > 2 &&
+                          (tok.text[1] == 'x' || tok.text[1] == 'X'))) {
+                        integer = false;
+                    }
+                    if (d == 'f' || d == 'F')
+                        integer = false;
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            if (integer) {
+                tok.is_integer = true;
+                try {
+                    tok.value = std::stoll(tok.text, nullptr, 0);
+                } catch (...) {
+                    tok.is_integer = false;
+                }
+            }
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        // Identifier / keyword.
+        if (isIdentStart(c)) {
+            CudaToken tok;
+            tok.kind = CudaTokenKind::Identifier;
+            tok.line = line;
+            while (i < n && isIdentChar(source[i])) {
+                tok.text.push_back(source[i]);
+                ++i;
+            }
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        // Punctuation, longest match first.
+        CudaToken tok;
+        tok.kind = CudaTokenKind::Punct;
+        tok.line = line;
+        bool matched = false;
+        for (const char *p : kPuncts) {
+            const std::size_t len = std::char_traits<char>::length(p);
+            if (source.compare(i, len, p) == 0) {
+                tok.text = p;
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            tok.text.assign(1, c);
+            ++i;
+        }
+        tokens.push_back(std::move(tok));
+    }
+
+    CudaToken end;
+    end.kind = CudaTokenKind::End;
+    end.line = line;
+    tokens.push_back(std::move(end));
+    return tokens;
+}
+
+} // namespace astitch

@@ -213,6 +213,50 @@ diagnosticCodes()
         {"AS831", Severity::Note, "parametric-proof-fallback",
          "a parametric proof obligation did not close; the shape "
          "bucket falls back to concrete per-shape verification"},
+
+        // -- AS9xx: emitted-source static analysis (lexer/parser/CFG
+        //    over the rendered CUDA text, checked independently of the
+        //    codegen's self-reported plan metadata) --
+        {"AS900", Severity::Error, "emitted-source-unparsable",
+         "the emitted kernel source does not lex/parse as the expected "
+         "CUDA subset (or defines no __global__ kernel), so none of "
+         "the text-level proofs can be established"},
+        {"AS901", Severity::Error, "barrier-under-divergence",
+         "a __syncthreads() or inter-block barrier in the emitted text "
+         "is reachable under divergent control flow (thread-varying "
+         "guard, or block-varying trips for a grid barrier), so some "
+         "threads or blocks could wait forever"},
+        {"AS902", Severity::Warning, "unreachable-barrier",
+         "a barrier in the emitted text sits in provably dead control "
+         "flow (zero-trip loop or constant-false guard) and can never "
+         "execute"},
+        {"AS911", Severity::Error, "barrier-schedule-mismatch",
+         "the barrier sequence re-derived from the emitted text does "
+         "not implement the plan's structural barrier schedule (a "
+         "boundary or reuse separator was dropped, added or rescoped)"},
+        {"AS912", Severity::Error, "arena-size-mismatch",
+         "the __shared__ arena declared in the emitted text does not "
+         "match the memory planner's arena size, or a regional buffer "
+         "sits outside its planner-assigned slot"},
+        {"AS913", Severity::Error, "launch-bounds-mismatch",
+         "the __launch_bounds__ annotation in the emitted text does "
+         "not match the plan's launch configuration"},
+        {"AS914", Severity::Error, "access-set-mismatch",
+         "the per-buffer read/write sets re-derived from the emitted "
+         "text disagree with the plan's access summaries (a buffer is "
+         "touched in the text but not the plan, or vice versa)"},
+        {"AS921", Severity::Error, "grid-barrier-flags-not-volatile",
+         "the inter-block barrier's arrive/depart flag parameters are "
+         "not declared volatile, so the spin loops can be optimized "
+         "into infinite waits"},
+        {"AS922", Severity::Warning, "smem-write-after-last-barrier",
+         "a shared-memory write in the emitted text can reach kernel "
+         "exit with no block barrier after it on some path, leaving "
+         "cross-thread consumers unordered against the write"},
+        {"AS923", Severity::Error, "task-loop-extent-mismatch",
+         "a vertical-packing task loop's bound in the emitted text "
+         "does not cover its group's logical task extent (or is not a "
+         "legal padding of it)"},
     };
     // clang-format on
     return codes;

@@ -6,8 +6,8 @@
  * coverage / availability / materialization / resource checks a
  * production compiler runs between passes, now reported through stable
  * codes so they compose with the sanitizer families (AS1xx..AS5xx) in
- * one findings stream. `compiler/plan_validator.h` remains as a thin
- * shim over this family for existing callers.
+ * one findings stream. Callers reach this family through the unified
+ * analyzer (analysis/analyzer.h) or call it directly.
  */
 #ifndef ASTITCH_ANALYSIS_PLAN_CONSISTENCY_H
 #define ASTITCH_ANALYSIS_PLAN_CONSISTENCY_H

@@ -195,6 +195,17 @@ struct KernelPlan
      */
     ShapeCertificate certificate;
 
+    /**
+     * The CUDA C++ text the emitter rendered for this plan — the final
+     * artifact the plan metadata above describes. The emitted-source
+     * static analyzer (analysis/cuda_static.h) re-derives barriers,
+     * arena size, launch bounds and access sets from this text and
+     * cross-checks them against the fields above, so an emitter bug
+     * cannot hide behind self-reported metadata. Empty for backends
+     * that do not render source (loop fusion, comparator backends).
+     */
+    std::string cuda_source;
+
     /** Global atomics (column-reduce, cross-block split reduction). */
     double atomic_operations = 0.0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "compiler/thread_mapping.h"
@@ -26,7 +27,7 @@ valueName(const Graph &graph, NodeId id)
 
 /** The scalar C expression computing one element of @p node. */
 std::string
-elementExpr(const Node &node,
+elementExpr(const Graph &graph, const Node &node,
             const std::vector<std::string> &operand)
 {
     switch (node.kind()) {
@@ -69,12 +70,28 @@ elementExpr(const Node &node,
         return strCat("1.0f / (1.0f + __expf(-(", operand[0], ")))");
       case OpKind::Erf:
         return strCat("erff(", operand[0], ")");
+      // A concat reads through every source: each operand covers one
+      // contiguous element range of the result.
+      case OpKind::Concat: {
+        if (operand.size() == 1)
+            return operand[0];
+        std::string expr = operand.back();
+        std::int64_t prefix = 0;
+        for (std::size_t k = 0; k + 1 < operand.size(); ++k)
+            prefix += graph.node(node.operands()[k]).shape().numElements();
+        for (std::size_t k = operand.size() - 1; k-- > 0;) {
+            expr = strCat("(elem < ", prefix, ") ? ", operand[k], " : (",
+                          expr, ")");
+            prefix -=
+                graph.node(node.operands()[k]).shape().numElements();
+        }
+        return expr;
+      }
       // Data movement reads through an index remap; the value itself is
       // the operand.
       case OpKind::Broadcast:
       case OpKind::Reshape:
       case OpKind::Transpose:
-      case OpKind::Concat:
       case OpKind::Slice:
       case OpKind::Pad:
       case OpKind::Gather:
@@ -135,19 +152,27 @@ emitGridBarrierHelper(SourceWriter &w)
     w.line("}");
 }
 
+/** The host-side documentation launch statement for @p plan. */
+std::string
+makeLaunchStub(const KernelPlan &plan)
+{
+    std::ostringstream stub;
+    stub << plan.name << "<<<" << plan.launch.grid << ", "
+         << plan.launch.block << ", " << plan.smem_per_block
+         << ">>>(...); // -maxrregcount=" << plan.regs_per_thread;
+    return stub.str();
+}
+
 } // namespace
 
 CudaEmission
-emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
-                     const GpuSpec &spec, const AStitchOptions &options)
+renderStitchKernelCuda(const Graph &graph, const Cluster &cluster,
+                       const GpuSpec &spec, const KernelPlan &plan,
+                       const DominantAnalysis &analysis,
+                       const std::vector<GroupSchedule> &schedules,
+                       const MemoryPlan &memory, const LaunchConfig &launch,
+                       const std::vector<ShapeDim> &shape_params)
 {
-    StitchDiagnostics diag;
-    const CompiledCluster compiled =
-        compileStitchOp(graph, cluster, spec, options, &diag);
-    panicIf(compiled.kernels.size() != 1,
-            "stitch emission expects one kernel per cluster");
-    const KernelPlan &plan = compiled.kernels[0];
-
     CudaEmission emission;
     emission.kernel_name = plan.name;
 
@@ -156,7 +181,7 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
                   "of ",
                   cluster.nodes.size(), " ops."));
     w.line(strCat("// Device: ", spec.name, "; wave capacity ",
-                  diag.launch.blocks_per_wave, " blocks."));
+                  launch.blocks_per_wave, " blocks."));
     w.line("#include <cuda_runtime.h>");
     w.line();
     if (plan.num_global_barriers > 0) {
@@ -181,7 +206,7 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
     // verifier attached when dynamic dims were declared. ----
     if (!plan.sym_accesses.empty()) {
         const std::vector<ShapeDim> &dims =
-            plan.certificate.dims.empty() ? options.shape_params
+            plan.certificate.dims.empty() ? shape_params
                                           : plan.certificate.dims;
         w.line(strCat("// symbolic access summary (", plan.sym_accesses.size(),
                       " of ", plan.accesses.size(),
@@ -206,7 +231,7 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
         params.push_back(strCat("float *__restrict__ ",
                                 valueName(graph, out), "_out"));
     }
-    if (diag.memory.global_scratch_bytes > 0)
+    if (memory.global_scratch_bytes > 0)
         params.push_back("float *__restrict__ global_scratch");
     if (plan.num_global_barriers > 0)
         params.push_back("int *barrier_state");
@@ -214,7 +239,7 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
     w.line(strCat("extern \"C\" __global__ void"));
     w.line(strCat("__launch_bounds__(", plan.launch.block, ", ",
                   std::max(1, static_cast<int>(
-                                  diag.launch.blocks_per_wave /
+                                  launch.blocks_per_wave /
                                   std::max(1, spec.num_sms))),
                   ") // regs/thread bound (assume-relax-apply): ",
                   plan.regs_per_thread));
@@ -231,34 +256,74 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
     }
 
     // Scheme per node for quick lookup.
-    const SchemeMap &schemes = diag.memory.schemes;
-    std::map<NodeId, int> group_of;
-    for (std::size_t g = 0; g < diag.analysis.groups.size(); ++g) {
-        for (NodeId n : diag.analysis.groups[g].members) {
-            // With merging each node appears once; without, first wins
-            // (the duplicate emission is a cost-model concern only).
-            group_of.emplace(n, static_cast<int>(g));
-        }
-    }
+    const SchemeMap &schemes = memory.schemes;
 
-    // Running offsets into the shared arena / global scratch.
-    std::int64_t smem_offset = 0;
+    // Plan-side structure this emission implements: op positions, the
+    // planner's arena slots, and the structural barrier schedule. Every
+    // barrier below is emitted from plan.barriers (each point once,
+    // even when dominant merging is off and an op renders in several
+    // groups), so the text and the metadata agree by construction —
+    // and the emitted-source analyzer can hold them to that.
+    std::map<NodeId, int> op_pos;
+    for (std::size_t i = 0; i < plan.ops.size(); ++i)
+        op_pos.emplace(plan.ops[i].node, static_cast<int>(i));
+    const auto slot_of = [&](NodeId id) -> const SharedSlot * {
+        for (const SharedSlot &slot : plan.shared_slots) {
+            if (slot.node == id)
+                return &slot;
+        }
+        return nullptr;
+    };
+    std::set<std::size_t> barriers_done;
+    int device_barriers_emitted = 0;
     std::int64_t scratch_offset = 0;
-    int barriers_emitted = 0;
 
     // ---- Emit groups in dominant order. ----
-    std::vector<int> order(diag.analysis.groups.size());
+    std::vector<int> order(analysis.groups.size());
     for (std::size_t g = 0; g < order.size(); ++g)
         order[g] = static_cast<int>(g);
     std::sort(order.begin(), order.end(), [&](int a, int b) {
-        return diag.analysis.groups[a].dominant <
-               diag.analysis.groups[b].dominant;
+        return analysis.groups[a].dominant <
+               analysis.groups[b].dominant;
     });
 
     for (int g : order) {
-        const DominantGroup &group = diag.analysis.groups[g];
-        const GroupSchedule &sched = diag.schedules[g];
+        const DominantGroup &group = analysis.groups[g];
+        const GroupSchedule &sched = schedules[g];
         const Node &dom = graph.node(group.dominant);
+
+        // Pending device-wide barriers in this group: their task loop
+        // must trip the same number of times in every block (the
+        // inter-block barrier deadlocks otherwise), so its bound is
+        // padded up to a multiple of the physical grid and the
+        // per-task work — but not the barrier — is guarded.
+        const auto pending_device_barrier = [&](NodeId id) {
+            const auto p = op_pos.find(id);
+            if (p == op_pos.end())
+                return false;
+            for (std::size_t b = 0; b < plan.barriers.size(); ++b) {
+                if (plan.barriers[b].after_op == p->second &&
+                    plan.barriers[b].scope == BarrierScope::Device &&
+                    !barriers_done.count(b)) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        bool group_has_device_barrier = false;
+        for (NodeId id : group.members)
+            group_has_device_barrier |= pending_device_barrier(id);
+
+        const std::int64_t tasks =
+            std::max<std::int64_t>(1, sched.mapping.tasks_per_block);
+        const std::int64_t extent = sched.mapping.launch.grid * tasks;
+        const std::int64_t grid =
+            std::max<std::int64_t>(1, plan.launch.grid);
+        const bool padded =
+            group_has_device_barrier && extent % grid != 0;
+        const std::int64_t bound =
+            padded ? (extent + grid - 1) / grid * grid : extent;
+
         w.line();
         w.line(strCat("// ---- group ", g, ": dominant ", dom.name(),
                       ", logical launch ",
@@ -269,13 +334,29 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
                       " ----"));
 
         // Vertical packing: each physical block walks its logical tasks.
-        const std::int64_t tasks =
-            std::max<std::int64_t>(1, sched.mapping.tasks_per_block);
-        w.line(strCat("for (long task = blockIdx.x; task < ",
-                      sched.mapping.launch.grid * tasks,
+        w.line(strCat("for (long task = blockIdx.x; task < ", bound,
                       "; task += gridDim.x) { // vertical packing x",
-                      tasks));
+                      tasks,
+                      padded ? ", padded for uniform barrier trips"
+                             : ""));
         w.push();
+        bool guard_open = false;
+        const auto open_guard = [&] {
+            if (padded && !guard_open) {
+                w.line(strCat("if (task < ", extent,
+                              ") { // logical task extent"));
+                w.push();
+                guard_open = true;
+            }
+        };
+        const auto close_guard = [&] {
+            if (guard_open) {
+                w.pop();
+                w.line("}");
+                guard_open = false;
+            }
+        };
+        open_guard();
         w.line("const long elem = task * blockDim.x + threadIdx.x;");
         w.line("(void)elem;");
 
@@ -289,8 +370,15 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
                     // Kernel input: a coalesced global load.
                     ref = strCat(ref, "[elem]");
                 }
+                // A producer that is itself a kernel output is
+                // materialized to its _out buffer, not staged through
+                // the scheme buffers — consumers keep the live register
+                // (Local reuse), matching the plan's access summaries.
+                const bool op_is_output =
+                    std::find(plan.outputs.begin(), plan.outputs.end(),
+                              op) != plan.outputs.end();
                 const auto scheme = schemes.find(op);
-                if (scheme != schemes.end()) {
+                if (scheme != schemes.end() && !op_is_output) {
                     if (scheme->second == StitchScheme::Regional)
                         ref = strCat(ref, "_smem[threadIdx.x % ",
                                      std::max<std::int64_t>(
@@ -302,7 +390,22 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
                 operands.push_back(ref);
             }
 
-            if (isReduce(node.kind())) {
+            open_guard();
+            if (node.kind() == OpKind::Gather &&
+                node.operands().size() >= 2) {
+                // A gather reads through its index tensor:
+                // out[e] = table[(long)indices[e]].
+                w.line(strCat("const long ", value, "_idx = (long)",
+                              operands[1], "; // gather indices"));
+                const NodeId table = node.operands()[0];
+                std::string table_ref = operands[0];
+                if (!cluster.contains(table) &&
+                    schemes.find(table) == schemes.end()) {
+                    table_ref = strCat(valueName(graph, table), "[",
+                                       value, "_idx]");
+                }
+                w.line(strCat("float ", value, " = ", table_ref, ";"));
+            } else if (isReduce(node.kind())) {
                 const ReduceInfo info = analyzeReduce(graph, id);
                 const char *combine =
                     node.kind() == OpKind::ReduceMax   ? "fmaxf(acc, x)"
@@ -342,7 +445,7 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
                 }
             } else if (!isSource(node.kind())) {
                 w.line(strCat("float ", value, " = ",
-                              elementExpr(node, operands), ";"));
+                              elementExpr(graph, node, operands), ";"));
             }
 
             // Buffer the result per its stitching scheme.
@@ -356,19 +459,19 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
                               value, ";"));
             } else if (scheme != schemes.end()) {
                 if (scheme->second == StitchScheme::Regional) {
+                    const SharedSlot *slot = slot_of(id);
+                    const std::int64_t offset_words =
+                        slot ? slot->offset_bytes / 4 : 0;
                     const std::int64_t words =
-                        (node.shape().numElements() +
-                         sched.mapping.launch.grid * tasks - 1) /
-                        (sched.mapping.launch.grid * tasks);
-                    w.line(strCat("float *", value,
-                                  "_smem = smem + ", smem_offset,
-                                  "; // regional buffer, ", words,
-                                  " floats/block"));
-                    w.line(strCat(value, "_smem[threadIdx.x % ",
-                                  std::max<std::int64_t>(1, words),
+                        slot ? std::max<std::int64_t>(
+                                   1, slot->size_bytes / 4)
+                             : 1;
+                    w.line(strCat("float *", value, "_smem = smem + ",
+                                  offset_words,
+                                  "; // regional buffer, planner slot, ",
+                                  words, " floats/block"));
+                    w.line(strCat(value, "_smem[threadIdx.x % ", words,
                                   "] = ", value, ";"));
-                    w.line("__syncthreads(); // regional boundary");
-                    smem_offset += words;
                 } else if (scheme->second == StitchScheme::Global) {
                     w.line(strCat("float *", value,
                                   "_g = global_scratch + ",
@@ -377,18 +480,44 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
                                   "threadIdx.x] = ",
                                   value, ";"));
                     scratch_offset += node.shape().numElements();
-                    if (barriers_emitted < plan.num_global_barriers) {
-                        w.line(strCat(
-                            "grid_barrier(barrier_state + ",
-                            2 * barriers_emitted,
-                            ", barrier_state + ",
-                            2 * barriers_emitted + 1,
-                            "); // global scheme boundary"));
-                        ++barriers_emitted;
-                    }
+                }
+            }
+
+            // ---- Barriers the plan schedules after this op: regional
+            // boundaries, arena-reuse separators, and device-wide
+            // global-stitch boundaries (emitted outside the padding
+            // guard so every block reaches them uniformly). ----
+            const auto pos_it = op_pos.find(id);
+            if (pos_it == op_pos.end())
+                continue;
+            for (std::size_t b = 0; b < plan.barriers.size(); ++b) {
+                const BarrierPoint &point = plan.barriers[b];
+                if (point.after_op != pos_it->second ||
+                    barriers_done.count(b)) {
+                    continue;
+                }
+                barriers_done.insert(b);
+                if (point.scope == BarrierScope::Block) {
+                    const bool own_store =
+                        plan.ops[pos_it->second].out_space ==
+                        BufferSpace::Shared;
+                    w.line(own_store
+                               ? "__syncthreads(); // regional boundary"
+                               : "__syncthreads(); // arena reuse "
+                                 "separator");
+                } else {
+                    close_guard();
+                    w.line(strCat(
+                        "grid_barrier(barrier_state + ",
+                        2 * device_barriers_emitted,
+                        ", barrier_state + ",
+                        2 * device_barriers_emitted + 1,
+                        "); // global scheme boundary"));
+                    ++device_barriers_emitted;
                 }
             }
         }
+        close_guard();
         w.pop();
         w.line("}");
     }
@@ -396,12 +525,25 @@ emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
     w.pop();
     w.line("}");
     emission.source = w.str();
+    emission.launch_stub = makeLaunchStub(plan);
+    return emission;
+}
 
-    std::ostringstream stub;
-    stub << plan.name << "<<<" << plan.launch.grid << ", "
-         << plan.launch.block << ", " << plan.smem_per_block
-         << ">>>(...); // -maxrregcount=" << plan.regs_per_thread;
-    emission.launch_stub = stub.str();
+CudaEmission
+emitStitchKernelCuda(const Graph &graph, const Cluster &cluster,
+                     const GpuSpec &spec, const AStitchOptions &options)
+{
+    StitchDiagnostics diag;
+    const CompiledCluster compiled =
+        compileStitchOp(graph, cluster, spec, options, &diag);
+    panicIf(compiled.kernels.size() != 1,
+            "stitch emission expects one kernel per cluster");
+    const KernelPlan &plan = compiled.kernels[0];
+
+    CudaEmission emission;
+    emission.kernel_name = plan.name;
+    emission.source = plan.cuda_source;
+    emission.launch_stub = makeLaunchStub(plan);
     return emission;
 }
 

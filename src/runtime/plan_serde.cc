@@ -339,6 +339,7 @@ putPlan(ByteWriter &w, const KernelPlan &plan)
     w.f64(plan.write_coalescing);
     w.f64(plan.extra_launch_overhead_us);
     w.f64(plan.extra_bytes_read);
+    w.str(plan.cuda_source);
 }
 
 void
@@ -622,6 +623,7 @@ getPlan(ByteReader &r, KernelPlan *plan)
     plan->write_coalescing = r.f64();
     plan->extra_launch_overhead_us = r.f64();
     plan->extra_bytes_read = r.f64();
+    plan->cuda_source = r.str();
 }
 
 void

@@ -49,8 +49,13 @@
 
 namespace astitch {
 
-/** Wire-format version of the envelope and payload encoding. */
-inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+/**
+ * Wire-format version of the envelope and payload encoding. v2 added
+ * the emitted CUDA source to each kernel plan so the AS9xx emitted-text
+ * analyzer can re-verify warm-loaded artifacts against the same text
+ * that was checked at compile time.
+ */
+inline constexpr std::uint32_t kArtifactFormatVersion = 2;
 
 /**
  * Semantic version of the compilation pipeline whose plans artifacts

@@ -485,14 +485,17 @@ Session::compileEntry(const Graph &graph)
         if (!artifact_cache)
             return compileAllClusters(graph);
         // The load gate re-proves a stored plan with the live
-        // analyzer. Consistency and access verification always run —
-        // an artifact is never trusted on checksums alone; the
+        // analyzer. Consistency, access verification and the emitted-
+        // text AS9xx pass always run — an artifact is never trusted on
+        // checksums alone, and the stored kernel source is re-checked
+        // against the stored plan metadata on every warm load; the
         // parametric pass is not re-run (its certificates are stored
         // with the plans and only valid for the compiled ranges).
         AnalysisOptions gate;
         gate.consistency = true;
         gate.sanitize = true;
         gate.verify = true;
+        gate.emitted = true;
         ArtifactCache::Lease lease = artifact_cache->acquire(
             cache_key, graph, options_.spec, gate, &artifact_events);
         if (lease.entry)

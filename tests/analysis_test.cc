@@ -10,7 +10,6 @@
 #include "analysis/analyzer.h"
 #include "analysis/plan_consistency.h"
 #include "analysis/sanitizer.h"
-#include "compiler/plan_validator.h"
 #include "backends/xla/xla_backend.h"
 #include "core/astitch_backend.h"
 #include "runtime/session.h"
@@ -379,15 +378,16 @@ TEST(Analyzer, CombinesConsistencyAndSanitizer)
     EXPECT_TRUE(engine.withCodePrefix("AS1").empty());
 }
 
-TEST(Analyzer, LegacyValidatorCarriesCodes)
+TEST(Analyzer, ConsistencyFindingsCarryCodes)
 {
     SharedChainFixture f;
     f.compiled.kernels[0].launch.block = 4096;
-    const auto defects =
-        validateCompiledCluster(f.graph, f.cluster, f.compiled, kV100);
-    ASSERT_EQ(defects.size(), 1u);
-    EXPECT_EQ(defects[0].code, "AS005");
-    EXPECT_NE(defects[0].message.find("illegal block size"),
+    DiagnosticEngine engine;
+    analyzeCompiledCluster(f.graph, f.cluster, f.compiled, kV100, engine,
+                           AnalysisOptions::consistencyOnly());
+    ASSERT_EQ(engine.size(), 1u);
+    EXPECT_EQ(engine.diagnostics()[0].code, "AS005");
+    EXPECT_NE(engine.diagnostics()[0].message.find("illegal block size"),
               std::string::npos);
 }
 

@@ -1,15 +1,16 @@
 /**
  * @file
- * Tests of the static kernel-plan validator: each defect category must
- * be caught, every real backend must validate cleanly.
+ * Tests of the AS0xx structural plan-consistency checks through the
+ * unified analyzer: each defect category must be caught, every real
+ * backend must validate cleanly.
  */
 #include <gtest/gtest.h>
 
+#include "analysis/analyzer.h"
 #include "backends/tf/cuda_graph_backend.h"
 #include "backends/trt/trt_backend.h"
 #include "backends/tvm/tvm_backend.h"
 #include "backends/xla/xla_backend.h"
-#include "compiler/plan_validator.h"
 #include "core/astitch_backend.h"
 #include "runtime/session.h"
 #include "support/logging.h"
@@ -21,6 +22,17 @@ namespace astitch {
 namespace {
 
 const GpuSpec kV100 = GpuSpec::v100();
+
+/** The AS0xx findings for one compiled cluster. */
+std::vector<Diagnostic>
+consistencyFindings(const Graph &graph, const Cluster &cluster,
+                    const CompiledCluster &compiled, const GpuSpec &spec)
+{
+    DiagnosticEngine engine;
+    analyzeCompiledCluster(graph, cluster, compiled, spec, engine,
+                           AnalysisOptions::consistencyOnly());
+    return engine.diagnostics();
+}
 
 /** A trivially valid 1-op cluster + plan to mutate. */
 struct Fixture
@@ -48,67 +60,70 @@ struct Fixture
     }
 };
 
-TEST(PlanValidator, AcceptsAValidPlan)
+TEST(PlanConsistency, AcceptsAValidPlan)
 {
     Fixture f;
-    EXPECT_TRUE(validateCompiledCluster(f.graph, f.cluster, f.compiled,
-                                        kV100)
-                    .empty());
-    EXPECT_NO_THROW(
-        checkCompiledCluster(f.graph, f.cluster, f.compiled, kV100));
+    EXPECT_TRUE(
+        consistencyFindings(f.graph, f.cluster, f.compiled, kV100)
+            .empty());
+    DiagnosticEngine engine;
+    EXPECT_TRUE(analyzeCompiledCluster(
+        f.graph, f.cluster, f.compiled, kV100, engine,
+        AnalysisOptions::consistencyOnly()));
 }
 
-TEST(PlanValidator, CatchesOversizedBlock)
+TEST(PlanConsistency, CatchesOversizedBlock)
 {
     Fixture f;
     f.compiled.kernels[0].launch.block = 2048;
-    const auto defects = validateCompiledCluster(f.graph, f.cluster,
-                                                 f.compiled, kV100);
+    const auto defects =
+        consistencyFindings(f.graph, f.cluster, f.compiled, kV100);
     ASSERT_FALSE(defects.empty());
     EXPECT_NE(defects[0].message.find("block size"), std::string::npos);
-    EXPECT_THROW(
-        checkCompiledCluster(f.graph, f.cluster, f.compiled, kV100),
-        FatalError);
+    DiagnosticEngine engine;
+    EXPECT_FALSE(analyzeCompiledCluster(
+        f.graph, f.cluster, f.compiled, kV100, engine,
+        AnalysisOptions::consistencyOnly()));
 }
 
-TEST(PlanValidator, CatchesRegisterAndSmemViolations)
+TEST(PlanConsistency, CatchesRegisterAndSmemViolations)
 {
     Fixture f;
     f.compiled.kernels[0].regs_per_thread = 300;
     f.compiled.kernels[0].smem_per_block = 100 * 1024;
-    const auto defects = validateCompiledCluster(f.graph, f.cluster,
-                                                 f.compiled, kV100);
+    const auto defects =
+        consistencyFindings(f.graph, f.cluster, f.compiled, kV100);
     EXPECT_EQ(defects.size(), 2u);
 }
 
-TEST(PlanValidator, CatchesBarrierBeyondWave)
+TEST(PlanConsistency, CatchesBarrierBeyondWave)
 {
     Fixture f;
     f.compiled.kernels[0].launch = LaunchDims{161, 1024};
     f.compiled.kernels[0].num_global_barriers = 1;
-    const auto defects = validateCompiledCluster(f.graph, f.cluster,
-                                                 f.compiled, kV100);
+    const auto defects =
+        consistencyFindings(f.graph, f.cluster, f.compiled, kV100);
     ASSERT_FALSE(defects.empty());
     EXPECT_NE(defects[0].message.find("wave capacity"),
               std::string::npos);
 }
 
-TEST(PlanValidator, CatchesMissingInputMaterialization)
+TEST(PlanConsistency, CatchesMissingInputMaterialization)
 {
     Fixture f;
     // Pretend the kernel reads an intermediate never written.
     f.compiled.kernels[0].inputs[0].node = f.y;
-    const auto defects = validateCompiledCluster(f.graph, f.cluster,
-                                                 f.compiled, kV100);
+    const auto defects =
+        consistencyFindings(f.graph, f.cluster, f.compiled, kV100);
     EXPECT_FALSE(defects.empty());
 }
 
-TEST(PlanValidator, CatchesUseBeforeDef)
+TEST(PlanConsistency, CatchesUseBeforeDef)
 {
     Fixture f;
     f.compiled.kernels[0].inputs.clear(); // y reads x with no input
-    const auto defects = validateCompiledCluster(f.graph, f.cluster,
-                                                 f.compiled, kV100);
+    const auto defects =
+        consistencyFindings(f.graph, f.cluster, f.compiled, kV100);
     bool found = false;
     for (const auto &d : defects)
         found |= d.message.find("before it is available") !=
@@ -116,13 +131,13 @@ TEST(PlanValidator, CatchesUseBeforeDef)
     EXPECT_TRUE(found);
 }
 
-TEST(PlanValidator, CatchesUnscheduledClusterNode)
+TEST(PlanConsistency, CatchesUnscheduledClusterNode)
 {
     Fixture f;
     f.compiled.kernels[0].ops.clear();
     f.compiled.kernels[0].outputs.clear();
-    const auto defects = validateCompiledCluster(f.graph, f.cluster,
-                                                 f.compiled, kV100);
+    const auto defects =
+        consistencyFindings(f.graph, f.cluster, f.compiled, kV100);
     bool coverage = false, output = false;
     for (const auto &d : defects) {
         coverage |=
@@ -134,17 +149,30 @@ TEST(PlanValidator, CatchesUnscheduledClusterNode)
     EXPECT_TRUE(output);
 }
 
-TEST(PlanValidator, CatchesSubUnitFactors)
+TEST(PlanConsistency, CatchesSubUnitFactors)
 {
     Fixture f;
     f.compiled.kernels[0].ops[0].recompute_factor = 0.5;
     f.compiled.kernels[0].inputs[0].load_factor = 0.0;
-    const auto defects = validateCompiledCluster(f.graph, f.cluster,
-                                                 f.compiled, kV100);
+    const auto defects =
+        consistencyFindings(f.graph, f.cluster, f.compiled, kV100);
     EXPECT_EQ(defects.size(), 2u);
 }
 
-TEST(PlanValidator, EveryBackendValidatesOnEveryWorkload)
+TEST(PlanConsistency, FindingsCarryStableCodes)
+{
+    Fixture f;
+    f.compiled.kernels[0].launch.block = 2048;
+    const auto defects =
+        consistencyFindings(f.graph, f.cluster, f.compiled, kV100);
+    ASSERT_FALSE(defects.empty());
+    for (const auto &d : defects) {
+        EXPECT_EQ(familyOf(d.code), "AS0");
+        EXPECT_NE(findDiagnosticCode(d.code), nullptr);
+    }
+}
+
+TEST(PlanConsistency, EveryBackendValidatesOnEveryWorkload)
 {
     std::vector<std::function<std::unique_ptr<Backend>()>> backends = {
         [] { return std::make_unique<TfBackend>(); },
@@ -170,7 +198,7 @@ TEST(PlanValidator, EveryBackendValidatesOnEveryWorkload)
     }
 }
 
-TEST(PlanValidator, RandomGraphSweep)
+TEST(PlanConsistency, RandomGraphSweep)
 {
     for (std::uint64_t seed : {11u, 12u, 13u, 14u}) {
         workloads::RandomGraphConfig config;
@@ -188,8 +216,8 @@ TEST(PlanValidator, RandomGraphSweep)
             const auto &clusters = session.clusters();
             const auto &compiled = session.compiled();
             for (std::size_t i = 0; i < clusters.size(); ++i) {
-                EXPECT_TRUE(validateCompiledCluster(
-                                graph, clusters[i], compiled[i], kV100)
+                EXPECT_TRUE(consistencyFindings(graph, clusters[i],
+                                                compiled[i], kV100)
                                 .empty())
                     << "seed " << seed;
             }

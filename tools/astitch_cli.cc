@@ -18,13 +18,21 @@
  *       Export the computation graph in Graphviz DOT.
  *   astitch-cli analyze --model BERT [--format text|json|sarif]
  *       Run the plan analysis subsystem (AS0xx consistency, stitch
- *       sanitizer, AS7xx access verifier) over every compiled cluster;
- *       exit 1 on errors. --access additionally dumps the structured
- *       per-op access summaries of every stitched kernel.
+ *       sanitizer, AS7xx access verifier, AS9xx emitted-CUDA static
+ *       analyzer) over every compiled cluster; exit 1 on errors.
+ *       --access additionally dumps the structured per-op access
+ *       summaries of every stitched kernel.
+ *   astitch-cli analyze --emitted --model BERT [--format ...]
+ *       Narrow the verdict to the AS9xx emitted-text family and append
+ *       one survey line per kernel (functions, barriers, task loops,
+ *       arena, launch bounds re-derived from the CUDA source).
  *   astitch-cli verify --model BERT [--format text|json|sarif]
- *       Kernel-access verification only: compile, then report the
- *       AS7xx family (bounds, races, coalescing, cost cross-check).
- *       Exit 0 iff the verifier proves the plans clean.
+ *       Kernel verification only: compile, then report the AS7xx
+ *       access family (bounds, races, coalescing, cost cross-check)
+ *       and the AS9xx emitted-text family (divergence-safe barriers,
+ *       barrier schedule / arena / launch-bounds / access-set
+ *       cross-checks against the rendered source). Exit 0 iff the
+ *       verifiers prove the plans clean.
  *   astitch-cli verify --symbolic [--model BERT] [--buckets K]
  *       Shape-parametric verification: bucket each dynamic workload
  *       (all of them unless --model narrows to one), certify every
@@ -98,6 +106,7 @@
 #include "backends/trt/trt_backend.h"
 #include "backends/tvm/tvm_backend.h"
 #include "backends/xla/xla_backend.h"
+#include "analysis/cuda_static.h"
 #include "core/astitch_backend.h"
 #include "core/cuda_emitter.h"
 #include "graph/dot_export.h"
@@ -225,6 +234,42 @@ renderAccessSummaries(const std::vector<CompiledCluster> &clusters)
     }
     return out.empty() ? std::string("no access summaries recorded\n")
                        : out;
+}
+
+/**
+ * One survey line per stitched kernel with emitted CUDA source: the
+ * counts the AS9xx analyzer re-derived from the text (functions,
+ * barriers, task loops, declared arena, launch bounds), so a reader
+ * can eyeball what the cross-checks were run against.
+ */
+std::string
+renderEmittedSurveys(const std::vector<CompiledCluster> &clusters)
+{
+    std::string out;
+    for (const CompiledCluster &cluster : clusters) {
+        for (const KernelPlan &plan : cluster.kernels) {
+            if (plan.cuda_source.empty())
+                continue;
+            const EmittedSourceSurvey s =
+                surveyEmittedCuda(plan.cuda_source);
+            out += strCat(plan.name, ": ",
+                          s.parsed ? "" : "UNPARSABLE, ", s.functions,
+                          " function(s), ", s.sync_statements,
+                          " __syncthreads, ", s.grid_barrier_calls,
+                          " grid barrier call(s), ", s.task_loops,
+                          " task loop(s)");
+            if (s.arena_words >= 0)
+                out += strCat(", shared arena ", s.arena_words,
+                              " words");
+            if (s.launch_bounds_block >= 0)
+                out += strCat(", __launch_bounds__(",
+                              s.launch_bounds_block, ")");
+            out += "\n";
+        }
+    }
+    return out.empty()
+               ? std::string("no emitted kernel source recorded\n")
+               : out;
 }
 
 std::unique_ptr<Backend>
@@ -431,10 +476,14 @@ cmdAnalyze(const Args &args)
                     options);
     session.compile();
     warnIfDegraded(session);
-    const DiagnosticEngine engine =
-        applyDiagFilter(session.diagnostics(), args);
+    // --emitted narrows the verdict to the AS9xx emitted-text family
+    // and appends the per-kernel source surveys the checks ran over.
+    const DiagnosticEngine engine = applyDiagFilter(
+        session.diagnostics(), args, args.has("emitted") ? "AS9" : "");
     std::string output =
         renderDiagnostics(engine, args.get("format", "text"));
+    if (args.has("emitted"))
+        output += renderEmittedSurveys(session.compiled());
     if (args.has("access"))
         output += renderAccessSummaries(session.compiled());
     writeOrPrint(args, output);
@@ -552,10 +601,11 @@ cmdVerify(const Args &args)
                     options);
     session.compile();
     warnIfDegraded(session);
-    // Default to the AS7xx kernel-access family; --diag-filter widens
-    // or narrows the verdict scope.
+    // Default to the AS7xx kernel-access family plus the AS9xx
+    // emitted-text checks; --diag-filter widens or narrows the verdict
+    // scope.
     const DiagnosticEngine engine =
-        applyDiagFilter(session.diagnostics(), args, "AS7");
+        applyDiagFilter(session.diagnostics(), args, "AS7,AS9");
     std::string output =
         renderDiagnostics(engine, args.get("format", "text"));
     if (args.has("access"))
@@ -915,7 +965,8 @@ main(int argc, char **argv)
         "[--model M] [--backend B] "
         "[--gpu G] [--cluster N] [--compile-threads N] [--fault PLAN] "
         "[--fail-fast] [--format text|json|sarif] [--analyze[=json]] "
-        "[--diag-filter EXPR] [--access] [--symbolic] [--buckets K] "
+        "[--diag-filter EXPR] [--access] [--emitted] [--symbolic] "
+        "[--buckets K] "
         "[--fail-on error|warning|note|any|never] [--names] "
         "[--tuning off|seeded|full] [--tuning-db FILE] "
         "[--tuning-beam N] [--tuning-candidates N] "
