@@ -1,6 +1,7 @@
 #include "runtime/dynamic_session.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/kernel_verifier.h"
 #include "analysis/shape_symbolic.h"
@@ -120,13 +121,22 @@ DynamicSession::shapeDimsFor(const std::vector<std::int64_t> &key) const
 }
 
 DynamicSession::BucketPtr
-DynamicSession::compileBucket(const std::vector<std::int64_t> &key)
+DynamicSession::compileBucket(const std::vector<std::int64_t> &key,
+                              bool fallback)
 {
     auto bucket = std::make_shared<Bucket>();
     bucket->graph = std::make_unique<Graph>(template_(key));
 
     SessionOptions session_options = options_.session;
-    std::vector<ShapeDim> dims = options_.symbolic_verify
+    if (fallback) {
+        // The load-shedding twin: skip the stitching pipeline entirely
+        // and compile at the loop-fusion rung. Certification is skipped
+        // too — the twin exists to answer a request in microseconds of
+        // compile time, and it retires as soon as the full bucket lands.
+        session_options.start_ladder_level = LadderLevel::LoopFusion;
+        session_options.tuning.mode = TuningMode::Off;
+    }
+    std::vector<ShapeDim> dims = options_.symbolic_verify && !fallback
                                      ? shapeDimsFor(key)
                                      : std::vector<ShapeDim>{};
     const bool has_range =
@@ -178,7 +188,20 @@ DynamicSession::compileBucket(const std::vector<std::int64_t> &key)
         else
             buckets_fallback_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (fallback) {
+        fallback_buckets_count_.fetch_add(1, std::memory_order_relaxed);
+        return bucket;
+    }
     compiled_buckets_.fetch_add(1, std::memory_order_relaxed);
+    // Upgrade-on-recompile: tell the serving layer this bucket is now
+    // ready at full quality, so requests stop routing to the twin.
+    std::function<void(const std::vector<std::int64_t> &)> hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hook = upgrade_hook_;
+    }
+    if (hook)
+        hook(key);
     return bucket;
 }
 
@@ -229,20 +252,35 @@ DynamicSession::recordServe(Bucket &bucket,
 
 DynamicSession::BucketFuture
 DynamicSession::bucketFuture(const std::vector<std::int64_t> &dims,
-                             bool background)
+                             bool background, bool fallback)
 {
     const auto key = bucketFor(dims);
     std::packaged_task<BucketPtr()> task;
     BucketFuture future;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = buckets_.find(key);
-        if (it != buckets_.end())
+        auto &map = fallback ? fallback_map_ : buckets_;
+        const auto it = map.find(key);
+        if (it != map.end())
             return it->second;
-        task = std::packaged_task<BucketPtr()>(
-            [this, key] { return compileBucket(key); });
+        task = std::packaged_task<BucketPtr()>([this, key, fallback] {
+            try {
+                return compileBucket(key, fallback);
+            } catch (...) {
+                // Evict before the exception parks in the future: a
+                // failed compilation must not poison the key forever
+                // (the next request re-registers and retries, matching
+                // the JIT cache's failures-are-not-cached policy).
+                // Eviction happens strictly before the future becomes
+                // ready, so a ready future in the map is always a
+                // successful compilation.
+                std::lock_guard<std::mutex> evict_lock(mutex_);
+                (fallback ? fallback_map_ : buckets_).erase(key);
+                throw;
+            }
+        });
         future = task.get_future().share();
-        buckets_.emplace(key, future);
+        map.emplace(key, future);
         if (background) {
             warmers_.emplace_back(std::move(task));
             return future;
@@ -262,6 +300,65 @@ DynamicSession::profile(const std::vector<std::int64_t> &dims)
     const BucketPtr bucket = bucketFuture(dims, /*background=*/false).get();
     recordServe(*bucket, dims);
     return bucket->session->profile();
+}
+
+DynamicSession::BucketState
+DynamicSession::bucketState(const std::vector<std::int64_t> &dims) const
+{
+    const auto key = bucketFor(dims);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = buckets_.find(key);
+    if (it == buckets_.end())
+        return BucketState::Missing;
+    // A failing compilation evicts itself before its future becomes
+    // ready, so Ready here always means a usable bucket.
+    return it->second.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready
+               ? BucketState::Ready
+               : BucketState::Compiling;
+}
+
+DynamicSession::BatchServe
+DynamicSession::annotateServe(const BucketPtr &bucket,
+                              const std::vector<std::int64_t> &key,
+                              RunReport report) const
+{
+    BatchServe serve;
+    serve.report = std::move(report);
+    serve.key = key;
+    serve.level = bucket->session->degradation().maxLevel();
+    serve.degraded = serve.level != LadderLevel::FullStitch;
+    return serve;
+}
+
+DynamicSession::BatchServe
+DynamicSession::serveBatch(const std::vector<std::int64_t> &dims)
+{
+    const BucketPtr bucket = bucketFuture(dims, /*background=*/false).get();
+    recordServe(*bucket, dims);
+    return annotateServe(bucket, bucketFor(dims),
+                         bucket->session->profile());
+}
+
+DynamicSession::BatchServe
+DynamicSession::serveBatchDegraded(const std::vector<std::int64_t> &dims)
+{
+    // No recordServe: the twin is transient (retired on upgrade) and
+    // its compile already verified the key shape concretely; counting
+    // its serves as reverifications would misstate certificate
+    // coverage of the full buckets.
+    const BucketPtr bucket =
+        bucketFuture(dims, /*background=*/false, /*fallback=*/true).get();
+    return annotateServe(bucket, bucketFor(dims),
+                         bucket->session->profile());
+}
+
+void
+DynamicSession::setUpgradeHook(
+    std::function<void(const std::vector<std::int64_t> &)> hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    upgrade_hook_ = std::move(hook);
 }
 
 void

@@ -104,6 +104,48 @@ class DynamicSession
      * bucket inline when no one compiled or is compiling it). */
     RunReport profile(const std::vector<std::int64_t> &dims);
 
+    /** Non-blocking bucket lifecycle, for serving-path decisions. */
+    enum class BucketState {
+        Missing,   ///< never requested — a serve would compile inline
+        Compiling, ///< a warmup/serve is compiling it right now
+        Ready,     ///< compiled; a serve executes immediately
+    };
+
+    /** State of the *full* bucket @p dims rounds to (never blocks,
+     * never triggers a compilation). */
+    BucketState bucketState(const std::vector<std::int64_t> &dims) const;
+
+    /** One executed request/micro-batch, annotated for the serving
+     * layer: which bucket ran it and how degraded that bucket's
+     * compilation is. */
+    struct BatchServe
+    {
+        RunReport report;
+        std::vector<std::int64_t> key; ///< bucket that executed
+        /** Compiled below full-stitch — always true on the forced
+         * loop-fusion twin, and true on a full bucket only when the
+         * fallback ladder actually demoted it. */
+        bool degraded = false;
+        /** Worst fallback-ladder rung across the bucket's clusters. */
+        LadderLevel level = LadderLevel::FullStitch;
+    };
+
+    /** Serve @p dims from the full bucket (compiling inline when
+     * missing) — profile() plus the serving annotations. */
+    BatchServe serveBatch(const std::vector<std::int64_t> &dims);
+
+    /**
+     * Serve @p dims from the bucket's forced loop-fusion twin — the
+     * load-shedding path: the twin skips the whole stitching pipeline
+     * (SessionOptions::start_ladder_level), so it compiles in a small
+     * fraction of the full bucket's time and the request is answered
+     * now, degraded. The twin never shares cache lines with the full
+     * bucket and is never persisted to the artifact cache. Callers
+     * pair this with warmup() so the full bucket upgrades in the
+     * background.
+     */
+    BatchServe serveBatchDegraded(const std::vector<std::int64_t> &dims);
+
     /**
      * Start compiling the bucket for @p dims on a background thread and
      * return immediately. A duplicate warmup — or one for a bucket that
@@ -117,6 +159,19 @@ class DynamicSession
 
     /** Number of distinct compilations completed so far. */
     int numCompiledBuckets() const { return compiled_buckets_.load(); }
+
+    /** Forced loop-fusion twins compiled so far (serveBatchDegraded). */
+    int numFallbackBuckets() const { return fallback_buckets_count_.load(); }
+
+    /**
+     * Install a callback fired (on the compiling thread, outside the
+     * session lock) each time a *full* bucket finishes compiling,
+     * receiving the bucket key. The serving router uses it as the
+     * upgrade-on-recompile signal: a bucket being served degraded
+     * flips back to full-stitch service the moment this fires.
+     */
+    void setUpgradeHook(
+        std::function<void(const std::vector<std::int64_t> &)> hook);
 
     /** The bucket key @p dims resolves to (after optional rounding). */
     std::vector<std::int64_t>
@@ -184,8 +239,10 @@ class DynamicSession
     using BucketPtr = std::shared_ptr<Bucket>;
     using BucketFuture = std::shared_future<BucketPtr>;
 
-    /** Build + compile one bucket (runs inline or on a warmup thread). */
-    BucketPtr compileBucket(const std::vector<std::int64_t> &key);
+    /** Build + compile one bucket (runs inline or on a warmup thread).
+     * @p fallback compiles the forced loop-fusion twin instead. */
+    BucketPtr compileBucket(const std::vector<std::int64_t> &key,
+                            bool fallback);
 
     /** The ShapeDim ranges bucket @p key serves (rounding preimage). */
     std::vector<ShapeDim>
@@ -199,9 +256,18 @@ class DynamicSession
 
     /** The future for @p dims' bucket, registering a new compilation if
      * none exists. @p background compiles on a detached-from-caller
-     * thread; otherwise the calling thread compiles inline. */
+     * thread; otherwise the calling thread compiles inline. @p fallback
+     * routes through the forced loop-fusion twin map. A compilation
+     * that throws evicts its own future before the exception is
+     * parked, so a failed bucket retries on the next request instead
+     * of staying poisoned forever. */
     BucketFuture bucketFuture(const std::vector<std::int64_t> &dims,
-                              bool background);
+                              bool background, bool fallback = false);
+
+    /** Annotate an executed serve with the bucket's degradation. */
+    BatchServe annotateServe(const BucketPtr &bucket,
+                             const std::vector<std::int64_t> &key,
+                             RunReport report) const;
 
     GraphTemplate template_;
     BackendFactory backend_;
@@ -211,9 +277,16 @@ class DynamicSession
     /** One future per bucket key — ready once compiled; concurrent
      * profile/warmup calls for the same key share it (no stampede). */
     std::map<std::vector<std::int64_t>, BucketFuture> buckets_;
+    /** Forced loop-fusion twins, keyed like buckets_ (disjoint cache
+     * identity: the twin's Session carries start_ladder_level). */
+    std::map<std::vector<std::int64_t>, BucketFuture> fallback_map_;
     /** Threads running background warmups (joined on wait/destruct). */
     std::vector<std::thread> warmers_;
+    /** Upgrade-on-recompile callback (guarded by mutex_; invoked
+     * outside it). */
+    std::function<void(const std::vector<std::int64_t> &)> upgrade_hook_;
     std::atomic<int> compiled_buckets_{0};
+    std::atomic<int> fallback_buckets_count_{0};
 
     std::atomic<std::int64_t> certified_hits_{0};
     std::atomic<std::int64_t> concrete_reverifications_{0};

@@ -152,7 +152,18 @@ compileClusterWithLadder(const Graph &graph, const Cluster &cluster,
         return compileClusterKernelPerOp(graph, cluster, spec);
     };
 
-    for (int level = 0;; ++level) {
+    const int start = static_cast<int>(policy.start_level);
+    if (start > 0) {
+        // Deliberately skipped rungs read like demotions so every
+        // consumer (AS601, degradation reports, serve-response flags)
+        // sees a policy-degraded compilation without a special case.
+        outcome.degradation.causes.push_back(
+            strCat(ladderLevelName(LadderLevel::FullStitch),
+                   ": skipped by policy (start rung ",
+                   ladderLevelName(policy.start_level), ")"));
+    }
+
+    for (int level = start;; ++level) {
         int retries_left = policy.max_transient_retries;
         for (;;) {
             try {

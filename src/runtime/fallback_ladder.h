@@ -35,6 +35,16 @@ struct LadderPolicy
 
     /** Same-rung retries granted per transient fault burst. */
     int max_transient_retries = 2;
+
+    /**
+     * First rung to attempt. FullStitch (the default) is the normal
+     * ladder; a lower start skips the rungs above it entirely — the
+     * serving runtime's load-shedding path compiles straight at
+     * LoopFusion to answer a request now, while a second compilation
+     * starts from FullStitch in the background. A skipped prefix is
+     * recorded as a demotion cause so the outcome reads as degraded.
+     */
+    LadderLevel start_level = LadderLevel::FullStitch;
 };
 
 /** How one cluster's walk down the ladder ended. */

@@ -209,7 +209,8 @@ JitCacheEntry
 Session::compileAllClusters(const Graph &graph) const
 {
     const LadderPolicy policy{options_.fail_fast,
-                              options_.max_transient_retries};
+                              options_.max_transient_retries,
+                              options_.start_ladder_level};
     JitCacheEntry entry;
 
     // ---- Clustering, with containment. ----
@@ -458,6 +459,12 @@ Session::compileCacheKey(const Graph &graph) const
             ",b", t.beam_width, ",c", t.max_candidates, ",g",
             t.generations, ",t", t.time_budget_ms, ",s", t.seed, ",db=",
             t.db_path);
+    }
+    // A forced start rung produces deliberately different plans for the
+    // same graph; keep it out of the full compile's cache line.
+    if (options_.start_ladder_level != LadderLevel::FullStitch) {
+        cache_key +=
+            strCat("|rung:", ladderLevelName(options_.start_ladder_level));
     }
     return cache_key;
 }

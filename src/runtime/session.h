@@ -103,6 +103,17 @@ struct SessionOptions
     int max_transient_retries = 2;
 
     /**
+     * First fallback-ladder rung to attempt per cluster. FullStitch
+     * (the default) compiles normally; a lower rung (e.g. LoopFusion)
+     * skips the stitching pipeline entirely for a fast, deliberately
+     * degraded compilation — the serving runtime's load-shedding path.
+     * A non-default rung is part of the compile cache key, and degraded
+     * entries never persist to the artifact cache, so a forced-fallback
+     * compile can never shadow (or be shadowed by) the full one.
+     */
+    LadderLevel start_ladder_level = LadderLevel::FullStitch;
+
+    /**
      * Declared dynamic-dimension ranges for shape-parametric (AS8xx)
      * certification. When non-empty, every compiled kernel plan gets
      * symbolic access twins and a ShapeCertificate over these ranges

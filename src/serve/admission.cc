@@ -1,0 +1,44 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace astitch {
+namespace serve {
+
+TokenBucket::TokenBucket(double rate_qps, double burst)
+    : rate_per_us_(rate_qps * 1e-6), burst_(std::max(1.0, burst)),
+      tokens_(std::max(1.0, burst))
+{
+}
+
+void
+TokenBucket::refill(double now_us)
+{
+    if (now_us > last_us_) {
+        tokens_ = std::min(burst_,
+                           tokens_ + (now_us - last_us_) * rate_per_us_);
+        last_us_ = now_us;
+    }
+}
+
+bool
+TokenBucket::tryAcquire(double now_us)
+{
+    if (rate_per_us_ <= 0.0)
+        return true;
+    refill(now_us);
+    if (tokens_ < 1.0)
+        return false;
+    tokens_ -= 1.0;
+    return true;
+}
+
+double
+TokenBucket::available(double now_us)
+{
+    refill(now_us);
+    return tokens_;
+}
+
+} // namespace serve
+} // namespace astitch

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-tenant admission control: a token-bucket rate limiter.
+ *
+ * Multi-tenant serving needs isolation at the front door — one tenant
+ * bursting past its contracted rate must shed *its own* requests, not
+ * inflate every tenant's queues. The classic token bucket gives each
+ * tenant a sustained rate plus a bounded burst allowance; it runs on
+ * the serving runtime's virtual clock, so admission decisions are as
+ * deterministic as the trace driving them.
+ */
+#ifndef ASTITCH_SERVE_ADMISSION_H
+#define ASTITCH_SERVE_ADMISSION_H
+
+namespace astitch {
+namespace serve {
+
+/** Deterministic token bucket on a caller-supplied clock. */
+class TokenBucket
+{
+  public:
+    /**
+     * @p rate_qps tokens accrue per second up to @p burst; <= 0
+     * disables limiting (every acquire succeeds). The bucket starts
+     * full — an initial burst within the allowance is admitted.
+     */
+    TokenBucket(double rate_qps, double burst);
+
+    /** Take one token at virtual time @p now_us (monotonically
+     * non-decreasing across calls). False = shed the request. */
+    bool tryAcquire(double now_us);
+
+    /** Tokens currently available (after refill at @p now_us). */
+    double available(double now_us);
+
+  private:
+    void refill(double now_us);
+
+    double rate_per_us_;
+    double burst_;
+    double tokens_;
+    double last_us_ = 0.0;
+};
+
+} // namespace serve
+} // namespace astitch
+
+#endif // ASTITCH_SERVE_ADMISSION_H

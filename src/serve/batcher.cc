@@ -1,0 +1,86 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace astitch {
+namespace serve {
+
+MicroBatcher::MicroBatcher(BatchPolicy policy) : policy_(policy)
+{
+    if (policy_.max_batch < 1)
+        policy_.max_batch = 1;
+}
+
+MicroBatcher::Enqueue
+MicroBatcher::enqueue(const BatchKey &key, const Request &request)
+{
+    std::vector<Request> &queue = queues_[key];
+    if (policy_.max_queue > 0 && queue.size() >= policy_.max_queue)
+        return Enqueue::Rejected;
+    queue.push_back(request);
+    return queue.size() >= static_cast<std::size_t>(policy_.max_batch)
+               ? Enqueue::Watermark
+               : Enqueue::Queued;
+}
+
+std::vector<Request>
+MicroBatcher::take(const BatchKey &key)
+{
+    const auto it = queues_.find(key);
+    if (it == queues_.end())
+        return {};
+    std::vector<Request> &queue = it->second;
+    std::vector<Request> batch;
+    const std::size_t n = std::min(
+        queue.size(), static_cast<std::size_t>(policy_.max_batch));
+    batch.assign(queue.begin(), queue.begin() + n);
+    queue.erase(queue.begin(), queue.begin() + n);
+    if (queue.empty())
+        queues_.erase(it);
+    return batch;
+}
+
+double
+MicroBatcher::nextDeadlineUs() const
+{
+    double deadline = std::numeric_limits<double>::infinity();
+    for (const auto &[key, queue] : queues_) {
+        if (!queue.empty()) {
+            deadline = std::min(
+                deadline, queue.front().arrival_us + policy_.max_delay_us);
+        }
+    }
+    return deadline;
+}
+
+std::vector<BatchKey>
+MicroBatcher::expired(double now_us) const
+{
+    std::vector<BatchKey> keys;
+    for (const auto &[key, queue] : queues_) {
+        if (!queue.empty() &&
+            queue.front().arrival_us + policy_.max_delay_us <= now_us)
+            keys.push_back(key);
+    }
+    return keys;
+}
+
+std::size_t
+MicroBatcher::depth(const BatchKey &key) const
+{
+    const auto it = queues_.find(key);
+    return it == queues_.end() ? 0 : it->second.size();
+}
+
+bool
+MicroBatcher::empty() const
+{
+    for (const auto &[key, queue] : queues_)
+        if (!queue.empty())
+            return false;
+    return true;
+}
+
+} // namespace serve
+} // namespace astitch

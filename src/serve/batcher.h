@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shape-bucketed micro-batching.
+ *
+ * Requests for the same tenant whose sizes round to the same shape
+ * bucket are transparently co-executed: the batcher queues them per
+ * (tenant, bucket) and fires a micro-batch when either watermark
+ * trips — the batch reaches max_batch requests (size watermark) or
+ * the oldest queued request has waited max_delay_us (deadline
+ * watermark). Firing order across buckets is deterministic (ordered
+ * keys, stable deadlines), which keeps batch compositions
+ * bit-reproducible for a fixed trace.
+ */
+#ifndef ASTITCH_SERVE_BATCHER_H
+#define ASTITCH_SERVE_BATCHER_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace astitch {
+namespace serve {
+
+/** Queue identity: one tenant's one shape bucket. */
+struct BatchKey
+{
+    int tenant = 0;
+    std::vector<std::int64_t> bucket;
+
+    bool operator<(const BatchKey &other) const
+    {
+        if (tenant != other.tenant)
+            return tenant < other.tenant;
+        return bucket < other.bucket;
+    }
+    bool operator==(const BatchKey &other) const
+    {
+        return tenant == other.tenant && bucket == other.bucket;
+    }
+};
+
+/** Watermark policy. */
+struct BatchPolicy
+{
+    /** Size watermark: fire as soon as this many requests queue. */
+    int max_batch = 4;
+
+    /** Deadline watermark: fire once the oldest request has waited
+     * this long, full or not. */
+    double max_delay_us = 2000.0;
+
+    /** Per-bucket queue bound; a request arriving at a full queue is
+     * shed with ShedReason::QueueFull. 0 = unbounded. */
+    std::size_t max_queue = 0;
+};
+
+/** Deterministic per-bucket micro-batch queues. */
+class MicroBatcher
+{
+  public:
+    explicit MicroBatcher(BatchPolicy policy);
+
+    /** Outcome of offering a request to its queue. */
+    enum class Enqueue {
+        Queued,   ///< waiting for more requests or the deadline
+        Watermark, ///< queue hit max_batch — fire take(key) now
+        Rejected, ///< queue full — shed the request
+    };
+
+    Enqueue enqueue(const BatchKey &key, const Request &request);
+
+    /** Drain up to max_batch requests from @p key, oldest first. */
+    std::vector<Request> take(const BatchKey &key);
+
+    /** Earliest deadline (oldest arrival + max_delay_us) over all
+     * non-empty queues; +infinity when idle. */
+    double nextDeadlineUs() const;
+
+    /** Keys whose deadline has passed at @p now_us, in key order. */
+    std::vector<BatchKey> expired(double now_us) const;
+
+    std::size_t depth(const BatchKey &key) const;
+    bool empty() const;
+    const BatchPolicy &policy() const { return policy_; }
+
+  private:
+    BatchPolicy policy_;
+    std::map<BatchKey, std::vector<Request>> queues_;
+};
+
+} // namespace serve
+} // namespace astitch
+
+#endif // ASTITCH_SERVE_BATCHER_H

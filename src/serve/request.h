@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Request/response types of the serving runtime.
+ *
+ * The serving layer models one inference instance under open-loop
+ * traffic: requests arrive on a virtual microsecond clock, carry a
+ * size along their tenant's dynamic dimension (batch rows, frames),
+ * and leave as responses annotated with everything the benchmark and
+ * the load-shedding machinery need — queueing/batching provenance,
+ * shed reasons, and whether the serve ran degraded on the loop-fusion
+ * rung while the full-stitch compilation was still in flight.
+ */
+#ifndef ASTITCH_SERVE_REQUEST_H
+#define ASTITCH_SERVE_REQUEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/degradation.h"
+
+namespace astitch {
+namespace serve {
+
+/** Why a request was refused instead of served. */
+enum class ShedReason {
+    None = 0,      ///< served
+    AdmissionRate, ///< tenant token bucket empty at arrival
+    QueueFull,     ///< per-bucket queue at capacity
+};
+
+/** Stable printable name ("none", "admission-rate", "queue-full"). */
+const char *shedReasonName(ShedReason reason);
+
+/** One inference request on the virtual clock. */
+struct Request
+{
+    std::int64_t id = 0;    ///< trace-unique, in arrival order
+    int tenant = 0;         ///< index into the router's tenant list
+    std::int64_t items = 1; ///< size along the tenant's dynamic dim
+    double arrival_us = 0.0;
+};
+
+/** The outcome of one request. */
+struct Response
+{
+    std::int64_t id = 0;
+    int tenant = 0;
+    std::int64_t items = 0;
+
+    double arrival_us = 0.0;
+    /** Virtual time the batch containing this request began executing
+     * (compile wait + queueing included); 0 when shed. */
+    double start_us = 0.0;
+    double done_us = 0.0;
+    /** done - arrival; 0 when shed. */
+    double latency_us = 0.0;
+
+    bool shed = false;
+    ShedReason reason = ShedReason::None;
+
+    /** Served from a below-full-stitch compilation (the load-shedding
+     * loop-fusion twin, or a genuinely demoted full bucket). */
+    bool degraded = false;
+    /** Worst fallback-ladder rung of the serving compilation. */
+    LadderLevel level = LadderLevel::FullStitch;
+
+    /** Shape bucket that executed the batch (empty when shed). */
+    std::vector<std::int64_t> bucket;
+    /** Requests co-batched with this one (self included). */
+    int batch_size = 0;
+    /** Sum of co-batched request items (the useful work). */
+    std::int64_t batch_items = 0;
+    /** Items the executed bucket was padded to (>= batch_items);
+     * batch_items / padded_items is the batch occupancy. */
+    std::int64_t padded_items = 0;
+};
+
+} // namespace serve
+} // namespace astitch
+
+#endif // ASTITCH_SERVE_REQUEST_H

@@ -1,0 +1,120 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "support/strings.h"
+
+namespace astitch {
+namespace serve {
+
+double
+LatencyRecorder::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double
+LatencyRecorder::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank: ceil(p/100 * N), 1-based.
+    const double clamped = std::min(100.0, std::max(0.0, p));
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+std::vector<TenantStats>
+aggregateByTenant(const std::vector<Response> &responses,
+                  const std::vector<std::string> &names,
+                  double duration_us)
+{
+    std::vector<TenantStats> stats(names.size());
+    std::vector<LatencyRecorder> latencies(names.size());
+    // Occupancy and batch size are batch-level properties replicated
+    // into every member response; count each batch once via the
+    // (tenant, start time, bucket) identity.
+    std::vector<std::map<std::pair<double, std::vector<std::int64_t>>,
+                         std::pair<double, double>>>
+        batches(names.size());
+
+    for (std::size_t i = 0; i < names.size(); ++i)
+        stats[i].name = names[i];
+    for (const Response &r : responses) {
+        if (r.tenant < 0 ||
+            static_cast<std::size_t>(r.tenant) >= stats.size())
+            continue;
+        TenantStats &t = stats[r.tenant];
+        ++t.requests;
+        if (r.shed) {
+            ++t.shed;
+            if (r.reason == ShedReason::AdmissionRate)
+                ++t.shed_admission;
+            if (r.reason == ShedReason::QueueFull)
+                ++t.shed_queue;
+            continue;
+        }
+        ++t.served;
+        if (r.degraded)
+            ++t.degraded_serves;
+        latencies[r.tenant].add(r.latency_us);
+        if (r.padded_items > 0) {
+            batches[r.tenant][{r.start_us, r.bucket}] = {
+                static_cast<double>(r.batch_size),
+                static_cast<double>(r.batch_items) /
+                    static_cast<double>(r.padded_items)};
+        }
+    }
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        TenantStats &t = stats[i];
+        t.p50_us = latencies[i].percentile(50.0);
+        t.p90_us = latencies[i].percentile(90.0);
+        t.p99_us = latencies[i].percentile(99.0);
+        t.mean_us = latencies[i].mean();
+        if (duration_us > 0.0)
+            t.qps = static_cast<double>(t.served) / (duration_us * 1e-6);
+        t.batches = static_cast<std::int64_t>(batches[i].size());
+        if (t.batches > 0) {
+            double size_sum = 0.0, occ_sum = 0.0;
+            for (const auto &[key, value] : batches[i]) {
+                size_sum += value.first;
+                occ_sum += value.second;
+            }
+            t.avg_batch_size = size_sum / static_cast<double>(t.batches);
+            t.avg_occupancy = occ_sum / static_cast<double>(t.batches);
+        }
+    }
+    return stats;
+}
+
+std::string
+tenantStatsJson(const TenantStats &t)
+{
+    return strCat(
+        "{\"tenant\":\"", t.name, "\",\"requests\":", t.requests,
+        ",\"served\":", t.served, ",\"shed\":", t.shed,
+        ",\"shed_admission\":", t.shed_admission,
+        ",\"shed_queue\":", t.shed_queue,
+        ",\"degraded_serves\":", t.degraded_serves,
+        ",\"p50_us\":", strFixed(t.p50_us, 3),
+        ",\"p90_us\":", strFixed(t.p90_us, 3),
+        ",\"p99_us\":", strFixed(t.p99_us, 3),
+        ",\"mean_us\":", strFixed(t.mean_us, 3),
+        ",\"qps\":", strFixed(t.qps, 3), ",\"batches\":", t.batches,
+        ",\"avg_batch_size\":", strFixed(t.avg_batch_size, 3),
+        ",\"avg_occupancy\":", strFixed(t.avg_occupancy, 4), "}");
+}
+
+} // namespace serve
+} // namespace astitch

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Serving statistics: per-tenant latency percentiles, QPS, batching
+ * and degradation tallies, rendered to the BENCH_serve.json schema.
+ */
+#ifndef ASTITCH_SERVE_STATS_H
+#define ASTITCH_SERVE_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace astitch {
+namespace serve {
+
+/** Latency sample set with nearest-rank percentiles. */
+class LatencyRecorder
+{
+  public:
+    void add(double latency_us) { samples_.push_back(latency_us); }
+
+    std::size_t count() const { return samples_.size(); }
+    double mean() const;
+
+    /** Nearest-rank percentile, @p p in [0, 100]; 0 when empty. */
+    double percentile(double p) const;
+
+  private:
+    std::vector<double> samples_;
+};
+
+/** One tenant's aggregate serving outcome. */
+struct TenantStats
+{
+    std::string name;
+    std::int64_t requests = 0;  ///< arrived
+    std::int64_t served = 0;    ///< completed with a response
+    std::int64_t shed = 0;      ///< refused (all reasons)
+    std::int64_t shed_admission = 0;
+    std::int64_t shed_queue = 0;
+    std::int64_t degraded_serves = 0; ///< answered below full-stitch
+
+    double p50_us = 0.0;
+    double p90_us = 0.0;
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+    double qps = 0.0; ///< served / trace duration
+
+    std::int64_t batches = 0;
+    double avg_batch_size = 0.0;
+    /** Useful items / padded items, averaged over batches. */
+    double avg_occupancy = 0.0;
+};
+
+/** Fold a response stream into per-tenant stats. @p duration_us scales
+ * QPS; @p names maps tenant index to display name. */
+std::vector<TenantStats>
+aggregateByTenant(const std::vector<Response> &responses,
+                  const std::vector<std::string> &names,
+                  double duration_us);
+
+/** Render one tenant-stats object as a JSON fragment (no trailing
+ * comma or newline). */
+std::string tenantStatsJson(const TenantStats &stats);
+
+} // namespace serve
+} // namespace astitch
+
+#endif // ASTITCH_SERVE_STATS_H

@@ -1,0 +1,111 @@
+#include "serve/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace astitch {
+namespace serve {
+
+namespace {
+
+/** Exponential inter-arrival draw (microseconds) at @p rate_qps. */
+double
+expIntervalUs(Rng &rng, double rate_qps)
+{
+    // rate per us; 1 - uniformDouble() is in (0, 1], so log() is finite.
+    const double rate_us = rate_qps * 1e-6;
+    return -std::log(1.0 - rng.uniformDouble()) / rate_us;
+}
+
+void
+fnv1a(std::uint64_t &hash, std::uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (byte * 8)) & 0xff;
+        hash *= 0x100000001b3ULL;
+    }
+}
+
+std::uint64_t
+doubleBits(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value), "double is 64-bit");
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+const char *
+shedReasonName(ShedReason reason)
+{
+    switch (reason) {
+    case ShedReason::None: return "none";
+    case ShedReason::AdmissionRate: return "admission-rate";
+    case ShedReason::QueueFull: return "queue-full";
+    }
+    return "unknown";
+}
+
+std::vector<Request>
+generateTrace(const std::vector<TenantSpec> &tenants,
+              const TrafficOptions &options)
+{
+    std::vector<Request> trace;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        const TenantSpec &tenant = tenants[t];
+        fatalIf(tenant.rate_qps <= 0.0,
+                "tenant rate_qps must be positive");
+        fatalIf(tenant.min_items < 1 ||
+                    tenant.max_items < tenant.min_items,
+                "tenant item range must satisfy 1 <= min <= max");
+        // One generator per tenant, decorrelated by index: adding or
+        // re-ordering tenants never perturbs another tenant's stream.
+        Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+        double now_us = expIntervalUs(rng, tenant.rate_qps);
+        while (now_us < options.duration_us) {
+            Request request;
+            request.tenant = static_cast<int>(t);
+            request.items =
+                rng.uniformInt(tenant.min_items, tenant.max_items);
+            request.arrival_us = now_us;
+            trace.push_back(request);
+            now_us += expIntervalUs(rng, tenant.rate_qps);
+        }
+    }
+    // Merge: arrival order, tenant index as the (measure-zero) tie
+    // break so the order is total and deterministic.
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const Request &a, const Request &b) {
+                         if (a.arrival_us != b.arrival_us)
+                             return a.arrival_us < b.arrival_us;
+                         return a.tenant < b.tenant;
+                     });
+    if (options.max_requests > 0 &&
+        static_cast<std::int64_t>(trace.size()) > options.max_requests)
+        trace.resize(static_cast<std::size_t>(options.max_requests));
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        trace[i].id = static_cast<std::int64_t>(i);
+    return trace;
+}
+
+std::uint64_t
+traceFingerprint(const std::vector<Request> &trace)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const Request &r : trace) {
+        fnv1a(hash, static_cast<std::uint64_t>(r.id));
+        fnv1a(hash, static_cast<std::uint64_t>(r.tenant));
+        fnv1a(hash, static_cast<std::uint64_t>(r.items));
+        fnv1a(hash, doubleBits(r.arrival_us));
+    }
+    return hash;
+}
+
+} // namespace serve
+} // namespace astitch

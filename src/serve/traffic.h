@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Open-loop traffic generation for the serving benchmark.
+ *
+ * Neptune-style evaluation methodology: serving systems are judged
+ * under *open-loop* load — arrivals keep coming at their own Poisson
+ * rate whether or not the system keeps up — because closed-loop
+ * drivers hide queueing collapse. Each tenant gets an independent
+ * Poisson process (exponential inter-arrival times) with uniformly
+ * drawn request sizes along its dynamic dimension; the merged trace is
+ * strictly ordered and bit-reproducible for a given seed, which is
+ * what lets CI diff two runs' request traces and batch compositions.
+ */
+#ifndef ASTITCH_SERVE_TRAFFIC_H
+#define ASTITCH_SERVE_TRAFFIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/dynamic_session.h"
+#include "serve/request.h"
+
+namespace astitch {
+namespace serve {
+
+/** One tenant of the serving instance: a model template plus its
+ * traffic and admission parameters. */
+struct TenantSpec
+{
+    /** Display name ("bert-a", "dien", ...). */
+    std::string name;
+
+    /**
+     * Model identity for cross-tenant compilation coalescing: tenants
+     * with the same model string (and therefore the same template) hit
+     * the same JIT-cache lines, so the router charges the second
+     * tenant a cache-hit instead of a second compilation.
+     */
+    std::string model;
+
+    /** Builds the tenant's graph at a concrete dynamic-dim binding. */
+    GraphTemplate graph;
+
+    /** Name + granularity of the dynamic dim (DynamicSessionOptions). */
+    std::string dim_name = "batch";
+    std::int64_t divisor = 1;
+
+    /** Mean arrival rate, requests per second. */
+    double rate_qps = 100.0;
+
+    /** Request sizes: uniform integers in [min_items, max_items]. */
+    std::int64_t min_items = 1;
+    std::int64_t max_items = 1;
+
+    /** Admission-control token bucket: sustained requests per second
+     * (0 disables rate limiting) and burst capacity in tokens. */
+    double admit_qps = 0.0;
+    double admit_burst = 8.0;
+};
+
+/** Trace-generation parameters. */
+struct TrafficOptions
+{
+    std::uint64_t seed = 1;
+    /** Virtual length of the trace, microseconds. */
+    double duration_us = 1e6;
+    /** Hard cap on total requests (0 = no cap) — keeps smoke runs
+     * small regardless of rates. */
+    std::int64_t max_requests = 0;
+};
+
+/**
+ * Generate the merged open-loop trace for @p tenants: per-tenant
+ * Poisson arrivals over [0, duration_us), uniform item counts, merged
+ * into one stream sorted by (arrival, tenant) with ids assigned in
+ * stream order. Deterministic in (seed, tenants, options).
+ */
+std::vector<Request> generateTrace(const std::vector<TenantSpec> &tenants,
+                                   const TrafficOptions &options);
+
+/** FNV-1a fingerprint of a trace (ids, tenants, items, arrival bit
+ * patterns) — two identically-seeded runs must match exactly. */
+std::uint64_t traceFingerprint(const std::vector<Request> &trace);
+
+} // namespace serve
+} // namespace astitch
+
+#endif // ASTITCH_SERVE_TRAFFIC_H

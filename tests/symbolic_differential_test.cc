@@ -119,10 +119,11 @@ TEST(SymbolicDifferential, ProvenCertificatesAgreeWithConcreteVerifier)
             // served shape is clean, as checked below).
             const DiagnosticEngine merged = dynamic.diagnostics();
             for (const Diagnostic &d : merged.diagnostics()) {
-                if (d.code.rfind("AS8", 0) == 0)
+                if (d.code.rfind("AS8", 0) == 0) {
                     EXPECT_NE(d.severity, Severity::Error)
                         << wl.name << " on " << device.name << ": "
                         << d.toString();
+                }
             }
 
             if (stats.buckets_proven == 0)

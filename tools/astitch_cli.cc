@@ -58,6 +58,19 @@
  *       Inspect the artifact cache: one line per artifact with its
  *       integrity status (quarantined *.bad sidecars flagged), or
  *       --clear to delete artifacts, locks and quarantine files.
+ *   astitch-cli serve [--seed S] [--duration-us N] [--max-requests N]
+ *       Replay seed-deterministic open-loop Poisson traffic through
+ *       the astitch-serve runtime (serve/router.h): shape-bucketed
+ *       micro-batching, per-tenant admission control and compile-storm
+ *       load shedding over DynamicSession. Defaults to the mixed
+ *       BERT/DIEN/ASR tenant mix of bench/ext_serve.cc; --model M
+ *       [--rate QPS] [--min-items N] [--max-items N] [--admit-qps Q]
+ *       serves a single tenant instead. --warmup pre-compiles every
+ *       reachable bucket before traffic, --no-shed disables the
+ *       degraded-serve path, and --max-batch / --max-delay-us /
+ *       --shed-wait-us tune the batcher and shedding watermarks.
+ *       Prints the per-tenant p50/p99/QPS table; --out FILE appends a
+ *       JSON summary.
  *
  * analyze and verify accept --diag-filter EXPR to restrict the rendered
  * findings; EXPR is a comma-separated list of AS-code families or dash
@@ -114,6 +127,7 @@
 #include "runtime/dynamic_session.h"
 #include "runtime/plan_serde.h"
 #include "runtime/session.h"
+#include "serve/router.h"
 #include "support/fault_injection.h"
 #include "support/logging.h"
 #include "support/strings.h"
@@ -321,6 +335,20 @@ intOption(const Args &args, const std::string &key, int fallback)
         return fallback;
     try {
         return std::stoi(text);
+    } catch (const std::exception &) {
+        fatal("invalid --", key, " '", text, "'");
+    }
+}
+
+/** Parse a double-valued --KEY, keeping @p fallback when absent. */
+double
+doubleOption(const Args &args, const std::string &key, double fallback)
+{
+    const std::string text = args.get(key, "");
+    if (text.empty())
+        return fallback;
+    try {
+        return std::stod(text);
     } catch (const std::exception &) {
         fatal("invalid --", key, " '", text, "'");
     }
@@ -811,6 +839,149 @@ cmdCache(const Args &args)
     return bad > 0 ? 1 : 0;
 }
 
+/** One serving tenant from a dynamic workload spec. */
+serve::TenantSpec
+makeTenant(const workloads::DynamicWorkloadSpec &wl,
+           const std::string &name, double rate_qps,
+           std::int64_t min_items, std::int64_t max_items,
+           double admit_qps)
+{
+    serve::TenantSpec spec;
+    spec.name = name;
+    spec.model = wl.name;
+    spec.graph = wl.build;
+    spec.dim_name = wl.dim_name;
+    spec.divisor = wl.divisor;
+    spec.rate_qps = rate_qps;
+    spec.min_items = min_items;
+    spec.max_items = max_items;
+    spec.admit_qps = admit_qps;
+    return spec;
+}
+
+/**
+ * Replay open-loop Poisson traffic through the serving router on the
+ * deterministic virtual clock (serve/router.h). Default tenant mix
+ * mirrors bench/ext_serve.cc — two BERT tenants sharing compilations,
+ * DIEN behind an admission limiter, ASR — so the CLI demonstrates
+ * micro-batching, shedding and coalescing out of the box; --model
+ * narrows it to one tenant for focused experiments.
+ */
+int
+cmdServe(const Args &args)
+{
+    const std::string model = args.get("model", "");
+    std::vector<workloads::DynamicWorkloadSpec> dynamic =
+        workloads::dynamicInferenceWorkloads();
+    const auto find = [&dynamic](const std::string &name) {
+        for (const auto &wl : dynamic)
+            if (wl.name == name)
+                return wl;
+        std::string names;
+        for (const auto &wl : dynamic)
+            names += wl.name + " ";
+        fatal("unknown model '", name, "' (available: ", names, ")");
+    };
+
+    std::vector<serve::TenantSpec> tenants;
+    if (!model.empty()) {
+        tenants.push_back(makeTenant(
+            find(model), model, doubleOption(args, "rate", 300.0),
+            intOption(args, "min-items", 50),
+            intOption(args, "max-items", 100),
+            doubleOption(args, "admit-qps", 0.0)));
+    } else {
+        tenants = {
+            makeTenant(find("BERT"), "bert-a", 400.0, 50, 100, 0.0),
+            makeTenant(find("BERT"), "bert-b", 150.0, 50, 100, 0.0),
+            makeTenant(find("DIEN"), "dien", 300.0, 36, 72, 250.0),
+            makeTenant(find("ASR"), "asr", 250.0, 50, 100, 0.0),
+        };
+    }
+
+    serve::RouterOptions options;
+    options.session = makeSessionOptions(args);
+    options.session.use_jit_cache = true;
+    const std::string backend = args.get("backend", "astitch");
+    options.backend = [backend] { return makeBackend(backend); };
+    options.batch.max_batch = intOption(args, "max-batch", 4);
+    options.batch.max_delay_us =
+        doubleOption(args, "max-delay-us", 3000.0);
+    options.batch.max_queue = intOption(args, "queue-cap", 0);
+    options.load_shedding = !args.has("no-shed");
+    options.shed_wait_threshold_us =
+        doubleOption(args, "shed-wait-us", 5000.0);
+    fatalIf(options.batch.max_batch < 1, "--max-batch must be >= 1");
+
+    serve::TrafficOptions traffic;
+    traffic.seed = static_cast<std::uint64_t>(
+        doubleOption(args, "seed", 42.0));
+    traffic.duration_us = doubleOption(args, "duration-us", 1e6);
+    traffic.max_requests = intOption(args, "max-requests", 0);
+    fatalIf(traffic.duration_us <= 0.0, "--duration-us must be > 0");
+
+    serve::ServeRouter router(tenants, options);
+    if (args.has("warmup")) {
+        for (int t = 0; t < router.numTenants(); ++t)
+            router.warmupTenant(t, router.hotBucketItems(t));
+    }
+    const std::vector<serve::Request> trace =
+        serve::generateTrace(tenants, traffic);
+    const serve::ServeResult result = router.run(trace);
+
+    std::printf("%zu tenant(s), %zu request(s), seed %llu, %.0f us%s%s\n",
+                tenants.size(), trace.size(),
+                static_cast<unsigned long long>(traffic.seed),
+                traffic.duration_us,
+                args.has("warmup") ? ", warmed" : "",
+                options.load_shedding ? "" : ", shedding off");
+    std::printf("%-8s %8s %8s %6s %5s %10s %10s %8s %6s %5s\n",
+                "tenant", "requests", "served", "shed", "degr",
+                "p50(us)", "p99(us)", "qps", "batch", "occ");
+    for (const serve::TenantStats &t : result.tenants)
+        std::printf("%-8s %8lld %8lld %6lld %5lld %10.1f %10.1f %8.1f "
+                    "%6.2f %5.2f\n",
+                    t.name.c_str(), static_cast<long long>(t.requests),
+                    static_cast<long long>(t.served),
+                    static_cast<long long>(t.shed),
+                    static_cast<long long>(t.degraded_serves), t.p50_us,
+                    t.p99_us, t.qps, t.avg_batch_size, t.avg_occupancy);
+    std::printf("batches=%lld degraded=%lld storm-end=%.0fus "
+                "upgraded-buckets=%lld coalesced=%lld "
+                "compiled=%lld+%lldtwin\ntrace=%016llx batches=%016llx\n",
+                static_cast<long long>(result.total_batches),
+                static_cast<long long>(result.degraded_serves),
+                result.last_full_ready_us,
+                static_cast<long long>(result.upgraded_buckets),
+                static_cast<long long>(result.coalesced_joins),
+                static_cast<long long>(result.compiled_full),
+                static_cast<long long>(result.compiled_twin),
+                static_cast<unsigned long long>(result.trace_fingerprint),
+                static_cast<unsigned long long>(
+                    result.batch_fingerprint));
+
+    const std::string out = args.get("out", "");
+    if (!out.empty()) {
+        std::string json = strCat(
+            "{\"seed\":", traffic.seed,
+            ",\"duration_us\":", strFixed(traffic.duration_us, 1),
+            ",\"served\":", result.served, ",\"shed\":", result.shed,
+            ",\"degraded_serves\":", result.degraded_serves,
+            ",\"upgraded_buckets\":", result.upgraded_buckets,
+            ",\"coalesced_joins\":", result.coalesced_joins,
+            ",\"tenants\":[");
+        for (std::size_t i = 0; i < result.tenants.size(); ++i)
+            json += strCat(i ? "," : "",
+                           serve::tenantStatsJson(result.tenants[i]));
+        json += "]}\n";
+        std::ofstream file(out);
+        fatalIf(!file, "cannot open ", out);
+        file << json;
+        std::printf("wrote serving summary to %s\n", out.c_str());
+    }
+    return 0;
+}
+
 int
 cmdCompare(const Args &args)
 {
@@ -948,6 +1119,8 @@ main(int argc, char **argv)
             return cmdCompileAhead(args);
         if (args.command == "cache")
             return cmdCache(args);
+        if (args.command == "serve")
+            return cmdServe(args);
     } catch (const PanicError &e) {
         std::fprintf(stderr, "internal error: %s\n", e.what());
         return 3;
@@ -961,7 +1134,7 @@ main(int argc, char **argv)
     std::fprintf(
         stderr,
         "usage: astitch-cli <list|profile|compare|explain|emit|trace|"
-        "dot|analyze|verify|fault-sites|tune|compile-ahead|cache> "
+        "dot|analyze|verify|fault-sites|tune|compile-ahead|cache|serve> "
         "[--model M] [--backend B] "
         "[--gpu G] [--cluster N] [--compile-threads N] [--fault PLAN] "
         "[--fail-fast] [--format text|json|sarif] [--analyze[=json]] "
@@ -972,6 +1145,10 @@ main(int argc, char **argv)
         "[--tuning-beam N] [--tuning-candidates N] "
         "[--tuning-generations N] [--tuning-seed S] "
         "[--tuning-time-ms MS] [--cache-dir DIR] [--cache-lock-ms MS] "
-        "[--clear] [--out FILE]\n");
+        "[--clear] [--out FILE] [--seed S] [--duration-us N] "
+        "[--max-requests N] [--warmup] [--no-shed] [--max-batch N] "
+        "[--max-delay-us N] [--shed-wait-us N] [--rate QPS] "
+        "[--min-items N] [--max-items N] [--admit-qps Q] "
+        "[--queue-cap N]\n");
     return args.command.empty() ? 1 : 2;
 }
